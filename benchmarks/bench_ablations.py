@@ -1,0 +1,97 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not a paper figure: these quantify the library's own design decisions —
+Hilbert vs Morton enumeration, scalar vs vectorised execution, the
+covering cache, Listing 1's successor hint, and the trie probe cost
+(the paper reports 58-81 ns lookups; ours are Python-speed but O(depth)).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells import EARTH_BOUNDS, MORTON, CellSpace, RegionCoverer
+from repro.core import AdaptiveGeoBlock, CachePolicy, GeoBlock
+from repro.storage import extract
+from repro.workloads import default_aggregates
+
+
+@pytest.fixture(scope="module")
+def region(polygons):
+    return max(polygons[:40], key=lambda p: p.area())
+
+
+@pytest.fixture(scope="module")
+def two_aggs(base):
+    return default_aggregates(base.table.schema, 2)
+
+
+class TestCurveAblation:
+    """Hilbert vs Morton: same asymptotics, different covering shapes."""
+
+    def test_hilbert_keying(self, benchmark, config):
+        from repro.data import nyc_taxi
+
+        raw = nyc_taxi(config.nyc_size, seed=config.seed)
+        benchmark(lambda: config.space.leaf_ids(raw.xs, raw.ys))
+
+    def test_morton_keying(self, benchmark, config):
+        from repro.data import nyc_taxi
+
+        raw = nyc_taxi(config.nyc_size, seed=config.seed)
+        space = CellSpace(EARTH_BOUNDS, curve=MORTON)
+        benchmark(lambda: space.leaf_ids(raw.xs, raw.ys))
+
+    def test_morton_block_equivalent_results(self, config, region, two_aggs):
+        from repro.data import nyc_cleaning_rules, nyc_taxi
+
+        raw = nyc_taxi(20_000, seed=config.seed)
+        space = CellSpace(EARTH_BOUNDS, curve=MORTON)
+        hilbert_base = extract(raw, config.space, nyc_cleaning_rules())
+        morton_base = extract(raw, space, nyc_cleaning_rules())
+        hilbert_block = GeoBlock.build(hilbert_base, 14)
+        morton_block = GeoBlock.build(morton_base, 14)
+        # Same grid, same covering geometry -> identical counts.
+        assert hilbert_block.count(region) == morton_block.count(region)
+
+
+class TestExecutionModeAblation:
+    def test_vector_mode_select(self, benchmark, base, level, region, two_aggs):
+        block = GeoBlock.build(base, level)  # vector is the default
+        block.warm(region)
+        benchmark(lambda: block.select(region, two_aggs))
+
+    def test_scalar_mode_select(self, benchmark, base, level, region, two_aggs):
+        block = GeoBlock.build(base, level)
+        block.query_mode = "scalar"
+        block.warm(region)
+        benchmark(lambda: block.select(region, two_aggs))
+
+    def test_listing1_select(self, benchmark, base, level, region, two_aggs):
+        block = GeoBlock.build(base, level)
+        block.warm(region)
+        benchmark(lambda: block.select_listing1(region, two_aggs))
+
+
+class TestCoveringCacheAblation:
+    def test_covering_cold(self, benchmark, config, region, level):
+        coverer = RegionCoverer(config.space)  # no cache
+        benchmark(lambda: coverer.covering(region, level))
+
+    def test_covering_cached(self, benchmark, config, region, level):
+        coverer = RegionCoverer(config.space, cache=True)
+        coverer.covering(region, level)
+        benchmark(lambda: coverer.covering(region, level))
+
+
+class TestTrieProbe:
+    def test_probe_cost(self, benchmark, block_qc, region):
+        trie = block_qc.trie
+        assert trie is not None
+        cells = list(block_qc.covering(region))[:64]
+        benchmark(lambda: [trie.probe(cell) for cell in cells])
+
+    def test_count_bypass_cost(self, benchmark, block_qc, region):
+        """COUNT ignores the cache (Section 3.6); its cost is the
+        Listing 2 range sums."""
+        block_qc.warm(region)
+        benchmark(lambda: block_qc.count(region))

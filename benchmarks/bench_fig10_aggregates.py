@@ -1,0 +1,47 @@
+"""Figure 10: runtime with an increasing number of aggregates.
+
+Micro-benchmarks: one representative neighbourhood SELECT with eight
+aggregates per competitor (Block vs the on-the-fly baselines); the
+report benchmark replays the full combined-workload experiment.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_record
+from repro.workloads import default_aggregates
+
+
+@pytest.fixture(scope="module")
+def region(polygons):
+    # A dense, mid-sized neighbourhood.
+    return max(polygons[:60], key=lambda p: p.area())
+
+
+@pytest.fixture(scope="module")
+def eight_aggs(base):
+    return default_aggregates(base.table.schema, 8)
+
+
+def bench_warm(aggregator, region, eight_aggs):
+    aggregator.warm(region)
+    aggregator.select(region, eight_aggs)
+    return lambda: aggregator.select(region, eight_aggs)
+
+
+def test_block_select_8aggs(benchmark, block, region, eight_aggs):
+    benchmark(bench_warm(block, region, eight_aggs))
+
+
+def test_binarysearch_select_8aggs(benchmark, binary_search, region, eight_aggs):
+    benchmark(bench_warm(binary_search, region, eight_aggs))
+
+
+def test_btree_select_8aggs(benchmark, btree, region, eight_aggs):
+    benchmark(bench_warm(btree, region, eight_aggs))
+
+
+def test_report_fig10(benchmark, report_config):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig10", report_config), rounds=1, iterations=1
+    )
+    assert result.rows

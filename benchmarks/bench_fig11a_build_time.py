@@ -1,0 +1,38 @@
+"""Figure 11a: build time of GeoBlocks and baselines (sort vs build)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_record
+from repro.baselines.btree import BPlusTree
+from repro.baselines.phtree import PHTree
+from repro.core import GeoBlock
+from repro.data import nyc_cleaning_rules, nyc_taxi
+from repro.storage import extract
+
+
+@pytest.fixture(scope="module")
+def raw(config):
+    return nyc_taxi(config.nyc_size, seed=config.seed)
+
+
+def test_extract_phase(benchmark, raw, config):
+    benchmark(lambda: extract(raw, config.space, nyc_cleaning_rules()))
+
+
+def test_block_build_phase(benchmark, base, level):
+    benchmark(lambda: GeoBlock.build(base, level))
+
+
+def test_btree_build_phase(benchmark, base):
+    benchmark(lambda: BPlusTree.bulk_load(base.keys))
+
+
+def test_phtree_build_phase(benchmark, base):
+    benchmark(lambda: PHTree(base))
+
+
+def test_report_fig11a(benchmark, report_config):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig11a", report_config), rounds=1, iterations=1
+    )
+    assert result.rows

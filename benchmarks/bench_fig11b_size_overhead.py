@@ -1,0 +1,13 @@
+"""Figure 11b: relative size overhead (report-style benchmark; the
+sizes themselves are deterministic, so the benchmark times the
+measurement pipeline end to end)."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_report_fig11b(benchmark, report_config):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig11b", report_config), rounds=1, iterations=1
+    )
+    overheads = {row[0]: float(row[1]) for row in result.rows}
+    assert all(value > 0 for value in overheads.values())

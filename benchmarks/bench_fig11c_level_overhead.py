@@ -1,0 +1,11 @@
+"""Figure 11c: level influence on preparation time and overhead."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_report_fig11c(benchmark, report_config):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig11c", report_config), rounds=1, iterations=1
+    )
+    overheads = [float(row[3]) for row in result.rows]
+    assert overheads[-1] > overheads[0]

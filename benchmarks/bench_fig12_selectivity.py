@@ -1,0 +1,60 @@
+"""Figure 12: query runtime for varying selectivity.
+
+Micro-benchmarks probe a 50%-selectivity polygon per competitor; the
+report benchmark sweeps the full selectivity range.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_record
+from repro.data import selectivity_polygon
+from repro.workloads import default_aggregates
+
+
+@pytest.fixture(scope="module")
+def half_polygon(base):
+    return selectivity_polygon(base.table.xs, base.table.ys, 0.5)
+
+
+@pytest.fixture(scope="module")
+def two_aggs(base):
+    return default_aggregates(base.table.schema, 2)
+
+
+def _bench(aggregator, polygon, aggs):
+    aggregator.warm(polygon)
+    aggregator.select(polygon, aggs)
+    return lambda: aggregator.select(polygon, aggs)
+
+
+def test_block_50pct(benchmark, block, half_polygon, two_aggs):
+    benchmark(_bench(block, half_polygon, two_aggs))
+
+
+def test_blockqc_50pct(benchmark, block_qc, half_polygon, two_aggs):
+    block_qc.select(half_polygon, two_aggs)
+    block_qc.adapt()
+    benchmark(_bench(block_qc, half_polygon, two_aggs))
+
+
+def test_binarysearch_50pct(benchmark, binary_search, half_polygon, two_aggs):
+    benchmark(_bench(binary_search, half_polygon, two_aggs))
+
+
+def test_btree_50pct(benchmark, btree, half_polygon, two_aggs):
+    benchmark(_bench(btree, half_polygon, two_aggs))
+
+
+def test_phtree_50pct(benchmark, phtree, half_polygon, two_aggs):
+    benchmark(_bench(phtree, half_polygon, two_aggs))
+
+
+def test_artree_50pct(benchmark, artree, half_polygon, two_aggs):
+    benchmark(_bench(artree, half_polygon, two_aggs))
+
+
+def test_report_fig12(benchmark, report_config):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig12", report_config), rounds=1, iterations=1
+    )
+    assert result.rows

@@ -1,0 +1,21 @@
+"""Figure 13: scaling with increasing input sizes."""
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.experiments import fig13_scalability
+
+
+def test_report_fig13(benchmark, report_config):
+    overhead, runtime = benchmark.pedantic(
+        lambda: fig13_scalability.run(report_config), rounds=1, iterations=1
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = overhead.render() + "\n\n" + runtime.render()
+    (RESULTS_DIR / "fig13.txt").write_text(text + "\n")
+    print()
+    print(text)
+    by_algo = {}
+    for row in runtime.rows:
+        by_algo[row[1]] = float(row[3])
+    assert by_algo["Block"] <= by_algo["BinarySearch"]

@@ -1,0 +1,12 @@
+"""Figure 14: whole-area query runtime and error per dataset."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_report_fig14(benchmark, report_config):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig14", report_config), rounds=1, iterations=1
+    )
+    for row in result.rows:
+        if row[1] in ("BinarySearch", "Block", "BTree"):
+            assert float(row[3]) < 5.0

@@ -1,0 +1,10 @@
+"""Figure 15: US states vs generated rectangles on the tweets data."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_report_fig15(benchmark, report_config):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig15", report_config), rounds=1, iterations=1
+    )
+    assert len(result.rows) == 10

@@ -1,0 +1,37 @@
+"""Figure 16: relative error and runtime across block levels.
+
+Micro-benchmarks: one workload query at a coarse and a fine level.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_record
+from repro.core import GeoBlock
+from repro.experiments.common import make_scalar
+from repro.workloads import default_aggregates
+
+
+@pytest.fixture(scope="module")
+def region(polygons):
+    return max(polygons, key=lambda p: p.area())
+
+
+@pytest.fixture(scope="module")
+def two_aggs(base):
+    return default_aggregates(base.table.schema, 2)
+
+
+@pytest.mark.parametrize("paper_level", [13, 17, 21])
+def test_block_level_select(benchmark, base, region, two_aggs, paper_level):
+    block = make_scalar(GeoBlock.build(base, paper_level))
+    block.warm(region)
+    block.select(region, two_aggs)
+    benchmark(lambda: block.select(region, two_aggs))
+
+
+def test_report_fig16(benchmark, report_config):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig16", report_config), rounds=1, iterations=1
+    )
+    errors = [float(row[3]) for row in result.rows]
+    assert errors[0] > errors[-1]

@@ -1,0 +1,42 @@
+"""Figure 17: Block vs BlockQC under increasing workload skew."""
+
+import pytest
+
+from benchmarks.conftest import run_and_record
+from repro.workloads import skewed_workload
+
+
+@pytest.fixture(scope="module")
+def skew_queries(polygons, aggs, config):
+    return list(skewed_workload(polygons, aggs, seed=config.seed))
+
+
+def test_block_skewed_pass(benchmark, block, skew_queries):
+    for query in skew_queries:
+        block.warm(query.region)
+
+    def run():
+        for query in skew_queries:
+            block.select(query.region, list(query.aggs))
+
+    benchmark(run)
+
+
+def test_blockqc_skewed_pass(benchmark, block_qc, skew_queries):
+    for query in skew_queries:
+        block_qc.warm(query.region)
+        block_qc.select(query.region, list(query.aggs))
+    block_qc.adapt()
+
+    def run():
+        for query in skew_queries:
+            block_qc.select(query.region, list(query.aggs))
+
+    benchmark(run)
+
+
+def test_report_fig17(benchmark, report_config):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig17", report_config), rounds=1, iterations=1
+    )
+    assert result.rows

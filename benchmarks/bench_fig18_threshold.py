@@ -1,0 +1,11 @@
+"""Figure 18: aggregate threshold vs runtime and cache hit rate."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_report_fig18(benchmark, report_config):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig18", report_config), rounds=1, iterations=1
+    )
+    qc_rows = [row for row in result.rows if row[0] == "BlockQC"]
+    assert float(qc_rows[-1][5]) == 100.0

@@ -1,0 +1,35 @@
+"""Figure 19: payoff point of incremental builds under filter changes.
+
+Micro-benchmarks: one incremental and one isolated build for the
+selective predicate; the report benchmark sweeps all predicate/level
+combinations.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_record
+from repro.core import build_incremental, build_isolated
+from repro.data import nyc_cleaning_rules, nyc_taxi
+from repro.storage import col
+
+
+@pytest.fixture(scope="module")
+def raw(config):
+    return nyc_taxi(config.nyc_size, seed=config.seed)
+
+
+def test_incremental_build(benchmark, base, level):
+    predicate = col("trip_distance") >= 4
+    benchmark(lambda: build_incremental(base, level, predicate))
+
+
+def test_isolated_build(benchmark, raw, config, level):
+    predicate = col("trip_distance") >= 4
+    benchmark(lambda: build_isolated(raw, config.space, level, predicate, nyc_cleaning_rules()))
+
+
+def test_report_fig19(benchmark, report_config):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig19", report_config), rounds=1, iterations=1
+    )
+    assert result.rows

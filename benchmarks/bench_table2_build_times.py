@@ -1,0 +1,10 @@
+"""Table 2: sorting vs building milliseconds at levels 13-21."""
+
+from benchmarks.conftest import run_and_record
+
+
+def test_report_table2(benchmark, report_config):
+    result = benchmark.pedantic(
+        lambda: run_and_record("table2", report_config), rounds=1, iterations=1
+    )
+    assert len(result.rows) == 9

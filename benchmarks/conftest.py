@@ -1,0 +1,112 @@
+"""Shared fixtures of the benchmark suite.
+
+Each ``bench_*`` module reproduces one table or figure of the paper.
+Two kinds of benchmarks appear:
+
+* micro-benchmarks timing the figure's key operation per competitor
+  (pytest-benchmark's comparison table mirrors the figure's series);
+* one ``report`` benchmark per module that executes the corresponding
+  experiment harness end-to-end and writes the paper-style rows to
+  ``benchmarks/results/<id>.txt`` (and stdout with ``-s``).
+
+Dataset sizes follow ``ExperimentConfig`` scaled down for benchmark
+turnaround; set ``REPRO_SCALE`` to raise them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.baselines import ARTree, BinarySearchIndex, BTreeIndex, PHTree
+from repro.core import AdaptiveGeoBlock, CachePolicy, GeoBlock
+from repro.data import nyc_neighborhoods
+from repro.experiments import ExperimentConfig, nyc_base
+from repro.experiments.common import make_scalar
+from repro.experiments.registry import run_experiment
+from repro.workloads import default_aggregates
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Benchmark-sized configuration (override via REPRO_SCALE).
+BENCH_CONFIG = ExperimentConfig(nyc_points=30_000, tweets_points=20_000, osm_points=25_000)
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def base(config):
+    return nyc_base(config)
+
+
+@pytest.fixture(scope="session")
+def level(config) -> int:
+    return config.nyc_level(config.block_level)
+
+
+@pytest.fixture(scope="session")
+def polygons(config):
+    return nyc_neighborhoods(seed=config.seed)
+
+
+@pytest.fixture(scope="session")
+def aggs(base):
+    return default_aggregates(base.table.schema, 7)
+
+
+@pytest.fixture(scope="session")
+def block(base, level):
+    return make_scalar(GeoBlock.build(base, level))
+
+
+@pytest.fixture(scope="session")
+def block_qc(base, level, polygons, aggs):
+    adaptive = make_scalar(
+        AdaptiveGeoBlock(GeoBlock.build(base, level), CachePolicy(threshold=1.0))
+    )
+    for polygon in polygons:
+        adaptive.select(polygon, aggs)
+    adaptive.adapt()
+    return adaptive
+
+
+@pytest.fixture(scope="session")
+def binary_search(base, level):
+    return make_scalar(BinarySearchIndex(base, level))
+
+
+@pytest.fixture(scope="session")
+def btree(base, level):
+    return make_scalar(BTreeIndex(base, level))
+
+
+@pytest.fixture(scope="session")
+def phtree(base):
+    return make_scalar(PHTree(base))
+
+
+@pytest.fixture(scope="session")
+def artree(base):
+    # Insertion-built on a subset (the paper excludes larger builds).
+    return ARTree(base.subset(min(len(base), 25_000)))
+
+
+@pytest.fixture(scope="session")
+def report_config() -> ExperimentConfig:
+    """Smaller sizes for the end-to-end experiment replays."""
+    return ExperimentConfig(nyc_points=15_000, tweets_points=10_000, osm_points=12_000)
+
+
+def run_and_record(experiment_id: str, config: ExperimentConfig):
+    """Run one experiment and persist its rendered table."""
+    result = run_experiment(experiment_id, config)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.render()
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return result

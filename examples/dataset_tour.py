@@ -1,0 +1,109 @@
+"""Dataset tour: error/latency trade-offs on three datasets.
+
+Builds GeoBlocks over the three synthetic datasets of the evaluation
+(NYC taxi trips, US tweets, OSM Americas points), queries each with its
+natural polygon set, and prints the error-vs-level trade-off that
+drives the choice of block level (Sections 3.2 / 4.3).
+
+Run with:  python examples/dataset_tour.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import EARTH, AggSpec, GeoBlock, extract
+from repro.cells import covering_error_bound_meters
+from repro.data import (
+    americas_countries,
+    nyc_cleaning_rules,
+    nyc_neighborhoods,
+    nyc_taxi,
+    osm_americas,
+    us_states,
+    us_tweets,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    datasets = [
+        (
+            "NYC taxi",
+            extract(nyc_taxi(120_000, seed=3), EARTH, nyc_cleaning_rules()),
+            nyc_neighborhoods(seed=3),
+            (13, 15, 17),
+            40.7,
+        ),
+        (
+            "US tweets",
+            extract(us_tweets(80_000, seed=3), EARTH),
+            us_states(seed=3),
+            (9, 11, 13),
+            39.0,
+        ),
+        (
+            "OSM Americas",
+            extract(osm_americas(120_000, seed=3), EARTH),
+            americas_countries(seed=3),
+            (8, 10, 12),
+            10.0,
+        ),
+    ]
+
+    for name, base, polygons, levels, latitude in datasets:
+        print(f"\n=== {name}: {len(base):,} points, {len(polygons)} query polygons ===")
+        rows = []
+        for level in levels:
+            build_start = time.perf_counter()
+            block = GeoBlock.build(base, level)
+            build_ms = (time.perf_counter() - build_start) * 1e3
+
+            query_start = time.perf_counter()
+            approx_counts = [block.count(polygon) for polygon in polygons]
+            query_ms = (time.perf_counter() - query_start) * 1e3
+
+            exact_counts = [
+                polygon.count_contained(base.table.xs, base.table.ys)
+                for polygon in polygons
+            ]
+            errors = [
+                abs(approx - exact) / exact
+                for approx, exact in zip(approx_counts, exact_counts)
+                if exact > 0
+            ]
+            mean_error = 100.0 * sum(errors) / max(len(errors), 1)
+            rows.append(
+                [
+                    level,
+                    f"{covering_error_bound_meters(EARTH, level, latitude) / 1000:.2f} km",
+                    block.num_cells,
+                    build_ms,
+                    query_ms / len(polygons),
+                    mean_error,
+                ]
+            )
+        print(
+            format_table(
+                ["level", "error_bound", "cells", "build_ms", "ms_per_query", "mean_error_%"],
+                rows,
+            )
+        )
+
+    # One cross-dataset aggregate as a closing flourish.
+    base = datasets[0][1]
+    block = GeoBlock.build(base, 15)
+    manhattan_ish = datasets[0][2][0]
+    result = block.select(
+        manhattan_ish,
+        [AggSpec("count"), AggSpec("avg", "fare_amount"), AggSpec("avg", "trip_distance")],
+    )
+    print(
+        f"\nSample neighbourhood: {result.count:,} trips, "
+        f"avg fare ${result['avg(fare_amount)']:.2f}, "
+        f"avg distance {result['avg(trip_distance)']:.1f} mi"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail.  Keeping a classic
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

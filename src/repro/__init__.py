@@ -1,0 +1,109 @@
+"""GeoBlocks: a query-cache accelerated data structure for spatial
+aggregation over polygons.
+
+A from-scratch Python reproduction of the EDBT 2021 paper by Winter,
+Kipf, Anneser, Tzirita Zacharatou, Neumann, and Kemper.  The package
+implements the GeoBlock pre-aggregating index with its AggregateTrie
+query cache, every substrate it depends on (an S2-like hierarchical
+cell system with Hilbert enumeration, a region coverer, a computational
+geometry kernel, a columnar storage engine), the paper's four baselines
+(BinarySearch, B+-tree, PH-tree, aR-tree), synthetic stand-ins for its
+datasets, and an experiment harness regenerating every evaluation table
+and figure.
+
+Quickstart::
+
+    from repro import (
+        EARTH, AggSpec, GeoBlock, Polygon, Schema, PointTable, extract,
+    )
+    import numpy as np
+
+    table = PointTable(
+        Schema(["fare"]),
+        xs=np.array([-73.99, -73.97]),
+        ys=np.array([40.73, 40.75]),
+        columns={"fare": np.array([12.5, 9.0])},
+    )
+    base = extract(table, EARTH)
+    block = GeoBlock.build(base, level=17)
+    region = Polygon([(-74.0, 40.7), (-73.9, 40.7), (-73.9, 40.8), (-74.0, 40.8)])
+    result = block.select(region, [AggSpec("count"), AggSpec("sum", "fare")])
+"""
+
+from repro.cells import (
+    EARTH,
+    MAX_LEVEL,
+    CellId,
+    CellSpace,
+    CellUnion,
+    RegionCoverer,
+    level_for_max_diagonal,
+)
+from repro.core import (
+    AdaptiveGeoBlock,
+    AggSpec,
+    BlockQC,
+    CachePolicy,
+    GeoBlock,
+    QueryResult,
+    build_incremental,
+    build_isolated,
+    prepare_base_data,
+)
+from repro.errors import (
+    BuildError,
+    CellError,
+    GeometryError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from repro.geometry import BoundingBox, MultiPolygon, Polygon
+from repro.storage import (
+    BaseData,
+    CleaningRules,
+    ColumnKind,
+    ColumnSpec,
+    PointTable,
+    Schema,
+    col,
+    extract,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EARTH",
+    "MAX_LEVEL",
+    "AdaptiveGeoBlock",
+    "AggSpec",
+    "BaseData",
+    "BlockQC",
+    "BoundingBox",
+    "BuildError",
+    "CachePolicy",
+    "CellError",
+    "CellId",
+    "CellSpace",
+    "CellUnion",
+    "CleaningRules",
+    "ColumnKind",
+    "ColumnSpec",
+    "GeoBlock",
+    "GeometryError",
+    "MultiPolygon",
+    "PointTable",
+    "Polygon",
+    "QueryError",
+    "QueryResult",
+    "RegionCoverer",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "build_incremental",
+    "build_isolated",
+    "col",
+    "extract",
+    "level_for_max_diagonal",
+    "prepare_base_data",
+]

@@ -1,0 +1,21 @@
+"""The paper's evaluation baselines, implemented from scratch:
+BinarySearch, a B+-tree secondary index, a 2-D PH-tree, and an
+aggregate R*-tree."""
+
+from repro.baselines.artree import ARTree
+from repro.baselines.binary_search import BinarySearchIndex
+from repro.baselines.btree import BPlusTree
+from repro.baselines.btree_index import BTreeIndex
+from repro.baselines.interface import SpatialAggregator, aggregate_rows, union_ranges
+from repro.baselines.phtree import PHTree
+
+__all__ = [
+    "ARTree",
+    "BPlusTree",
+    "BTreeIndex",
+    "BinarySearchIndex",
+    "PHTree",
+    "SpatialAggregator",
+    "aggregate_rows",
+    "union_ranges",
+]

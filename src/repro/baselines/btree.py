@@ -1,0 +1,288 @@
+"""A B+-tree implemented from scratch.
+
+Stand-in for the Google cpp-btree the paper uses as its secondary-index
+baseline (Section 4.1).  Keys are 64-bit integers (spatial keys), values
+are row positions; duplicate keys are allowed, as many tuples share a
+leaf cell.  Supports single inserts, sorted bulk-loading, point lookup,
+lower-bound search, and ordered range scans.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from repro.errors import BuildError
+
+#: Maximum entries per node, like the paper's 16-way aR-tree nodes;
+#: cpp-btree uses wider nodes, but fanout only shifts constants.
+DEFAULT_ORDER = 32
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: list[int] = []
+        self.children: list[_Node] | None = None if leaf else []
+        self.values: list[int] | None = [] if leaf else None
+        self.next_leaf: _Node | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.values is not None
+
+
+class BPlusTree:
+    """An in-memory B+-tree mapping int keys to int values."""
+
+    def __init__(self, order: int = DEFAULT_ORDER) -> None:
+        if order < 4:
+            raise BuildError("b+-tree order must be at least 4")
+        self._order = order
+        self._root: _Node = _Node(leaf=True)
+        self._size = 0
+        self._height = 1
+        self._num_nodes = 1
+
+    # -- size accounting ------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def memory_bytes(self) -> int:
+        """Rough footprint: 16 bytes per entry slot plus child pointers.
+
+        Mirrors how the paper accounts the BTree's relative overhead
+        (it indexes individual points, Figure 11b).
+        """
+        return self._num_nodes * self._order * 24
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, keys: list[int] | "object", values: list[int] | None = None, order: int = DEFAULT_ORDER) -> "BPlusTree":
+        """Build bottom-up from already-sorted keys (the baseline's
+        build path: the data is key-sorted during extract anyway)."""
+        import numpy as np
+
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        if values is None:
+            values = list(range(len(keys)))
+        elif isinstance(values, np.ndarray):
+            values = values.tolist()
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            raise BuildError("bulk_load requires sorted keys")
+        tree = cls(order)
+        if not keys:
+            return tree
+        # Fill leaves to ~2/3 like cpp-btree's bulk semantics.
+        per_leaf = max(2, (order * 2) // 3)
+        leaves: list[_Node] = []
+        for start in range(0, len(keys), per_leaf):
+            leaf = _Node(leaf=True)
+            leaf.keys = list(keys[start : start + per_leaf])
+            leaf.values = list(values[start : start + per_leaf])
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        level: list[_Node] = leaves
+        # Separators must be subtree *minimums*; an internal child's own
+        # keys[0] is a separator, not its minimum, so track minimums
+        # explicitly while packing upward.
+        level_mins: list[int] = [leaf.keys[0] for leaf in leaves]
+        while len(level) > 1:
+            parents: list[_Node] = []
+            parent_mins: list[int] = []
+            per_parent = max(2, (order * 2) // 3)
+            for start in range(0, len(level), per_parent):
+                parent = _Node(leaf=False)
+                group = level[start : start + per_parent]
+                parent.children = group
+                parent.keys = level_mins[start + 1 : start + len(group)]
+                parents.append(parent)
+                parent_mins.append(level_mins[start])
+            level = parents
+            level_mins = parent_mins
+        tree._root = level[0]
+        tree._size = len(keys)
+        tree._num_nodes = tree._count_nodes(tree._root)
+        tree._height = tree._measure_height()
+        return tree
+
+    def insert(self, key: int, value: int) -> None:
+        """Insert one entry, splitting full nodes on the way down."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Node(leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+            self._num_nodes += 1
+        self._size += 1
+
+    def _insert(self, node: _Node, key: int, value: int) -> tuple[int, _Node] | None:
+        if node.is_leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node.keys.insert(index, key)
+            node.values.insert(index, value)  # type: ignore[union-attr]
+            if len(node.keys) > self._order:
+                return self._split_leaf(node)
+            return None
+        index = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[index], key, value)  # type: ignore[index]
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)  # type: ignore[union-attr]
+        if len(node.children) > self._order:  # type: ignore[arg-type]
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> tuple[int, _Node]:
+        middle = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]  # type: ignore[index]
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]  # type: ignore[index]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        self._num_nodes += 1
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> tuple[int, _Node]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Node(leaf=False)
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]  # type: ignore[index]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]  # type: ignore[index]
+        self._num_nodes += 1
+        return separator, right
+
+    # -- lookups --------------------------------------------------------------
+
+    def _descend(self, key: int) -> _Node:
+        """Leftmost leaf that can contain ``key``.
+
+        Uses ``bisect_left`` on the separators: duplicates of a
+        separator key may live at the end of the left subtree (leaf
+        splits do not dedupe), so exact-key searches must start there
+        and rely on the leaf chain to move right.
+        """
+        node = self._root
+        while not node.is_leaf:
+            index = bisect.bisect_left(node.keys, key)
+            node = node.children[index]  # type: ignore[index]
+        return node
+
+    def lower_bound(self, key: int) -> tuple[int, int] | None:
+        """First (key, value) with stored key >= ``key``, or None."""
+        node = self._descend(key)
+        index = bisect.bisect_left(node.keys, key)
+        if index == len(node.keys):
+            node = node.next_leaf
+            index = 0
+            if node is None:
+                return None
+        return node.keys[index], node.values[index]  # type: ignore[index]
+
+    def get_all(self, key: int) -> list[int]:
+        """All values stored under ``key`` (duplicates allowed)."""
+        result = []
+        for stored_key, value in self.iterate_from(key):
+            if stored_key != key:
+                break
+            result.append(value)
+        return result
+
+    def iterate_from(self, key: int) -> Iterator[tuple[int, int]]:
+        """Ordered (key, value) pairs starting at the lower bound of
+        ``key`` -- the 'probe then scan' pattern of the baseline."""
+        node = self._descend(key)
+        index = bisect.bisect_left(node.keys, key)
+        while node is not None:
+            while index < len(node.keys):
+                yield node.keys[index], node.values[index]  # type: ignore[index]
+                index += 1
+            node = node.next_leaf
+            index = 0
+
+    def range_values(self, low: int, high: int) -> list[int]:
+        """Values of all entries with low <= key <= high."""
+        result = []
+        for key, value in self.iterate_from(low):
+            if key > high:
+                break
+            result.append(value)
+        return result
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[index]
+        while node is not None:
+            yield from zip(node.keys, node.values)  # type: ignore[arg-type]
+            node = node.next_leaf
+
+    # -- invariant checking (for tests) ----------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise when any B+-tree structural invariant is violated."""
+        self._check_node(self._root, None, None, is_root=True)
+        keys = [key for key, _ in self.items()]
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            raise BuildError("leaf chain out of order")
+        if len(keys) != self._size:
+            raise BuildError(f"size mismatch: {len(keys)} != {self._size}")
+
+    def _check_node(self, node: _Node, low: int | None, high: int | None, is_root: bool) -> None:
+        for position in range(len(node.keys) - 1):
+            if node.keys[position] > node.keys[position + 1]:
+                raise BuildError("node keys out of order")
+        if low is not None and node.keys and node.keys[0] < low:
+            raise BuildError("key below subtree lower bound")
+        # With duplicate keys a left subtree may end in keys equal to
+        # the separator (splits do not dedupe); only strictly greater
+        # keys violate the structure.
+        if high is not None and node.keys and node.keys[-1] > high:
+            raise BuildError("separator above subtree upper bound")
+        if node.is_leaf:
+            if len(node.keys) != len(node.values):  # type: ignore[arg-type]
+                raise BuildError("leaf keys/values length mismatch")
+            return
+        children = node.children or []
+        if len(children) != len(node.keys) + 1:
+            raise BuildError("internal child count != keys + 1")
+        if not is_root and len(children) > self._order:
+            raise BuildError("internal node overflow")
+        bounds = [low, *node.keys, high]
+        for position, child in enumerate(children):
+            self._check_node(child, bounds[position], bounds[position + 1], is_root=False)
+
+    def _count_nodes(self, node: _Node) -> int:
+        if node.is_leaf:
+            return 1
+        return 1 + sum(self._count_nodes(child) for child in node.children or [])
+
+    def _measure_height(self) -> int:
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[index]
+            height += 1
+        return height

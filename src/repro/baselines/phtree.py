@@ -1,0 +1,265 @@
+"""A 2-D PH-tree implemented from scratch (Zaeschke et al., SIGMOD'14).
+
+The PH-tree is a bit-level trie over the interleaved (Morton) encoding
+of quantised point coordinates.  Nodes branch on one bit per dimension
+(a 4-way "hypercube" in 2-D) and collapse single-child runs into shared
+prefixes (patricia-style), which is where its space efficiency comes
+from.  The paper uses it as the multidimensional on-the-fly baseline,
+queried with the *interior rectangle* of the query polygon since the
+PH-tree only supports rectangular window queries (Section 4.1).
+
+This implementation bulk-builds the trie from Morton-sorted points, so
+every node covers a contiguous row range -- window queries then resolve
+fully-contained subtrees to row slices and filter only partial leaves.
+Coordinates are quantised to 32-bit integers; the paper observes the
+same quantisation-induced inexactness for rectangle corners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.interface import (
+    SpatialAggregator,
+    aggregate_rows,
+    aggregate_rows_scalar,
+)
+from repro.core.aggregates import AggSpec
+from repro.core.geoblock import QueryResult, QueryTarget
+from repro.errors import QueryError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.interior import interior_box
+from repro.geometry.relate import Region
+from repro.storage.etl import BaseData
+
+#: Bits per coordinate; 32+32 interleave into a 64-bit Morton code.
+COORD_BITS = 32
+
+#: Leaf buckets keep up to this many points before splitting further.
+LEAF_CAPACITY = 16
+
+
+@dataclass(slots=True)
+class _PhNode:
+    """One trie node covering rows [lo, hi) of the Morton-sorted data.
+
+    ``depth`` counts consumed bit-pairs; the node's prefix is the top
+    ``2 * depth`` bits shared by all codes in its range.  Leaves have no
+    children and at most :data:`LEAF_CAPACITY` points (unless the full
+    64 bits are consumed).
+    """
+
+    depth: int
+    lo: int
+    hi: int
+    children: "dict[int, _PhNode] | None"
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    def count_nodes(self) -> int:
+        if self.children is None:
+            return 1
+        return 1 + sum(child.count_nodes() for child in self.children.values())
+
+
+class PHTree(SpatialAggregator):
+    """PH-tree point index with window queries over quantised coords."""
+
+    name = "PHTree"
+
+    def __init__(self, base: BaseData, scalar: bool = False) -> None:
+        self._base = base
+        self.scalar = scalar
+        # Interior rectangles are pure functions of the (immutable)
+        # region; memoise them per region identity.
+        self._box_cache: dict[int, tuple[object, BoundingBox | None]] = {}
+        table = base.table
+        self._ix = self._quantise(table.xs, base.space.domain.min_x, base.space.domain.width)
+        self._iy = self._quantise(table.ys, base.space.domain.min_y, base.space.domain.height)
+        codes = _morton_interleave(self._ix, self._iy)
+        self._order = np.argsort(codes, kind="stable").astype(np.int64)
+        self._codes = codes[self._order]
+        self._root = self._build(0, 0, int(self._codes.size))
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def _quantise(values: np.ndarray, origin: float, extent: float) -> np.ndarray:
+        scaled = ((values - origin) / extent * (1 << COORD_BITS)).astype(np.int64)
+        return np.clip(scaled, 0, (1 << COORD_BITS) - 1)
+
+    def _build(self, depth: int, lo: int, hi: int) -> _PhNode:
+        if hi - lo <= LEAF_CAPACITY or depth >= COORD_BITS:
+            return _PhNode(depth=depth, lo=lo, hi=hi, children=None)
+        # Patricia collapse: skip to the first bit-pair where the range
+        # diverges (prefix sharing, the PH-tree's key trick).
+        first = int(self._codes[lo])
+        last = int(self._codes[hi - 1])
+        diff = first ^ last
+        if diff == 0:
+            return _PhNode(depth=COORD_BITS, lo=lo, hi=hi, children=None)
+        divergence_pair = (63 - int(diff).bit_length() + 1) // 2
+        depth = max(depth, divergence_pair)
+        shift = np.uint64(2 * (COORD_BITS - depth - 1))
+        children: dict[int, _PhNode] = {}
+        segment = (self._codes[lo:hi] >> shift) & np.uint64(3)
+        boundaries = np.flatnonzero(segment[1:] != segment[:-1]) + 1 + lo
+        bounds = [lo, *boundaries.tolist(), hi]
+        for index in range(len(bounds) - 1):
+            seg_lo, seg_hi = bounds[index], bounds[index + 1]
+            quadrant = int((int(self._codes[seg_lo]) >> int(shift)) & 3)
+            children[quadrant] = self._build(depth + 1, seg_lo, seg_hi)
+        return _PhNode(depth=depth, lo=lo, hi=hi, children=children)
+
+    # -- geometry of nodes ---------------------------------------------------
+
+    def _node_ranges(self, node: _PhNode) -> tuple[int, int, int, int]:
+        """Inclusive quantised coordinate ranges covered by the node."""
+        prefix_code = int(self._codes[node.lo])
+        keep = node.depth
+        x_hi_bits = _deinterleave_x(prefix_code)
+        y_hi_bits = _deinterleave_y(prefix_code)
+        mask = ((1 << keep) - 1) << (COORD_BITS - keep) if keep else 0
+        x_min = x_hi_bits & mask
+        y_min = y_hi_bits & mask
+        span = (1 << (COORD_BITS - keep)) - 1
+        return x_min, x_min + span, y_min, y_min + span
+
+    # -- window queries -----------------------------------------------------------
+
+    def window(self, box: BoundingBox) -> tuple[list[tuple[int, int]], np.ndarray]:
+        """Row slices (in Morton order) plus individually-filtered rows
+        for all points inside ``box``."""
+        domain = self._base.space.domain
+        qx_lo = int(np.clip((box.min_x - domain.min_x) / domain.width * (1 << COORD_BITS), 0, (1 << COORD_BITS) - 1))
+        qx_hi = int(np.clip((box.max_x - domain.min_x) / domain.width * (1 << COORD_BITS), 0, (1 << COORD_BITS) - 1))
+        qy_lo = int(np.clip((box.min_y - domain.min_y) / domain.height * (1 << COORD_BITS), 0, (1 << COORD_BITS) - 1))
+        qy_hi = int(np.clip((box.max_y - domain.min_y) / domain.height * (1 << COORD_BITS), 0, (1 << COORD_BITS) - 1))
+        slices: list[tuple[int, int]] = []
+        partial_rows: list[np.ndarray] = []
+
+        def visit(node: _PhNode) -> None:
+            x_min, x_max, y_min, y_max = self._node_ranges(node)
+            if x_min > qx_hi or x_max < qx_lo or y_min > qy_hi or y_max < qy_lo:
+                return
+            if qx_lo <= x_min and x_max <= qx_hi and qy_lo <= y_min and y_max <= qy_hi:
+                slices.append((node.lo, node.hi))
+                return
+            if node.is_leaf:
+                rows = np.arange(node.lo, node.hi)
+                ix = self._sorted_ix(rows)
+                iy = self._sorted_iy(rows)
+                keep = (ix >= qx_lo) & (ix <= qx_hi) & (iy >= qy_lo) & (iy <= qy_hi)
+                if keep.any():
+                    partial_rows.append(rows[keep])
+                return
+            for child in node.children.values():  # type: ignore[union-attr]
+                visit(child)
+
+        visit(self._root)
+        if partial_rows:
+            extra = np.concatenate(partial_rows)
+        else:
+            extra = np.empty(0, dtype=np.int64)
+        return slices, extra
+
+    def _sorted_ix(self, rows: np.ndarray) -> np.ndarray:
+        return self._ix[self._order[rows]]
+
+    def _sorted_iy(self, rows: np.ndarray) -> np.ndarray:
+        return self._iy[self._order[rows]]
+
+    # -- SpatialAggregator interface -------------------------------------------------
+
+    def _resolve_box(self, target: QueryTarget) -> BoundingBox | None:
+        if isinstance(target, BoundingBox):
+            return target
+        if hasattr(target, "bounding_box"):
+            key = id(target)
+            entry = self._box_cache.get(key)
+            if entry is None or entry[0] is not target:
+                entry = (target, interior_box(target))  # type: ignore[arg-type]
+                self._box_cache[key] = entry
+            return entry[1]
+        raise QueryError("PHTree queries need a polygon or a bounding box")
+
+    def _gather(self, target: QueryTarget) -> tuple[list[tuple[int, int]], np.ndarray]:
+        box = self._resolve_box(target)
+        if box is None:
+            return [], np.empty(0, dtype=np.int64)
+        return self.window(box)
+
+    def warm(self, region) -> None:  # noqa: ANN001
+        """Populate the interior-rectangle cache (see GeoBlock.warm)."""
+        self._resolve_box(region)
+
+    def count(self, target: QueryTarget) -> int:
+        slices, extra = self._gather(target)
+        return sum(hi - lo for lo, hi in slices) + int(extra.size)
+
+    def select(self, target: QueryTarget, aggs: Sequence[AggSpec] | None = None) -> QueryResult:
+        aggs = list(aggs) if aggs is not None else [AggSpec("count")]
+        slices, extra = self._gather(target)
+        # Aggregation runs over the Morton-sorted arrangement; gather
+        # row indices back to base order for the shared fold.
+        base_slices: list[tuple[int, int]] = []
+        gathered: list[np.ndarray] = []
+        for lo, hi in slices:
+            gathered.append(self._order[lo:hi])
+        if extra.size:
+            gathered.append(self._order[extra])
+        rows = np.concatenate(gathered) if gathered else np.empty(0, dtype=np.int64)
+        fold = aggregate_rows_scalar if self.scalar else aggregate_rows
+        return fold(self._base, base_slices, aggs, extra_indices=rows)
+
+    def memory_overhead_bytes(self) -> int:
+        """Codes + permutation + node structures."""
+        node_count = self._root.count_nodes()
+        return int(self._codes.nbytes + self._order.nbytes + node_count * 48)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._root.count_nodes()
+
+
+def _morton_interleave(ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+    """Interleave two 32-bit coordinate arrays into 64-bit Morton codes
+    (x bits take the odd positions, matching the (i << 1) | j layout)."""
+    x = ix.astype(np.uint64)
+    y = iy.astype(np.uint64)
+
+    def spread(v: np.ndarray) -> np.ndarray:
+        v = (v | (v << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+        v = (v | (v << np.uint64(8))) & np.uint64(0x00FF00FF00FF00FF)
+        v = (v | (v << np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+        v = (v | (v << np.uint64(2))) & np.uint64(0x3333333333333333)
+        v = (v | (v << np.uint64(1))) & np.uint64(0x5555555555555555)
+        return v
+
+    # Keep codes unsigned: bit 63 (the top x bit) must not become a
+    # sign bit, or Morton order would break under comparison.
+    return (spread(x) << np.uint64(1)) | spread(y)
+
+
+def _deinterleave_x(code: int) -> int:
+    return _compact(code >> 1)
+
+
+def _deinterleave_y(code: int) -> int:
+    return _compact(code)
+
+
+def _compact(v: int) -> int:
+    """Inverse of the bit spread: keep every second bit."""
+    v &= 0x5555555555555555
+    v = (v | (v >> 1)) & 0x3333333333333333
+    v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0F
+    v = (v | (v >> 4)) & 0x00FF00FF00FF00FF
+    v = (v | (v >> 8)) & 0x0000FFFF0000FFFF
+    v = (v | (v >> 16)) & 0x00000000FFFFFFFF
+    return v

@@ -1,0 +1,37 @@
+"""Hierarchical cell decomposition: curves, ids, spaces, and coverings.
+
+The from-scratch replacement for the Google S2 services that GeoBlocks
+depends on: an order-preserving Hilbert enumeration of a quadtree
+decomposition, 64-bit prefix-encoded cell ids, vectorised keying, and a
+region coverer producing error-bounded polygon approximations.
+"""
+
+from repro.cells.cellid import CellId
+from repro.cells.coverer import CovererOptions, RegionCoverer, covering_error_bound_meters
+from repro.cells.curves import HILBERT, MAX_LEVEL, MORTON, Curve, HilbertCurve, MortonCurve, curve_by_name
+from repro.cells.space import EARTH, EARTH_BOUNDS, CellSpace
+from repro.cells.stats import LevelStats, level_for_max_diagonal, level_stats, stats_table
+from repro.cells.union import CellUnion, union_of_leaf_range
+
+__all__ = [
+    "EARTH",
+    "EARTH_BOUNDS",
+    "HILBERT",
+    "MAX_LEVEL",
+    "MORTON",
+    "CellId",
+    "CellSpace",
+    "CellUnion",
+    "CovererOptions",
+    "Curve",
+    "HilbertCurve",
+    "LevelStats",
+    "MortonCurve",
+    "RegionCoverer",
+    "covering_error_bound_meters",
+    "curve_by_name",
+    "level_for_max_diagonal",
+    "level_stats",
+    "stats_table",
+    "union_of_leaf_range",
+]

@@ -1,0 +1,229 @@
+"""S2-style 64-bit cell identifiers.
+
+A cell id encodes (level, curve position) in a single integer the way
+the S2 library does on one face: the position's ``2 * level`` bits are
+followed by a sentinel ``1`` bit and then zeros.  This yields the O(1)
+primitives GeoBlocks build on (Section 3.1 of the paper):
+
+* ``level``       -- from the position of the lowest set bit,
+* ``range_min`` / ``range_max`` -- the contiguous id range of all
+  descendants, enabling containment checks as range inclusion and
+  "first/last child at the block level" lookups as simple arithmetic,
+* ``parent`` / ``children``     -- lsb shifts.
+
+All functions here operate on plain Python ints; the array counterparts
+live in :mod:`repro.cells.cellops`.  The :class:`CellId` wrapper offers
+an ergonomic object API on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.cells.curves import MAX_LEVEL
+from repro.errors import CellError
+
+#: Total bits used by an id: 2 bits per level plus the sentinel bit.
+ID_BITS = 2 * MAX_LEVEL + 1
+
+#: Smallest and largest valid ids (the two extreme leaf cells).
+MIN_ID = 1
+MAX_ID = (1 << ID_BITS) - 1
+
+
+def make_id(level: int, pos: int) -> int:
+    """Build the id of the cell at ``level`` with curve position ``pos``."""
+    if not 0 <= level <= MAX_LEVEL:
+        raise CellError(f"level must be in [0, {MAX_LEVEL}], got {level}")
+    if not 0 <= pos < (1 << (2 * level)):
+        raise CellError(f"position {pos} out of range for level {level}")
+    shift = 2 * (MAX_LEVEL - level)
+    return (pos << (shift + 1)) | (1 << shift)
+
+
+def is_valid(cell_id: int) -> bool:
+    """True when ``cell_id`` is a well-formed id.
+
+    A valid id is in range and has its lowest set bit at an even offset
+    (the sentinel bit always lands on an even position).
+    """
+    if not MIN_ID <= cell_id <= MAX_ID:
+        return False
+    return (lsb(cell_id).bit_length() - 1) % 2 == 0
+
+
+def _require_valid(cell_id: int) -> None:
+    if not is_valid(cell_id):
+        raise CellError(f"invalid cell id: {cell_id:#x}")
+
+
+def lsb(cell_id: int) -> int:
+    """Lowest set bit of the id (the sentinel)."""
+    return cell_id & -cell_id
+
+
+def level_of(cell_id: int) -> int:
+    """Subdivision level encoded in the id."""
+    _require_valid(cell_id)
+    return MAX_LEVEL - (lsb(cell_id).bit_length() - 1) // 2
+
+
+def pos_of(cell_id: int) -> int:
+    """Curve position encoded in the id."""
+    _require_valid(cell_id)
+    shift = lsb(cell_id).bit_length()  # sentinel offset + 1
+    return cell_id >> shift
+
+
+def is_leaf(cell_id: int) -> bool:
+    """True for ids at :data:`~repro.cells.curves.MAX_LEVEL`."""
+    return bool(cell_id & 1) and MIN_ID <= cell_id <= MAX_ID
+
+
+def range_min(cell_id: int) -> int:
+    """Smallest leaf id contained in the cell."""
+    _require_valid(cell_id)
+    return cell_id - (lsb(cell_id) - 1)
+
+
+def range_max(cell_id: int) -> int:
+    """Largest leaf id contained in the cell."""
+    _require_valid(cell_id)
+    return cell_id + (lsb(cell_id) - 1)
+
+
+def contains(ancestor: int, descendant: int) -> bool:
+    """True when ``descendant`` (any valid id) lies within ``ancestor``.
+
+    Thanks to the prefix encoding this is a constant-time range check,
+    the property Listing 1 of the paper exploits for pruning.
+    """
+    _require_valid(ancestor)
+    _require_valid(descendant)
+    return range_min(ancestor) <= descendant <= range_max(ancestor)
+
+
+def parent(cell_id: int, level: int | None = None) -> int:
+    """Ancestor of ``cell_id`` at ``level`` (default: one level up)."""
+    own_level = level_of(cell_id)
+    if level is None:
+        level = own_level - 1
+    if not 0 <= level <= own_level:
+        raise CellError(f"cannot take level-{level} parent of a level-{own_level} cell")
+    if level == own_level:
+        return cell_id
+    new_lsb = 1 << (2 * (MAX_LEVEL - level))
+    return (cell_id & ~(new_lsb - 1)) | new_lsb
+
+
+def child(cell_id: int, index: int) -> int:
+    """The ``index``-th (0..3, curve order) child of the cell."""
+    if not 0 <= index <= 3:
+        raise CellError(f"child index must be in [0, 3], got {index}")
+    own_level = level_of(cell_id)
+    if own_level >= MAX_LEVEL:
+        raise CellError("leaf cells have no children")
+    child_lsb = lsb(cell_id) >> 2
+    return cell_id - lsb(cell_id) + child_lsb * (2 * index + 1)
+
+
+def children(cell_id: int) -> list[int]:
+    """All four children in curve order."""
+    return [child(cell_id, index) for index in range(4)]
+
+
+def first_child_at(cell_id: int, level: int) -> int:
+    """First descendant of the cell at ``level`` (Listing 2, line 5)."""
+    own_level = level_of(cell_id)
+    if not own_level <= level <= MAX_LEVEL:
+        raise CellError(f"target level {level} below cell level {own_level}")
+    target_lsb = 1 << (2 * (MAX_LEVEL - level))
+    return cell_id - lsb(cell_id) + target_lsb
+
+
+def last_child_at(cell_id: int, level: int) -> int:
+    """Last descendant of the cell at ``level`` (Listing 2, line 6)."""
+    own_level = level_of(cell_id)
+    if not own_level <= level <= MAX_LEVEL:
+        raise CellError(f"target level {level} below cell level {own_level}")
+    target_lsb = 1 << (2 * (MAX_LEVEL - level))
+    return cell_id + lsb(cell_id) - target_lsb
+
+
+def children_at(cell_id: int, level: int) -> Iterator[int]:
+    """Iterate every descendant at ``level`` in curve order (Listing 1,
+    line 12).  The count is 4**(level - cell_level); iterate lazily."""
+    step = 2 << (2 * (MAX_LEVEL - level))
+    current = first_child_at(cell_id, level)
+    last = last_child_at(cell_id, level)
+    while current <= last:
+        yield current
+        current += step
+
+
+def next_sibling_id(cell_id: int, level: int | None = None) -> int:
+    """The id immediately following the cell at its own (or given) level.
+
+    May be invalid when ``cell_id`` is the last cell of its level; use
+    together with range checks.
+    """
+    if level is not None:
+        cell_id = parent(cell_id, level)
+    return cell_id + 2 * lsb(cell_id)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class CellId:
+    """Value-type wrapper around a raw 64-bit cell id.
+
+    Ordering follows the raw id, which interleaves levels along the
+    space-filling curve -- the storage order of GeoBlock aggregates.
+    """
+
+    id: int
+
+    def __post_init__(self) -> None:
+        _require_valid(self.id)
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_level_pos(cls, level: int, pos: int) -> "CellId":
+        return cls(make_id(level, pos))
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        return level_of(self.id)
+
+    @property
+    def pos(self) -> int:
+        return pos_of(self.id)
+
+    @property
+    def is_leaf(self) -> bool:
+        return is_leaf(self.id)
+
+    def range_min(self) -> int:
+        return range_min(self.id)
+
+    def range_max(self) -> int:
+        return range_max(self.id)
+
+    def parent(self, level: int | None = None) -> "CellId":
+        return CellId(parent(self.id, level))
+
+    def child(self, index: int) -> "CellId":
+        return CellId(child(self.id, index))
+
+    def children(self) -> list["CellId"]:
+        return [CellId(raw) for raw in children(self.id)]
+
+    def contains(self, other: "CellId | int") -> bool:
+        raw = other.id if isinstance(other, CellId) else other
+        return contains(self.id, raw)
+
+    def __repr__(self) -> str:
+        return f"CellId(level={self.level}, pos={self.pos:#x})"

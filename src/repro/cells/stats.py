@@ -1,0 +1,69 @@
+"""Per-level cell statistics: degree spans, metric edge lengths, diagonals.
+
+The paper expresses block levels through their metric cell diagonal
+("level 17, ~100m diagonal") using S2's cell statistics table.  This
+module derives the analogous table for our planar decomposition and
+offers the inverse lookup -- the coarsest level whose diagonal satisfies
+a user-supplied error bound (Section 3.2: the bound is sqrt(e1^2+e2^2)
+for cell side lengths e1, e2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.curves import MAX_LEVEL
+from repro.cells.space import CellSpace
+from repro.errors import CellError
+from repro.geometry import latlng
+
+
+@dataclass(frozen=True, slots=True)
+class LevelStats:
+    """Metric statistics of cells at one level."""
+
+    level: int
+    width_degrees: float
+    height_degrees: float
+    width_meters: float
+    height_meters: float
+    diagonal_meters: float
+
+
+def level_stats(space: CellSpace, level: int, latitude: float = 0.0) -> LevelStats:
+    """Statistics of a level-``level`` cell, metres taken at ``latitude``."""
+    width_deg, height_deg = space.cell_size(level)
+    width_m, height_m = latlng.degree_span_to_meters(width_deg, height_deg, latitude)
+    return LevelStats(
+        level=level,
+        width_degrees=width_deg,
+        height_degrees=height_deg,
+        width_meters=width_m,
+        height_meters=height_m,
+        diagonal_meters=latlng.diagonal_meters(width_deg, height_deg, latitude),
+    )
+
+
+def stats_table(space: CellSpace, latitude: float = 0.0) -> list[LevelStats]:
+    """The full per-level table, the analogue of S2's cell statistics."""
+    return [level_stats(space, level, latitude) for level in range(MAX_LEVEL + 1)]
+
+
+def level_for_max_diagonal(
+    space: CellSpace, max_diagonal_meters: float, latitude: float = 0.0
+) -> int:
+    """Coarsest level whose cell diagonal is at most the given bound.
+
+    This is how a user turns a spatial error bound into a block level
+    (Section 3.2: "choosing an appropriate cell level so that the cell's
+    diagonal is not greater than her desired error").
+    """
+    if max_diagonal_meters <= 0:
+        raise CellError("error bound must be positive")
+    for level in range(MAX_LEVEL + 1):
+        if level_stats(space, level, latitude).diagonal_meters <= max_diagonal_meters:
+            return level
+    raise CellError(
+        f"no level satisfies a diagonal bound of {max_diagonal_meters} m "
+        f"(finest available: {level_stats(space, MAX_LEVEL, latitude).diagonal_meters:.3f} m)"
+    )

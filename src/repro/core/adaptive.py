@@ -1,0 +1,222 @@
+"""The query-cache accelerated GeoBlock (BlockQC, Sections 3.6 / 4).
+
+``AdaptiveGeoBlock`` wraps a plain :class:`~repro.core.geoblock.GeoBlock`
+with query statistics and an :class:`~repro.core.trie.AggregateTrie`.
+SELECT queries follow Figure 8: probe the cache per query cell, answer
+from the cache when the cell (or some of its direct children) is
+cached, and fall back to the base algorithm otherwise.  COUNT queries
+bypass the cache entirely -- their runtime is mostly independent of
+the cell level, so the paper leaves them unadapted.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cells import cellid
+from repro.cells.union import CellUnion
+from repro.core.aggregates import Accumulator, AggSpec
+from repro.core.geoblock import GeoBlock, QueryResult, QueryTarget
+from repro.core.policy import CachePolicy
+from repro.core.statistics import QueryStatistics
+from repro.core.trie import AggregateTrie, TrieBuilder
+
+
+class AdaptiveGeoBlock:
+    """GeoBlock + AggregateTrie query cache (the paper's BlockQC)."""
+
+    def __init__(self, block: GeoBlock, policy: CachePolicy | None = None) -> None:
+        self._block = block
+        self._policy = policy or CachePolicy()
+        self._statistics = QueryStatistics()
+        self._trie: AggregateTrie | None = None
+        self._selects_since_rebuild = 0
+        # Cache-effectiveness counters (Figure 18's hit rate).
+        self._cells_probed = 0
+        self._cells_hit = 0
+
+    @property
+    def query_mode(self) -> str:
+        """Execution model shared with the wrapped block ("vector" or
+        "scalar"); see :class:`~repro.core.geoblock.GeoBlock`."""
+        return self._block.query_mode
+
+    @query_mode.setter
+    def query_mode(self, mode: str) -> None:
+        self._block.query_mode = mode
+
+    # -- delegation ------------------------------------------------------
+
+    @property
+    def block(self) -> GeoBlock:
+        return self._block
+
+    @property
+    def level(self) -> int:
+        return self._block.level
+
+    @property
+    def space(self):  # noqa: ANN201 - convenience passthrough
+        return self._block.space
+
+    @property
+    def statistics(self) -> QueryStatistics:
+        return self._statistics
+
+    @property
+    def trie(self) -> AggregateTrie | None:
+        return self._trie
+
+    @property
+    def policy(self) -> CachePolicy:
+        return self._policy
+
+    def covering(self, region) -> CellUnion:  # noqa: ANN001
+        return self._block.covering(region)
+
+    def warm(self, region) -> None:  # noqa: ANN001
+        """Populate the shared covering cache (no statistics impact)."""
+        self._block.warm(region)
+
+    def memory_bytes(self) -> int:
+        """Aggregates plus the cache region."""
+        total = self._block.memory_bytes()
+        if self._trie is not None:
+            total += self._trie.memory_bytes()
+        return total
+
+    # -- cache-effectiveness counters ---------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of query cells answered entirely from the cache
+        since the last counter reset."""
+        if self._cells_probed == 0:
+            return 0.0
+        return self._cells_hit / self._cells_probed
+
+    def reset_cache_counters(self) -> None:
+        self._cells_probed = 0
+        self._cells_hit = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    def count(self, target: QueryTarget) -> int:
+        """COUNT queries use the base algorithm unchanged."""
+        return self._block.count(target)
+
+    def select(
+        self,
+        target: QueryTarget,
+        aggs: Sequence[AggSpec] | None = None,
+    ) -> QueryResult:
+        """Figure 8's adapted SELECT."""
+        aggs = list(aggs) if aggs is not None else [AggSpec("count")]
+        self._block._validate_aggs(aggs)
+        union = self._block._resolve(target)
+        self._statistics.record_covering(union)
+        accumulator = Accumulator.for_aggs(self._block.aggregates.schema, aggs)
+        cache_hits = 0
+        scalar = self._block.query_mode == "scalar"
+        if self._trie is None:
+            if len(union):
+                lo, hi = self._block._ranges(union)
+                for first, last in zip(lo.tolist(), hi.tolist()):
+                    self._fold_range(first, last, accumulator, scalar)
+        else:
+            trie_probe = self._trie.probe
+            lo, hi = (
+                self._block._ranges(union) if len(union) else (None, None)
+            )
+            for index, qcell in enumerate(union.ids.tolist()):
+                probe = trie_probe(qcell)
+                if probe.status == "hit":
+                    accumulator.add_record(probe.record)
+                    cache_hits += 1
+                    continue
+                if probe.status == "partial" and probe.child_records:
+                    for record in probe.child_records:
+                        accumulator.add_record(record)
+                    for child_cell in probe.uncached_children:
+                        self._base_range(child_cell, accumulator)
+                    continue
+                self._fold_range(int(lo[index]), int(hi[index]), accumulator, scalar)
+        self._cells_probed += len(union)
+        self._cells_hit += cache_hits
+        self._selects_since_rebuild += 1
+        if (
+            self._policy.rebuild_every is not None
+            and self._selects_since_rebuild >= self._policy.rebuild_every
+        ):
+            self.adapt()
+        return QueryResult(
+            values={spec.key: accumulator.extract(spec) for spec in aggs},
+            count=int(accumulator.count),
+            cells_probed=len(union),
+            cache_hits=cache_hits,
+        )
+
+    def _fold_range(
+        self, lo: int, hi: int, accumulator: Accumulator, scalar: bool
+    ) -> None:
+        """Combine aggregate rows [lo, hi) under the execution model."""
+        if scalar:
+            aggregates = self._block.aggregates
+            add_row = accumulator.add_row
+            for row in range(lo, hi):
+                add_row(aggregates, row)
+        else:
+            accumulator.add_slice(self._block.aggregates, lo, hi)
+
+    def _base_range(self, qcell: int, accumulator: Accumulator) -> None:
+        """The base algorithm restricted to one query cell (used for
+        the uncached children of a partial cache hit)."""
+        keys = self._block.aggregates.keys
+        lo = int(np.searchsorted(keys, cellid.range_min(qcell), side="left"))
+        hi = int(np.searchsorted(keys, cellid.range_max(qcell), side="right"))
+        self._fold_range(lo, hi, accumulator, self._block.query_mode == "scalar")
+
+    # -- adaptation ------------------------------------------------------------------
+
+    def adapt(self) -> AggregateTrie:
+        """Rebuild the AggregateTrie from the accumulated statistics.
+
+        Ranked candidate cells are materialised (by aggregating their
+        range in the block) and inserted until the byte budget -- the
+        aggregate threshold times the aggregate-storage size -- fills.
+        """
+        root = self._block.root_cell()
+        root_level = cellid.level_of(root)
+        builder = TrieBuilder(
+            root_cell=root,
+            record_width=self._block.aggregates.record_width(),
+            budget_bytes=self._policy.budget_bytes(self._block.memory_bytes()),
+        )
+        for candidate in self._statistics.ranked_candidates(
+            min_level=root_level, max_level=self._block.level
+        ):
+            if candidate.cell == root and root_level == 0:
+                continue
+            if not builder.would_fit(candidate.cell):
+                break
+            builder.insert(candidate.cell, self._materialise(candidate.cell))
+        self._trie = builder.finish()
+        self._selects_since_rebuild = 0
+        return self._trie
+
+    def _materialise(self, cell: int) -> np.ndarray:
+        """Aggregate record for ``cell`` computed from the block."""
+        keys = self._block.aggregates.keys
+        lo = int(np.searchsorted(keys, cellid.range_min(cell), side="left"))
+        hi = int(np.searchsorted(keys, cellid.range_max(cell), side="right"))
+        return self._block.aggregates.slice_record(lo, hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cached = self._trie.num_cached if self._trie is not None else 0
+        return f"AdaptiveGeoBlock({self._block!r}, cached={cached})"
+
+
+#: The paper's name for the adaptive variant.
+BlockQC = AdaptiveGeoBlock

@@ -1,0 +1,58 @@
+"""The GeoBlock global header (Section 3.4).
+
+The header combines all cell aggregates into a single block-wide
+aggregate and keeps the metadata the query algorithms use for pruning:
+the minimum and maximum cell id present in the block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aggregates import Accumulator, CellAggregates
+
+
+@dataclass(frozen=True)
+class GlobalHeader:
+    """Block-wide aggregate plus the pruning metadata of Listing 1."""
+
+    level: int
+    total_count: int
+    #: Smallest / largest grid-cell key stored in the block; queries
+    #: prune covering cells outside this range in constant time.
+    min_cell: int
+    max_cell: int
+    #: Smallest / largest leaf key of any indexed tuple.
+    min_leaf: int
+    max_leaf: int
+    #: The block-wide aggregate record (count + sum/min/max per column).
+    global_record: np.ndarray
+
+    @classmethod
+    def from_aggregates(cls, aggregates: CellAggregates, level: int) -> "GlobalHeader":
+        if len(aggregates) == 0:
+            empty = Accumulator(aggregates.schema).to_record()
+            return cls(
+                level=level,
+                total_count=0,
+                min_cell=0,
+                max_cell=0,
+                min_leaf=0,
+                max_leaf=0,
+                global_record=empty,
+            )
+        return cls(
+            level=level,
+            total_count=int(aggregates.counts.sum()),
+            min_cell=int(aggregates.keys[0]),
+            max_cell=int(aggregates.keys[-1]),
+            min_leaf=int(aggregates.key_mins[0]),
+            max_leaf=int(aggregates.key_maxs[-1]),
+            global_record=aggregates.slice_record(0, len(aggregates)),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return self.total_count == 0

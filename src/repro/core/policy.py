@@ -1,0 +1,43 @@
+"""Cache policy knobs for the adaptive GeoBlock.
+
+The paper exposes one storage knob -- the *aggregate threshold*, the
+relative size overhead the AggregateTrie may add compared to the cell
+aggregates (Figure 18) -- plus an implicit adaptation cadence (caches
+are refreshed as workloads repeat).  Both are captured here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True, slots=True)
+class CachePolicy:
+    """Configuration of the query-driven cache.
+
+    Parameters
+    ----------
+    threshold:
+        Maximum AggregateTrie size as a fraction of the cell-aggregate
+        storage (the paper's aggregate threshold; 0.05 = 5%).
+    rebuild_every:
+        Rebuild the cache from the accumulated statistics after this
+        many SELECT queries.  ``None`` disables automatic adaptation;
+        call :meth:`~repro.core.adaptive.AdaptiveGeoBlock.adapt`
+        explicitly instead.
+    """
+
+    threshold: float = 0.05
+    rebuild_every: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise QueryError("cache threshold must be non-negative")
+        if self.rebuild_every is not None and self.rebuild_every < 1:
+            raise QueryError("rebuild_every must be positive when set")
+
+    def budget_bytes(self, aggregate_bytes: int) -> int:
+        """Byte budget of the cache given the block's aggregate size."""
+        return int(self.threshold * aggregate_bytes)

@@ -1,0 +1,90 @@
+"""Saving and loading GeoBlocks.
+
+GeoBlocks are materialised views: building them from base data is fast,
+but persisting them avoids keeping the base data around at query time
+(a block is typically ~2-50% of its input, Figure 11b).  The format is
+a single ``.npz`` file holding the aggregate arrays, the block level,
+the curve name, the domain, and the filter predicate's display string.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.cells.curves import curve_by_name
+from repro.cells.space import CellSpace
+from repro.core.aggregates import CellAggregates
+from repro.core.geoblock import GeoBlock
+from repro.errors import BuildError
+from repro.geometry.bbox import BoundingBox
+from repro.storage.schema import ColumnKind, ColumnSpec, Schema
+
+#: Bumped whenever the on-disk layout changes.
+FORMAT_VERSION = 1
+
+
+def save_block(block: GeoBlock, path: str | pathlib.Path) -> None:
+    """Persist ``block`` to ``path`` (``.npz``)."""
+    aggregates = block.aggregates
+    meta = {
+        "version": FORMAT_VERSION,
+        "level": block.level,
+        "curve": block.space.curve.name,
+        "domain": [
+            block.space.domain.min_x,
+            block.space.domain.min_y,
+            block.space.domain.max_x,
+            block.space.domain.max_y,
+        ],
+        "schema": [[spec.name, spec.kind.value] for spec in aggregates.schema],
+        "predicate": repr(block.predicate),
+    }
+    arrays: dict[str, np.ndarray] = {
+        "keys": aggregates.keys,
+        "offsets": aggregates.offsets,
+        "counts": aggregates.counts,
+        "key_mins": aggregates.key_mins,
+        "key_maxs": aggregates.key_maxs,
+    }
+    for spec in aggregates.schema:
+        arrays[f"sum__{spec.name}"] = aggregates.sums[spec.name]
+        arrays[f"min__{spec.name}"] = aggregates.mins[spec.name]
+        arrays[f"max__{spec.name}"] = aggregates.maxs[spec.name]
+    np.savez_compressed(
+        path, meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8), **arrays
+    )
+
+
+def load_block(path: str | pathlib.Path) -> GeoBlock:
+    """Load a GeoBlock saved by :func:`save_block`.
+
+    The filter predicate is restored as its display string only (it is
+    metadata; the aggregates already reflect it).
+    """
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        if meta.get("version") != FORMAT_VERSION:
+            raise BuildError(
+                f"unsupported GeoBlock file version {meta.get('version')!r}; "
+                f"expected {FORMAT_VERSION}"
+            )
+        schema = Schema(
+            [ColumnSpec(name, ColumnKind(kind)) for name, kind in meta["schema"]]
+        )
+        aggregates = CellAggregates(
+            schema=schema,
+            keys=archive["keys"],
+            offsets=archive["offsets"],
+            counts=archive["counts"],
+            key_mins=archive["key_mins"],
+            key_maxs=archive["key_maxs"],
+            sums={spec.name: archive[f"sum__{spec.name}"] for spec in schema},
+            mins={spec.name: archive[f"min__{spec.name}"] for spec in schema},
+            maxs={spec.name: archive[f"max__{spec.name}"] for spec in schema},
+        )
+        domain = BoundingBox(*meta["domain"])
+        space = CellSpace(domain, curve=curve_by_name(meta["curve"]))
+        return GeoBlock(space, int(meta["level"]), aggregates)

@@ -1,0 +1,113 @@
+"""Query statistics for the query-driven cache (Section 3.6).
+
+For every query cell that intersects the GeoBlock we track how often it
+was queried.  From these hit counts the cache derives *cell scores*:
+
+    score(cell) = hits(cell) + hits(parent(cell))
+
+reflecting that a cached child also speeds up queries for its parent.
+Candidate cells are ranked by descending score, then ascending level
+(coarser first), then spatial key -- the paper's deterministic order.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.cells import cellid
+from repro.cells.union import CellUnion
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredCell:
+    """A cache candidate with its rank ingredients."""
+
+    cell: int
+    score: int
+    level: int
+
+    def sort_key(self) -> tuple[int, int, int]:
+        return (-self.score, self.level, self.cell)
+
+
+class QueryStatistics:
+    """Hit tracking over query cells, kept in a per-cell counter.
+
+    The paper stores the counters in a trie; a hash map keyed by cell id
+    has identical semantics (the trie structure is only material for the
+    *cache storage*, which :mod:`repro.core.trie` reproduces exactly).
+    """
+
+    __slots__ = ("_hits", "_queries_recorded")
+
+    def __init__(self) -> None:
+        self._hits: Counter[int] = Counter()
+        self._queries_recorded = 0
+
+    # -- recording --------------------------------------------------------
+
+    def record_covering(self, union: CellUnion) -> None:
+        """Count one query: every covering cell gets one hit."""
+        for cell in union:
+            self._hits[cell] += 1
+        self._queries_recorded += 1
+
+    def record_cell(self, cell: int, hits: int = 1) -> None:
+        self._hits[cell] += hits
+        self._queries_recorded += 1
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def queries_recorded(self) -> int:
+        return self._queries_recorded
+
+    def hits(self, cell: int) -> int:
+        return self._hits.get(cell, 0)
+
+    def __len__(self) -> int:
+        return len(self._hits)
+
+    def clear(self) -> None:
+        self._hits.clear()
+        self._queries_recorded = 0
+
+    # -- scoring -------------------------------------------------------------
+
+    def score(self, cell: int) -> int:
+        """Own hits plus the parent's hits (Section 3.6)."""
+        own = self._hits.get(cell, 0)
+        level = cellid.level_of(cell)
+        if level == 0:
+            return own
+        return own + self._hits.get(cellid.parent(cell), 0)
+
+    def ranked_candidates(
+        self, min_level: int = 0, max_level: int | None = None
+    ) -> list[ScoredCell]:
+        """All seen cells (and their children's parents), ranked.
+
+        Cells outside [min_level, max_level] are excluded; the cache
+        never stores cells finer than the block level (they already
+        have plain cell aggregates) nor coarser than the trie root.
+        """
+        candidates: set[int] = set(self._hits)
+        # Children of queried cells are also useful cache entries (a
+        # cached child speeds up its parent), so include direct
+        # children of every seen cell as candidates.
+        for cell in list(self._hits):
+            if cellid.level_of(cell) < (max_level if max_level is not None else 30):
+                candidates.update(cellid.children(cell))
+        scored = []
+        for cell in candidates:
+            level = cellid.level_of(cell)
+            if level < min_level:
+                continue
+            if max_level is not None and level > max_level:
+                continue
+            score = self.score(cell)
+            if score > 0:
+                scored.append(ScoredCell(cell=cell, score=score, level=level))
+        scored.sort(key=ScoredCell.sort_key)
+        return scored

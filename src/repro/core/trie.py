@@ -1,0 +1,251 @@
+"""The AggregateTrie: compact trie cache of pre-aggregated regions.
+
+Reproduces the storage layout of Section 3.6 / Figure 7 exactly:
+
+* one contiguous *node region* where every node is two 32-bit integers
+  -- the offset of its first child and the offset of its aggregate --
+  and children are always allocated four-at-a-time (only the offset of
+  the first child is stored),
+* one contiguous *aggregate region* of fixed-size records.
+
+Offsets are region-relative; ``0`` encodes "n/a" for both (the root
+occupies slot 0, and aggregate slots are 1-based).  Each trie level
+encodes exactly one cell level; the root corresponds to the cell
+enclosing the indexed data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cells import cellid
+from repro.errors import BuildError, QueryError
+
+#: Bytes per trie node: two 32-bit offsets (Figure 7).
+NODE_BYTES = 8
+
+
+@dataclass(slots=True)
+class TrieProbe:
+    """Result of probing the trie for one query cell.
+
+    ``status`` is one of:
+
+    * ``"hit"``     -- the cell's aggregate is cached; ``record`` is set.
+    * ``"partial"`` -- the node exists without an aggregate; the cached
+      direct children records and the uncached child cells are listed.
+    * ``"miss"``    -- no node for the cell; fall back to the GeoBlock.
+
+    Records are plain float lists (``[count, sum0, min0, max0, ...]``).
+    """
+
+    status: str
+    record: "list[float] | None" = None
+    child_records: tuple = ()
+    uncached_children: tuple = ()
+
+
+_MISS = TrieProbe(status="miss")
+
+
+class AggregateTrie:
+    """Immutable flat-memory trie built by :class:`TrieBuilder`.
+
+    The canonical representation is the paper's: a packed int32 node
+    region and a dense record region (Figure 7), used for the size
+    accounting.  For traversal the offsets are mirrored into plain
+    Python lists -- the paper's C++ dereferences raw pointers; numpy
+    scalar indexing would add two orders of magnitude per step.
+    """
+
+    __slots__ = (
+        "_root_cell",
+        "_root_level",
+        "_nodes",
+        "_records",
+        "_record_width",
+        "_child_slots",
+        "_agg_slots",
+        "_record_rows",
+    )
+
+    def __init__(
+        self,
+        root_cell: int,
+        nodes: np.ndarray,
+        records: np.ndarray,
+        record_width: int,
+    ) -> None:
+        self._root_cell = root_cell
+        self._root_level = cellid.level_of(root_cell)
+        self._nodes = nodes  # shape (num_nodes, 2): child slot, aggregate slot
+        self._records = records  # shape (num_records, record_width)
+        self._record_width = record_width
+        # Traversal mirrors (see class docstring).
+        self._child_slots: list[int] = nodes[:, 0].tolist() if nodes.size else []
+        self._agg_slots: list[int] = nodes[:, 1].tolist() if nodes.size else []
+        self._record_rows: list[list[float]] = [row.tolist() for row in records]
+
+    # -- size accounting -----------------------------------------------------
+
+    @property
+    def root_cell(self) -> int:
+        return self._root_cell
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self._nodes.shape[0])
+
+    @property
+    def num_cached(self) -> int:
+        return int(self._records.shape[0])
+
+    def memory_bytes(self) -> int:
+        """Node region plus aggregate region, as laid out in Figure 7."""
+        return self.num_nodes * NODE_BYTES + self._records.size * 8
+
+    # -- probing ------------------------------------------------------------------
+
+    def _walk(self, cell: int) -> int | None:
+        """Slot of the node for ``cell``, or None when absent."""
+        root = self._root_cell
+        root_lsb = root & -root
+        if not (root - (root_lsb - 1) <= cell <= root + (root_lsb - 1)):
+            return None
+        cell_lsb = cell & -cell
+        level = 30 - (cell_lsb.bit_length() - 1) // 2
+        pos = cell >> cell_lsb.bit_length()
+        child_slots = self._child_slots
+        slot = 0
+        for depth in range(level - self._root_level):
+            child_slot = child_slots[slot]
+            if child_slot == 0:
+                return None
+            quadrant = (pos >> (2 * (level - self._root_level - depth - 1))) & 3
+            slot = child_slot + quadrant
+        return slot
+
+    def probe(self, cell: int) -> TrieProbe:
+        """Figure 8's cache probe for one query cell."""
+        slot = self._walk(cell)
+        if slot is None:
+            return _MISS
+        aggregate_slot = self._agg_slots[slot]
+        if aggregate_slot != 0:
+            return TrieProbe(status="hit", record=self._record_rows[aggregate_slot - 1])
+        # Node exists without its own aggregate: inspect direct children.
+        # A node with neither aggregate nor children only exists as the
+        # padding sibling of a four-node block; it carries no cached
+        # information, so treat it like a missing node.
+        child_slot = self._child_slots[slot]
+        if child_slot == 0:
+            return _MISS
+        cached: list[list[float]] = []
+        uncached: list[int] = []
+        for quadrant, child_cell in enumerate(cellid.children(cell)):
+            child_record_slot = self._agg_slots[child_slot + quadrant]
+            if child_record_slot != 0:
+                cached.append(self._record_rows[child_record_slot - 1])
+            else:
+                uncached.append(child_cell)
+        return TrieProbe(
+            status="partial",
+            child_records=tuple(cached),
+            uncached_children=tuple(uncached),
+        )
+
+    def cached_cells(self) -> list[int]:
+        """All cells that carry a cached aggregate (for introspection)."""
+        found: list[int] = []
+
+        def visit(slot: int, cell: int) -> None:
+            if int(self._nodes[slot, 1]) != 0:
+                found.append(cell)
+            child_slot = int(self._nodes[slot, 0])
+            if child_slot == 0:
+                return
+            for quadrant, child_cell in enumerate(cellid.children(cell)):
+                visit(child_slot + quadrant, child_cell)
+
+        visit(0, self._root_cell)
+        return found
+
+
+class TrieBuilder:
+    """Builds an :class:`AggregateTrie` under a byte budget.
+
+    Cells are inserted in rank order; insertion stops when the next
+    cell would exceed the budget ("insert the most relevant
+    unaggregated cell until the reserved area is filled").
+    """
+
+    def __init__(self, root_cell: int, record_width: int, budget_bytes: int) -> None:
+        self._root_cell = root_cell
+        self._root_level = cellid.level_of(root_cell)
+        self._record_width = record_width
+        self._budget = budget_bytes
+        # Node region, seeded with the root (slot 0).
+        self._nodes: list[list[int]] = [[0, 0]]
+        self._records: list[np.ndarray] = []
+
+    # -- size accounting -----------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        return len(self._nodes) * NODE_BYTES + len(self._records) * self._record_width * 8
+
+    def _insertion_cost(self, cell: int) -> int:
+        """Bytes the insertion of ``cell`` would add."""
+        level = cellid.level_of(cell)
+        pos = cellid.pos_of(cell)
+        slot = 0
+        new_blocks = 0
+        for depth in range(level - self._root_level):
+            child_slot = self._nodes[slot][0]
+            if child_slot == 0:
+                # Every remaining level allocates one block of 4 nodes.
+                new_blocks += (level - self._root_level) - depth
+                break
+            quadrant = (pos >> (2 * (level - self._root_level - depth - 1))) & 3
+            slot = child_slot + quadrant
+        return new_blocks * 4 * NODE_BYTES + self._record_width * 8
+
+    def would_fit(self, cell: int) -> bool:
+        return self.memory_bytes() + self._insertion_cost(cell) <= self._budget
+
+    # -- insertion ----------------------------------------------------------------
+
+    def insert(self, cell: int, record: np.ndarray) -> None:
+        """Attach ``record`` as the cached aggregate of ``cell``."""
+        if record.shape != (self._record_width,):
+            raise BuildError(
+                f"record width {record.shape} does not match trie width {self._record_width}"
+            )
+        if not cellid.contains(self._root_cell, cell):
+            raise QueryError("cell lies outside the trie root")
+        level = cellid.level_of(cell)
+        pos = cellid.pos_of(cell)
+        slot = 0
+        for depth in range(level - self._root_level):
+            child_slot = self._nodes[slot][0]
+            if child_slot == 0:
+                # Allocate all four children at once (Figure 7: only the
+                # first-child offset is stored).
+                child_slot = len(self._nodes)
+                self._nodes.extend([[0, 0], [0, 0], [0, 0], [0, 0]])
+                self._nodes[slot][0] = child_slot
+            quadrant = (pos >> (2 * (level - self._root_level - depth - 1))) & 3
+            slot = child_slot + quadrant
+        if self._nodes[slot][1] != 0:
+            raise BuildError(f"cell {cell:#x} already cached")
+        self._records.append(np.asarray(record, dtype=np.float64))
+        self._nodes[slot][1] = len(self._records)  # 1-based; 0 = n/a
+
+    def finish(self) -> AggregateTrie:
+        nodes = np.asarray(self._nodes, dtype=np.int32).reshape(-1, 2)
+        if self._records:
+            records = np.vstack(self._records)
+        else:
+            records = np.empty((0, self._record_width), dtype=np.float64)
+        return AggregateTrie(self._root_cell, nodes, records, self._record_width)

@@ -1,0 +1,39 @@
+"""Synthetic datasets and query-polygon sets standing in for the
+paper's NYC taxi, US tweets, and OSM Americas data."""
+
+from repro.data.generators import Hotspot, mixture_points, spread_hotspots, uniform_points
+from repro.data.nyc import NYC_BOUNDS, NYC_HOTSPOTS, NYC_SCHEMA, nyc_cleaning_rules, nyc_taxi
+from repro.data.osm import AMERICAS_BOUNDS, OSM_SCHEMA, osm_americas
+from repro.data.polygons import (
+    americas_countries,
+    bounded_voronoi,
+    nyc_neighborhoods,
+    random_rectangles,
+    us_states,
+)
+from repro.data.selectivity import selectivity_polygon, selectivity_sweep
+from repro.data.tweets import TWEETS_SCHEMA, US_BOUNDS, us_tweets
+
+__all__ = [
+    "AMERICAS_BOUNDS",
+    "NYC_BOUNDS",
+    "NYC_HOTSPOTS",
+    "NYC_SCHEMA",
+    "OSM_SCHEMA",
+    "TWEETS_SCHEMA",
+    "US_BOUNDS",
+    "Hotspot",
+    "americas_countries",
+    "bounded_voronoi",
+    "mixture_points",
+    "nyc_cleaning_rules",
+    "nyc_neighborhoods",
+    "nyc_taxi",
+    "osm_americas",
+    "random_rectangles",
+    "selectivity_polygon",
+    "selectivity_sweep",
+    "spread_hotspots",
+    "uniform_points",
+    "us_states",
+]

@@ -1,0 +1,129 @@
+"""Synthetic NYC yellow-cab trips.
+
+Stand-in for the paper's primary dataset (12M TLC trip records,
+Jan-Mar 2015).  The generator reproduces what the experiments actually
+exercise: Manhattan-centred spatial skew with airport hot-spots, seven
+analysis columns including the three filter predicates of Figure 19
+with their published selectivities (``distance >= 4`` ~16%,
+``passenger_cnt == 1`` ~70%, ``passenger_cnt > 1`` ~30%), and dirty
+outliers for the extract phase to clean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators import Hotspot, mixture_points
+from repro.geometry.bbox import BoundingBox
+from repro.storage.etl import CleaningRules
+from repro.storage.schema import ColumnKind, ColumnSpec, Schema
+from repro.storage.table import PointTable
+from repro.util.rng import derive_rng
+
+#: Greater NYC bounding box used by the generator and cleaning rules.
+NYC_BOUNDS = BoundingBox(-74.28, 40.48, -73.65, 40.95)
+
+#: Pickup hot-spots: the Manhattan spine, boroughs, and both airports.
+NYC_HOTSPOTS = [
+    Hotspot(-73.987, 40.738, 0.012, 0.016, weight=28.0),  # Midtown / Chelsea
+    Hotspot(-74.005, 40.715, 0.008, 0.010, weight=14.0),  # Financial District
+    Hotspot(-73.968, 40.778, 0.008, 0.012, weight=14.0),  # Upper East Side
+    Hotspot(-73.955, 40.690, 0.020, 0.016, weight=7.0),   # Brooklyn (Williamsburg)
+    Hotspot(-73.990, 40.650, 0.024, 0.018, weight=4.0),   # Brooklyn (Sunset Park)
+    Hotspot(-73.920, 40.760, 0.018, 0.014, weight=4.0),   # Queens (Astoria)
+    Hotspot(-73.778, 40.645, 0.007, 0.006, weight=5.0),   # JFK airport
+    Hotspot(-73.874, 40.774, 0.006, 0.005, weight=4.0),   # LaGuardia airport
+    Hotspot(-73.850, 40.720, 0.035, 0.028, weight=3.0),   # Queens sprawl
+    Hotspot(-73.900, 40.830, 0.025, 0.020, weight=2.0),   # Bronx
+]
+
+#: Seven analysis columns; pickup_ts is the temporal attribute.
+NYC_SCHEMA = Schema(
+    [
+        ColumnSpec("fare_amount"),
+        ColumnSpec("trip_distance"),
+        ColumnSpec("tip_amount"),
+        ColumnSpec("tip_rate"),
+        ColumnSpec("passenger_cnt"),
+        ColumnSpec("total_amount"),
+        ColumnSpec("pickup_ts", ColumnKind.TEMPORAL),
+    ]
+)
+
+#: Epoch bounds of the paper's Jan 1 - Mar 31 2015 window.
+_PICKUP_EPOCH_START = 1_420_070_400  # 2015-01-01 00:00 UTC
+_PICKUP_EPOCH_END = 1_427_846_400  # 2015-04-01 00:00 UTC
+
+#: Fraction of deliberately dirty rows the extract phase must drop.
+DIRTY_FRACTION = 0.01
+
+
+def nyc_taxi(count: int, seed: int | None = None, dirty: bool = True) -> PointTable:
+    """Generate ``count`` synthetic taxi trips (raw, uncleaned)."""
+    rng = derive_rng(seed, "nyc-taxi")
+    xs, ys = mixture_points(NYC_HOTSPOTS, count, NYC_BOUNDS, rng, uniform_fraction=0.04)
+
+    # Trip distance: lognormal tuned so P(distance >= 4) ~ 0.16.
+    distance = rng.lognormal(mean=0.55, sigma=0.90, size=count)
+    np.clip(distance, 0.1, 60.0, out=distance)
+    # Fares correlate with distance (base fee + per-mile + noise).
+    fare = 2.5 + 2.7 * distance + rng.normal(0.0, 1.5, count)
+    np.clip(fare, 2.5, 450.0, out=fare)
+    # Tips: zero-inflated percentage of the fare.
+    tipper = rng.random(count) < 0.62
+    tip_rate = np.where(tipper, rng.beta(4.0, 14.0, count), 0.0)
+    tip = fare * tip_rate
+    # Passenger count: P(1) ~ 0.70, matching the Figure 19 predicates.
+    passengers = rng.choice(
+        [1, 2, 3, 4, 5, 6], size=count, p=[0.70, 0.15, 0.06, 0.04, 0.03, 0.02]
+    ).astype(np.float64)
+    pickup = rng.integers(_PICKUP_EPOCH_START, _PICKUP_EPOCH_END, count).astype(np.int64)
+    total = fare + tip
+
+    if dirty:
+        _inject_outliers(rng, xs, ys, fare, distance)
+
+    return PointTable(
+        NYC_SCHEMA,
+        xs,
+        ys,
+        {
+            "fare_amount": fare,
+            "trip_distance": distance,
+            "tip_amount": tip,
+            "tip_rate": tip_rate,
+            "passenger_cnt": passengers,
+            "total_amount": total,
+            "pickup_ts": pickup,
+        },
+    )
+
+
+def _inject_outliers(
+    rng: np.random.Generator,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    fare: np.ndarray,
+    distance: np.ndarray,
+) -> None:
+    """Make ~1% of the rows dirty: null-island GPS, absurd fares."""
+    count = xs.size
+    dirty = rng.random(count) < DIRTY_FRACTION
+    kind = rng.integers(0, 3, count)
+    gps = dirty & (kind == 0)
+    xs[gps] = rng.normal(0.0, 0.5, int(gps.sum()))  # "null island" fixes
+    ys[gps] = rng.normal(0.0, 0.5, int(gps.sum()))
+    fare[dirty & (kind == 1)] = 9_999.0
+    distance[dirty & (kind == 2)] = 4_000.0
+
+
+def nyc_cleaning_rules() -> CleaningRules:
+    """The outlier rules of the extract phase for the taxi data."""
+    return CleaningRules(
+        bounds=NYC_BOUNDS,
+        column_ranges={
+            "fare_amount": (0.0, 500.0),
+            "trip_distance": (0.0, 100.0),
+            "tip_amount": (0.0, 500.0),
+        },
+    )

@@ -1,0 +1,65 @@
+"""Synthetic OpenStreetMap points over the Americas.
+
+Stand-in for the paper's 389M-point OSM extract.  Like the tweets
+dataset, the paper uses random integer payloads here, so the generator
+reproduces the spatial profile only: continent-spanning skew with many
+city hot-spots in both North and South America plus diffuse coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators import Hotspot, mixture_points, spread_hotspots
+from repro.geometry.bbox import BoundingBox
+from repro.storage.schema import ColumnSpec, Schema
+from repro.storage.table import PointTable
+from repro.util.rng import derive_rng
+
+#: The Americas: from Alaska down to Tierra del Fuego.
+AMERICAS_BOUNDS = BoundingBox(-168.0, -56.0, -34.0, 72.0)
+
+#: A few anchor metros across the two continents.
+_ANCHORS = [
+    (-74.006, 40.713, 10.0),   # New York
+    (-99.133, 19.433, 9.0),    # Mexico City
+    (-46.633, -23.550, 9.0),   # Sao Paulo
+    (-58.382, -34.604, 7.0),   # Buenos Aires
+    (-79.383, 43.653, 6.0),    # Toronto
+    (-118.244, 34.052, 7.0),   # Los Angeles
+    (-43.173, -22.907, 6.0),   # Rio de Janeiro
+    (-77.043, -12.046, 5.0),   # Lima
+    (-74.072, 4.711, 5.0),     # Bogota
+    (-70.669, -33.449, 5.0),   # Santiago
+    (-87.630, 41.878, 5.0),    # Chicago
+    (-123.121, 49.283, 4.0),   # Vancouver
+    (-66.904, 10.480, 3.0),    # Caracas
+    (-56.165, -34.906, 2.0),   # Montevideo
+    (-90.527, 14.628, 2.0),    # Guatemala City
+]
+
+OSM_SCHEMA = Schema(
+    [
+        ColumnSpec("val_a"),
+        ColumnSpec("val_b"),
+        ColumnSpec("val_c"),
+        ColumnSpec("val_d"),
+    ]
+)
+
+
+def osm_americas(count: int, seed: int | None = None) -> PointTable:
+    """Generate ``count`` synthetic OSM points across the Americas."""
+    rng = derive_rng(seed, "osm-americas")
+    hotspots = [
+        Hotspot(x, y, sigma_x=0.8, sigma_y=0.7, weight=weight) for x, y, weight in _ANCHORS
+    ]
+    # OSM coverage has a long tail of smaller towns: add random spots.
+    hotspots += spread_hotspots(
+        AMERICAS_BOUNDS, count=60, rng=rng, sigma_fraction=(0.002, 0.015), weight_alpha=1.1
+    )
+    xs, ys = mixture_points(hotspots, count, AMERICAS_BOUNDS, rng, uniform_fraction=0.15)
+    columns = {
+        name: rng.integers(0, 10_000, count).astype(np.float64) for name in OSM_SCHEMA.names
+    }
+    return PointTable(OSM_SCHEMA, xs, ys, columns)

@@ -1,0 +1,149 @@
+"""Query-polygon sets: tessellations and random rectangles.
+
+The paper queries NYC neighbourhood polygons, US states, and country
+outlines.  We generate the equivalents as *bounded Voronoi
+tessellations*: Voronoi cells of hot-spot-distributed seed points,
+clipped to the dataset bounding box.  The result is a space partition
+of simple, mostly-convex polygons ("often simple quadrilaterals or
+pentagons", Section 4.2) whose sizes track the data density -- small
+neighbourhoods in Manhattan, sprawling ones in the suburbs -- which is
+the property the workload experiments depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Voronoi
+
+from repro.data.nyc import NYC_BOUNDS, NYC_HOTSPOTS
+from repro.data.osm import AMERICAS_BOUNDS
+from repro.data.tweets import US_BOUNDS
+from repro.data.generators import Hotspot, mixture_points
+from repro.errors import GeometryError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.polygon import Polygon
+from repro.util.rng import derive_rng
+
+
+def bounded_voronoi(
+    seed_xs: np.ndarray, seed_ys: np.ndarray, bounds: BoundingBox
+) -> list[Polygon]:
+    """Voronoi cells of the seeds, clipped to ``bounds``.
+
+    Uses the reflection trick: every seed is mirrored across the four
+    border lines, which forces all Voronoi cells of the original seeds
+    to be finite and exactly clipped at the border.
+    """
+    seed_xs = np.asarray(seed_xs, dtype=np.float64)
+    seed_ys = np.asarray(seed_ys, dtype=np.float64)
+    if seed_xs.size < 3:
+        raise GeometryError("bounded voronoi needs at least three seeds")
+    points = np.column_stack([seed_xs, seed_ys])
+    mirrored = [points]
+    for axis, value in ((0, bounds.min_x), (0, bounds.max_x), (1, bounds.min_y), (1, bounds.max_y)):
+        reflected = points.copy()
+        reflected[:, axis] = 2.0 * value - reflected[:, axis]
+        mirrored.append(reflected)
+    diagram = Voronoi(np.vstack(mirrored))
+    polygons: list[Polygon] = []
+    for seed_index in range(len(points)):
+        region_index = diagram.point_region[seed_index]
+        vertex_indices = diagram.regions[region_index]
+        if -1 in vertex_indices or len(vertex_indices) < 3:
+            continue  # cannot happen with full mirroring, but stay safe
+        vertices = diagram.vertices[vertex_indices]
+        # Numerical safety: snap coordinates onto the border.
+        vertices[:, 0] = np.clip(vertices[:, 0], bounds.min_x, bounds.max_x)
+        vertices[:, 1] = np.clip(vertices[:, 1], bounds.min_y, bounds.max_y)
+        if _degenerate(vertices):
+            continue
+        polygons.append(Polygon(vertices))
+    return polygons
+
+
+def _degenerate(vertices: np.ndarray) -> bool:
+    xs = vertices[:, 0]
+    ys = vertices[:, 1]
+    return bool(xs.max() - xs.min() <= 0 or ys.max() - ys.min() <= 0)
+
+
+def _tessellation(
+    hotspots: list[Hotspot],
+    bounds: BoundingBox,
+    count: int,
+    seed: int | None,
+    scope: str,
+    uniform_fraction: float,
+) -> list[Polygon]:
+    rng = derive_rng(seed, scope)
+    xs, ys = mixture_points(hotspots, count, bounds, rng, uniform_fraction)
+    # Nudge seeds off the border so every cell has positive area.
+    margin_x = bounds.width * 1e-4
+    margin_y = bounds.height * 1e-4
+    xs = np.clip(xs, bounds.min_x + margin_x, bounds.max_x - margin_x)
+    ys = np.clip(ys, bounds.min_y + margin_y, bounds.max_y - margin_y)
+    return bounded_voronoi(xs, ys, bounds)
+
+
+def nyc_neighborhoods(seed: int | None = None, count: int = 195) -> list[Polygon]:
+    """~195 neighbourhood-like polygons over NYC (cf. [25] in the
+    paper); density follows the taxi hot-spots, so Manhattan is cut
+    into many small polygons and the suburbs into few large ones."""
+    return _tessellation(NYC_HOTSPOTS, NYC_BOUNDS, count, seed, "nyc-neighborhoods", 0.35)
+
+
+def us_states(seed: int | None = None, count: int = 49) -> list[Polygon]:
+    """State-like partition of the contiguous US."""
+    rng = derive_rng(seed, "us-state-seeds")
+    hotspots = [Hotspot(x, y, 2.0, 1.5, weight) for x, y, weight in _state_anchor_list()]
+    del rng
+    return _tessellation(hotspots, US_BOUNDS, count, seed, "us-states", 0.75)
+
+
+def americas_countries(seed: int | None = None, count: int = 35) -> list[Polygon]:
+    """Country-like partition of the Americas."""
+    hotspots = [Hotspot(-100.0, 40.0, 18.0, 10.0, 1.0), Hotspot(-60.0, -15.0, 12.0, 14.0, 1.0)]
+    return _tessellation(hotspots, AMERICAS_BOUNDS, count, seed, "americas-countries", 0.6)
+
+
+def random_rectangles(
+    bounds: BoundingBox,
+    count: int = 51,
+    seed: int | None = None,
+    min_fraction: float = 0.02,
+    max_fraction: float = 0.25,
+) -> list[Polygon]:
+    """Random axis-aligned rectangles, as in Figure 15 (51 generated
+    rectangles within the US)."""
+    rng = derive_rng(seed, "rectangles")
+    polygons: list[Polygon] = []
+    for _ in range(count):
+        width = rng.uniform(min_fraction, max_fraction) * bounds.width
+        height = rng.uniform(min_fraction, max_fraction) * bounds.height
+        x0 = rng.uniform(bounds.min_x, bounds.max_x - width)
+        y0 = rng.uniform(bounds.min_y, bounds.max_y - height)
+        polygons.append(Polygon.from_box(BoundingBox(x0, y0, x0 + width, y0 + height)))
+    return polygons
+
+
+def _state_anchor_list() -> list[tuple[float, float, float]]:
+    """Rough state-centroid anchors guiding the US tessellation."""
+    return [
+        (-122.0, 47.3, 1.0), (-120.5, 44.0, 1.0), (-119.5, 37.2, 1.5),
+        (-116.2, 43.6, 1.0), (-117.0, 38.5, 1.0), (-111.9, 34.2, 1.0),
+        (-111.6, 39.3, 1.0), (-110.5, 46.9, 1.0), (-107.5, 43.0, 1.0),
+        (-105.5, 39.0, 1.0), (-106.0, 34.5, 1.0), (-100.5, 47.5, 1.0),
+        (-100.3, 44.4, 1.0), (-99.8, 41.5, 1.0), (-98.4, 38.5, 1.0),
+        (-97.5, 35.5, 1.0), (-99.3, 31.5, 1.5), (-93.4, 46.3, 1.0),
+        (-93.5, 42.0, 1.0), (-92.5, 38.4, 1.0), (-92.4, 34.9, 1.0),
+        (-91.9, 31.2, 1.0), (-89.6, 44.6, 1.0), (-89.2, 40.0, 1.0),
+        (-89.7, 32.7, 1.0), (-86.3, 39.8, 1.0), (-86.8, 33.0, 1.0),
+        (-84.5, 44.3, 1.0), (-82.8, 40.2, 1.0), (-84.3, 37.5, 1.0),
+        (-86.7, 35.8, 1.0), (-83.4, 32.6, 1.0), (-81.5, 27.8, 1.5),
+        (-80.8, 35.5, 1.0), (-80.9, 33.9, 1.0), (-78.7, 37.5, 1.0),
+        (-80.6, 38.6, 1.0), (-77.0, 40.9, 1.0), (-75.5, 42.9, 1.5),
+        (-72.7, 44.0, 1.0), (-71.6, 43.7, 1.0), (-69.2, 45.4, 1.0),
+        (-71.8, 42.2, 1.0), (-72.7, 41.6, 1.0), (-74.5, 40.1, 1.0),
+        (-75.5, 39.0, 1.0), (-76.8, 39.0, 1.0), (-77.0, 38.9, 1.0),
+        (-90.0, 35.0, 1.0),
+    ]

@@ -1,0 +1,78 @@
+"""Synthetic geotagged tweets over the contiguous US.
+
+Stand-in for the paper's 8M-tweet dataset.  The paper attaches
+"randomly generated integer values as payload" to this dataset, so only
+the spatial distribution matters: metro-area hot-spots over the lower
+48, with a thin uniform background.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators import Hotspot, mixture_points
+from repro.geometry.bbox import BoundingBox
+from repro.storage.schema import ColumnSpec, Schema
+from repro.storage.table import PointTable
+from repro.util.rng import derive_rng
+
+#: Contiguous-US bounding box.
+US_BOUNDS = BoundingBox(-124.8, 24.4, -66.9, 49.4)
+
+#: Approximate (lon, lat, weight) of major metro areas; weights follow
+#: rough population ranking.
+_METROS = [
+    (-74.006, 40.713, 20.0),   # New York
+    (-118.244, 34.052, 14.0),  # Los Angeles
+    (-87.630, 41.878, 10.0),   # Chicago
+    (-95.369, 29.760, 8.0),    # Houston
+    (-112.074, 33.448, 6.0),   # Phoenix
+    (-75.165, 39.953, 6.0),    # Philadelphia
+    (-98.494, 29.424, 5.0),    # San Antonio
+    (-117.161, 32.716, 5.0),   # San Diego
+    (-96.797, 32.777, 6.0),    # Dallas
+    (-121.895, 37.339, 5.0),   # San Jose
+    (-122.419, 37.775, 6.0),   # San Francisco
+    (-97.743, 30.267, 4.0),    # Austin
+    (-81.656, 30.332, 3.0),    # Jacksonville
+    (-122.332, 47.606, 5.0),   # Seattle
+    (-104.990, 39.739, 4.0),   # Denver
+    (-83.046, 42.331, 3.0),    # Detroit
+    (-71.059, 42.360, 5.0),    # Boston
+    (-90.199, 38.627, 2.0),    # St. Louis
+    (-80.191, 25.761, 5.0),    # Miami
+    (-84.388, 33.749, 4.0),    # Atlanta
+    (-77.037, 38.907, 5.0),    # Washington DC
+    (-115.139, 36.170, 3.0),   # Las Vegas
+    (-122.676, 45.523, 3.0),   # Portland
+    (-93.265, 44.978, 3.0),    # Minneapolis
+    (-86.158, 39.768, 2.0),    # Indianapolis
+    (-81.694, 41.499, 2.0),    # Cleveland
+    (-90.071, 29.951, 2.0),    # New Orleans
+    (-111.891, 40.761, 2.0),   # Salt Lake City
+    (-106.650, 35.084, 1.5),   # Albuquerque
+    (-94.579, 39.100, 2.0),    # Kansas City
+]
+
+TWEETS_SCHEMA = Schema(
+    [
+        ColumnSpec("val_a"),
+        ColumnSpec("val_b"),
+        ColumnSpec("val_c"),
+        ColumnSpec("val_d"),
+    ]
+)
+
+
+def us_tweets(count: int, seed: int | None = None) -> PointTable:
+    """Generate ``count`` synthetic geotagged tweets."""
+    rng = derive_rng(seed, "us-tweets")
+    hotspots = [
+        Hotspot(x, y, sigma_x=0.25, sigma_y=0.20, weight=weight) for x, y, weight in _METROS
+    ]
+    xs, ys = mixture_points(hotspots, count, US_BOUNDS, rng, uniform_fraction=0.10)
+    columns = {
+        name: rng.integers(0, 10_000, count).astype(np.float64)
+        for name in TWEETS_SCHEMA.names
+    }
+    return PointTable(TWEETS_SCHEMA, xs, ys, columns)

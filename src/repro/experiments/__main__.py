@@ -1,0 +1,47 @@
+"""Command-line entry point: ``python -m repro.experiments <id|all>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the GeoBlocks evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        help=f"experiment id ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+    parser.add_argument(
+        "--quick", action="store_true", help="use the reduced CI-sized configuration"
+    )
+    arguments = parser.parse_args(argv)
+
+    config = ExperimentConfig.quick() if arguments.quick else ExperimentConfig()
+    if arguments.seed is not None:
+        config = ExperimentConfig(
+            seed=arguments.seed,
+            nyc_points=config.nyc_points,
+            tweets_points=config.tweets_points,
+            osm_points=config.osm_points,
+        )
+
+    ids = sorted(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, config)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

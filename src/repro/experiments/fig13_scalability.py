@@ -1,0 +1,100 @@
+"""Figure 13: scaling with increasing input sizes.
+
+The paper grows the taxi dataset from 1M to 100M points and reports
+(a) the size overhead of Block/BTree/PHTree and (b) each approach's
+query runtime relative to its own 1M-point runtime.  The headline
+shapes: BTree overhead constant, PHTree overhead falling, Block
+overhead falling towards its spatial-distribution limit; runtime rises
+linearly for the on-the-fly approaches but stays nearly constant for
+GeoBlocks (the number of aggregates is bounded by the spatial
+distribution, not the point count).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.binary_search import BinarySearchIndex
+from repro.baselines.btree import BPlusTree
+from repro.baselines.phtree import PHTree
+from repro.core.geoblock import GeoBlock
+from repro.data.polygons import nyc_neighborhoods
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    make_scalar,
+    nyc_base,
+    run_workload,
+    warm_caches,
+)
+from repro.baselines.btree_index import BTreeIndex
+from repro.workloads.workload import base_workload, default_aggregates
+
+#: Fractions of the full dataset, standing in for 1M..100M points.
+SIZE_FRACTIONS = (0.01, 0.05, 0.10, 0.25, 0.50, 1.00)
+
+
+def run(config: ExperimentConfig | None = None) -> tuple[ExperimentResult, ExperimentResult]:
+    config = config or ExperimentConfig()
+    full = nyc_base(config)
+    level = config.nyc_level(config.block_level)
+    polygons = nyc_neighborhoods(seed=config.seed)[:60]
+    aggs = default_aggregates(full.table.schema, 2)
+    workload = base_workload(polygons, aggs)
+
+    overhead_rows: list[list[object]] = []
+    runtime_rows: list[list[object]] = []
+    baseline_runtimes: dict[str, float] = {}
+    for fraction in SIZE_FRACTIONS:
+        size = max(1_000, int(len(full) * fraction))
+        subset = full.subset(size)
+        raw_bytes = subset.memory_bytes()
+
+        block = GeoBlock.build(subset, level)
+        btree = BPlusTree.bulk_load(subset.keys)
+        phtree = PHTree(subset)
+        overhead_rows.append(
+            [
+                size,
+                100.0 * block.memory_bytes() / raw_bytes,
+                100.0 * btree.memory_bytes() / raw_bytes,
+                100.0 * phtree.memory_overhead_bytes() / raw_bytes,
+            ]
+        )
+
+        competitors = [
+            ("BinarySearch", make_scalar(BinarySearchIndex(subset, level))),
+            ("Block", make_scalar(block)),
+            ("BTree", make_scalar(BTreeIndex(subset, level))),
+            ("PHTree", make_scalar(phtree)),
+        ]
+        for name, aggregator in competitors:
+            warm_caches(aggregator, workload)
+            seconds, _ = run_workload(aggregator, workload)
+            baseline = baseline_runtimes.setdefault(name, seconds)
+            runtime_rows.append([size, name, seconds * 1e3, seconds / baseline])
+
+    overhead = ExperimentResult(
+        experiment="fig13a",
+        title="Size overhead with increasing input sizes",
+        headers=["points", "block_percent", "btree_percent", "phtree_percent"],
+        rows=overhead_rows,
+        notes=["paper: BTree flat, PHTree falling, Block lowest at scale"],
+    )
+    runtime = ExperimentResult(
+        experiment="fig13b",
+        title="Query runtime increase relative to the smallest input",
+        headers=["points", "algorithm", "workload_ms", "relative_to_smallest"],
+        rows=runtime_rows,
+        notes=["paper: on-the-fly approaches scale linearly; Block stays nearly constant"],
+    )
+    return overhead, runtime
+
+
+def run_default(config: ExperimentConfig | None = None) -> ExperimentResult:
+    overhead, _ = run(config)
+    return overhead
+
+
+if __name__ == "__main__":
+    for result in run():
+        print(result.render())
+        print()

@@ -1,0 +1,88 @@
+"""Figure 17: query runtime with increasing workload skew.
+
+Protocol (Section 4.3): run the NYC base workload once and the skewed
+workload k times (k = 2, 4, 8, 16), with the block level fixed at the
+paper's 17 and a cache sized at 5% of the cell aggregates -- roughly
+enough to aggregate every cell of the skewed workload.  The adaptive
+BlockQC refreshes its cache after every workload pass.  Expected shape:
+from about four skewed runs on, BlockQC overtakes Block on the skewed
+part, while its base-part runtime stays slightly above Block's (probe
+overhead for uncached cells).
+"""
+
+from __future__ import annotations
+
+from repro.core.adaptive import AdaptiveGeoBlock
+from repro.core.geoblock import GeoBlock
+from repro.core.policy import CachePolicy
+from repro.data.polygons import nyc_neighborhoods
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    make_scalar,
+    nyc_base,
+    run_workload,
+    threshold_for_workload,
+    warm_caches,
+)
+from repro.workloads.workload import base_workload, default_aggregates, skewed_workload
+
+SKEWED_RUNS = (2, 4, 8, 16)
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    config = config or ExperimentConfig()
+    base = nyc_base(config)
+    level = config.nyc_level(config.block_level)
+    polygons = nyc_neighborhoods(seed=config.seed)
+    aggs = default_aggregates(base.table.schema, 7)
+    base_wl = base_workload(polygons, aggs)
+    skew_wl = skewed_workload(polygons, aggs, seed=config.seed)
+
+    # The paper's 5% cache "roughly corresponds to aggregating all
+    # cells of the skewed workload"; derive the same capacity here.
+    probe_block = GeoBlock.build(base, level)
+    cache_threshold = threshold_for_workload(probe_block, skew_wl)
+
+    rows: list[list[object]] = []
+    for runs in SKEWED_RUNS:
+        # Plain Block: no adaptation, stateless between runs.
+        block = make_scalar(GeoBlock.build(base, level))
+        warm_caches(block, base_wl)
+        base_seconds, _ = run_workload(block, base_wl)
+        skew_seconds = 0.0
+        for _ in range(runs):
+            seconds, _ = run_workload(block, skew_wl)
+            skew_seconds += seconds
+        rows.append([runs, "Block", base_seconds * 1e3, skew_seconds * 1e3,
+                     (base_seconds + skew_seconds) * 1e3])
+
+        # BlockQC: adapts after every workload pass.
+        qc = make_scalar(
+            AdaptiveGeoBlock(GeoBlock.build(base, level), CachePolicy(threshold=cache_threshold))
+        )
+        warm_caches(qc, base_wl)
+        qc_base_seconds, _ = run_workload(qc, base_wl)
+        qc.adapt()
+        qc_skew_seconds = 0.0
+        for _ in range(runs):
+            seconds, _ = run_workload(qc, skew_wl)
+            qc_skew_seconds += seconds
+            qc.adapt()
+        rows.append([runs, "BlockQC", qc_base_seconds * 1e3, qc_skew_seconds * 1e3,
+                     (qc_base_seconds + qc_skew_seconds) * 1e3])
+    return ExperimentResult(
+        experiment="fig17",
+        title="Query runtime with increasing workload skew (base once, skewed k times)",
+        headers=["skewed_runs", "algorithm", "base_ms", "skewed_ms", "total_ms"],
+        rows=rows,
+        notes=[
+            f"block_level={level}, cache threshold {cache_threshold:.1%} of the cell "
+            "aggregates (sized to hold the skewed workload, the paper's 5% intent)",
+            "paper: cached aggregates start to pay off after ~4 skewed runs (~1.2x at 16)",
+        ],
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,92 @@
+"""Figure 19: the payoff point of incremental builds under changing
+filters.
+
+For three predicates of different selectivity (long trips ~16%, solo
+trips ~70%, shared trips ~30%) and block levels 15-19, this experiment
+measures how many GeoBlock builds amortise the one-off cost of sorting
+the full dataset: isolated builds re-filter and re-sort per build
+(Equation 1), incremental builds reuse the sorted base data
+(Equation 2).  Expected shape: low-selectivity predicates amortise
+almost immediately (sorting 70% of the data costs nearly as much as
+sorting everything), highly selective ones take the longest.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import build_incremental, build_isolated, payoff_point
+from repro.data.nyc import nyc_cleaning_rules
+from repro.experiments.common import ExperimentConfig, ExperimentResult, nyc_base, nyc_raw
+from repro.storage.etl import PHASE_SORTING, extract
+from repro.storage.expr import col
+from repro.util.timing import Stopwatch
+
+PAPER_LEVELS = (15, 16, 17, 18, 19)
+
+
+def predicates() -> list[tuple[str, object]]:
+    return [
+        ("distance >= 4", col("trip_distance") >= 4),
+        ("passenger_cnt == 1", col("passenger_cnt") == 1),
+        ("passenger_cnt > 1", col("passenger_cnt") > 1),
+    ]
+
+
+def run(config: ExperimentConfig | None = None, repeats: int = 3) -> ExperimentResult:
+    config = config or ExperimentConfig()
+    raw = nyc_raw(config)
+    rules = nyc_cleaning_rules()
+
+    # One-off cost of the incremental pipeline: sorting everything.
+    watch = Stopwatch()
+    extract(raw, config.space, rules, stopwatch=watch)
+    initial_sort_seconds = watch.total_seconds()
+    base = nyc_base(config)
+
+    rows: list[list[object]] = []
+    for label, predicate in predicates():
+        selectivity = predicate.selectivity(base.table)
+        for paper_level in PAPER_LEVELS:
+            level = config.nyc_level(paper_level)
+            incremental_best = min(
+                build_incremental(base, level, predicate).build_seconds
+                for _ in range(repeats)
+            )
+            isolated_best = min(
+                build_isolated(raw, config.space, level, predicate, rules).total_seconds
+                for _ in range(repeats)
+            )
+            payoff = payoff_point(initial_sort_seconds, incremental_best, isolated_best)
+            rows.append(
+                [
+                    label,
+                    f"{selectivity:.0%}",
+                    paper_level,
+                    level,
+                    incremental_best * 1e3,
+                    isolated_best * 1e3,
+                    payoff if payoff != float("inf") else "never",
+                ]
+            )
+    return ExperimentResult(
+        experiment="fig19",
+        title="Payoff point: incremental builds vs building from raw data",
+        headers=[
+            "predicate",
+            "selectivity",
+            "paper_level",
+            "level",
+            "incremental_ms",
+            "isolated_ms",
+            "payoff_builds",
+        ],
+        rows=rows,
+        notes=[
+            f"initial full sort: {initial_sort_seconds * 1e3:.0f} ms",
+            "paper: low-selectivity filters amortise almost immediately, "
+            "selective ones within ~5-20 builds",
+        ],
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,51 @@
+"""Registry mapping experiment ids to their run functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.experiments import (
+    fig10_aggregates,
+    fig11_overhead,
+    fig12_selectivity,
+    fig13_scalability,
+    fig14_datasets,
+    fig15_accuracy,
+    fig16_level,
+    fig17_skew,
+    fig18_threshold,
+    fig19_payoff,
+)
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+
+#: Experiment id -> callable(config) -> ExperimentResult.
+EXPERIMENTS: dict[str, Callable[[ExperimentConfig | None], ExperimentResult]] = {
+    "fig10": fig10_aggregates.run,
+    "fig11a": fig11_overhead.run_build_time,
+    "fig11b": fig11_overhead.run_size_overhead,
+    "fig11c": fig11_overhead.run_level_overhead,
+    "table2": fig11_overhead.run_table2,
+    "fig12": fig12_selectivity.run,
+    "fig13a": lambda config=None: fig13_scalability.run(config)[0],
+    "fig13b": lambda config=None: fig13_scalability.run(config)[1],
+    "fig14": fig14_datasets.run,
+    "fig15": fig15_accuracy.run,
+    "fig16": fig16_level.run,
+    "fig17": fig17_skew.run,
+    "fig18": fig18_threshold.run,
+    "fig19": fig19_payoff.run,
+}
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig12"``)."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(config)

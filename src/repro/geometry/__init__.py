@@ -1,0 +1,38 @@
+"""Computational geometry kernel for the lon/lat plane.
+
+This package is the from-scratch replacement for the geometric services
+GeoBlocks obtains from the S2 library: bounding boxes, simple polygons
+with vectorised point containment, segment intersection, and the
+rectangle/polygon classification driving cell coverings.
+"""
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.latlng import (
+    EARTH_RADIUS_M,
+    METERS_PER_DEG_LAT,
+    approx_distance_meters,
+    diagonal_meters,
+    meters_per_deg_lng,
+)
+from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.geometry.relate import (
+    Relation,
+    box_intersects_region,
+    box_within_region,
+    relate_box,
+)
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "METERS_PER_DEG_LAT",
+    "BoundingBox",
+    "MultiPolygon",
+    "Polygon",
+    "Relation",
+    "approx_distance_meters",
+    "box_intersects_region",
+    "box_within_region",
+    "diagonal_meters",
+    "meters_per_deg_lng",
+    "relate_box",
+]

@@ -1,0 +1,134 @@
+"""Axis-aligned bounding boxes on the lon/lat plane."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """A closed axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+
+    Coordinates follow the (x=longitude, y=latitude) convention used
+    throughout the library.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise GeometryError(
+                f"invalid bounding box: ({self.min_x}, {self.min_y}) .. ({self.max_x}, {self.max_y})"
+            )
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_points(cls, xs: Iterable[float], ys: Iterable[float]) -> "BoundingBox":
+        """Smallest box containing all (x, y) pairs."""
+        xs = np.asarray(list(xs) if not isinstance(xs, np.ndarray) else xs, dtype=np.float64)
+        ys = np.asarray(list(ys) if not isinstance(ys, np.ndarray) else ys, dtype=np.float64)
+        if xs.size == 0 or ys.size == 0:
+            raise GeometryError("cannot build a bounding box from zero points")
+        return cls(float(xs.min()), float(ys.min()), float(xs.max()), float(ys.max()))
+
+    # -- basic geometry ------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0
+
+    def area(self) -> float:
+        return self.width * self.height
+
+    def corners(self) -> Iterator[tuple[float, float]]:
+        """The four corners in counter-clockwise order."""
+        yield self.min_x, self.min_y
+        yield self.max_x, self.min_y
+        yield self.max_x, self.max_y
+        yield self.min_x, self.max_y
+
+    # -- predicates ----------------------------------------------------
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorised membership test; returns a boolean mask."""
+        return (
+            (xs >= self.min_x)
+            & (xs <= self.max_x)
+            & (ys >= self.min_y)
+            & (ys <= self.max_y)
+        )
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        return (
+            self.min_x <= other.min_x
+            and self.max_x >= other.max_x
+            and self.min_y <= other.min_y
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    # -- combinators ----------------------------------------------------
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def intersection(self, other: "BoundingBox") -> "BoundingBox | None":
+        """Overlap of the two boxes, or None when they are disjoint."""
+        if not self.intersects(other):
+            return None
+        return BoundingBox(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Box grown by ``margin`` on every side (negative margins shrink)."""
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def scaled(self, factor: float) -> "BoundingBox":
+        """Box scaled about its centre by ``factor``."""
+        if factor < 0:
+            raise GeometryError("scale factor must be non-negative")
+        cx, cy = self.center
+        half_w = self.width / 2.0 * factor
+        half_h = self.height / 2.0 * factor
+        return BoundingBox(cx - half_w, cy - half_h, cx + half_w, cy + half_h)

@@ -1,0 +1,105 @@
+"""Polygon clipping against axis-aligned rectangles.
+
+Sutherland-Hodgman clipping of a simple polygon to a bounding box.
+Used by the interior-rectangle extraction to decide whether a rectangle
+lies within a *union* of disjoint polygons: since tessellation parts do
+not overlap, the rectangle is inside the union exactly when the clipped
+areas of all parts sum to the rectangle's own area.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+
+def clip_polygon_to_box(polygon: Polygon, box: BoundingBox) -> list[tuple[float, float]]:
+    """Vertices of ``polygon`` ∩ ``box`` (may be empty or degenerate).
+
+    Sutherland-Hodgman against the four box half-planes; correct for
+    any simple polygon clipped to a convex window.
+    """
+    vertices = list(zip(polygon.xs.tolist(), polygon.ys.tolist()))
+    for edge in ("left", "right", "bottom", "top"):
+        if not vertices:
+            return []
+        vertices = _clip_half_plane(vertices, edge, box)
+    return vertices
+
+
+def clipped_area(polygon: Polygon, box: BoundingBox) -> float:
+    """Area of ``polygon`` ∩ ``box``."""
+    vertices = clip_polygon_to_box(polygon, box)
+    if len(vertices) < 3:
+        return 0.0
+    xs = np.asarray([vertex[0] for vertex in vertices])
+    ys = np.asarray([vertex[1] for vertex in vertices])
+    shifted_x = np.roll(xs, -1)
+    shifted_y = np.roll(ys, -1)
+    return abs(float((xs * shifted_y - shifted_x * ys).sum()) / 2.0)
+
+
+def box_within_union(box: BoundingBox, region: MultiPolygon, tolerance: float = 1e-9) -> bool:
+    """True when ``box`` lies inside the union of the region's parts.
+
+    Exact for *disjoint* parts (tessellations): the clipped areas then
+    sum to the intersection area of the box with the union.
+    """
+    box_area = box.area()
+    if box_area <= 0.0:
+        # Degenerate boxes: fall back to a centre-point test.
+        cx, cy = box.center
+        return region.contains_point(cx, cy)
+    covered = 0.0
+    for part in region.parts:
+        if not box.intersects(part.bounding_box):
+            continue
+        covered += clipped_area(part, box)
+        if covered >= box_area * (1.0 - tolerance):
+            return True
+    return covered >= box_area * (1.0 - tolerance)
+
+
+def _inside(vertex: tuple[float, float], edge: str, box: BoundingBox) -> bool:
+    x, y = vertex
+    if edge == "left":
+        return x >= box.min_x
+    if edge == "right":
+        return x <= box.max_x
+    if edge == "bottom":
+        return y >= box.min_y
+    return y <= box.max_y
+
+
+def _intersect(
+    start: tuple[float, float], end: tuple[float, float], edge: str, box: BoundingBox
+) -> tuple[float, float]:
+    (x1, y1), (x2, y2) = start, end
+    if edge in ("left", "right"):
+        edge_x = box.min_x if edge == "left" else box.max_x
+        t = (edge_x - x1) / (x2 - x1)
+        return edge_x, y1 + t * (y2 - y1)
+    edge_y = box.min_y if edge == "bottom" else box.max_y
+    t = (edge_y - y1) / (y2 - y1)
+    return x1 + t * (x2 - x1), edge_y
+
+
+def _clip_half_plane(
+    vertices: list[tuple[float, float]], edge: str, box: BoundingBox
+) -> list[tuple[float, float]]:
+    output: list[tuple[float, float]] = []
+    previous = vertices[-1]
+    previous_inside = _inside(previous, edge, box)
+    for current in vertices:
+        current_inside = _inside(current, edge, box)
+        if current_inside:
+            if not previous_inside:
+                output.append(_intersect(previous, current, edge, box))
+            output.append(current)
+        elif previous_inside:
+            output.append(_intersect(previous, current, edge, box))
+        previous = current
+        previous_inside = current_inside
+    return output

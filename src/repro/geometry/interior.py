@@ -1,0 +1,134 @@
+"""Interior rectangle extraction.
+
+The paper's PH-tree baseline only supports rectangular window queries,
+so query polygons are replaced by "the interior rectangle of the query
+polygon" (Section 4.1).  This module reproduces that transformation: it
+finds a large axis-aligned rectangle fully contained in the region.  The
+result is not the maximum-area rectangle (neither is S2's), but a
+deterministic, fast approximation that under-covers the polygon exactly
+like the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.polygon import MultiPolygon
+from repro.geometry.relate import Region, Relation, relate_box
+
+
+def _box_within(box: BoundingBox, region: Region) -> bool:
+    """Box containment that understands multipolygon *unions*.
+
+    A rectangle spanning several tessellation parts is inside the union
+    even though it is inside no single part; the clipped-area test
+    handles that case exactly for disjoint parts.
+    """
+    if isinstance(region, MultiPolygon):
+        from repro.geometry.clip import box_within_union
+
+        return box_within_union(box, region)
+    return relate_box(box, region) is Relation.WITHIN
+
+
+def interior_box(region: Region, *, refine_steps: int = 24) -> BoundingBox | None:
+    """A large axis-aligned rectangle inside ``region``.
+
+    Strategy: find an interior seed point (the centroid when it lies
+    inside, otherwise a grid scan), then binary-search the largest
+    centrally-scaled copy of the region's bounding box that fits, and
+    finally push each side outward individually.  Returns ``None`` when
+    no interior point can be located (degenerate regions).
+    """
+    seed = _interior_seed(region)
+    if seed is None:
+        return None
+    seed_x, seed_y = seed
+    outer = region.bounding_box
+
+    # Phase 1: largest scaled bbox centred on the seed that fits.
+    def centred(scale: float) -> BoundingBox:
+        half_w = outer.width / 2.0 * scale
+        half_h = outer.height / 2.0 * scale
+        return BoundingBox(seed_x - half_w, seed_y - half_h, seed_x + half_w, seed_y + half_h)
+
+    low, high = 0.0, 1.0
+    for _ in range(refine_steps):
+        mid = (low + high) / 2.0
+        if mid <= 0.0:
+            break
+        if _box_within(centred(mid), region):
+            low = mid
+        else:
+            high = mid
+    if low == 0.0:
+        # Even a tiny centred box fails (seed hugging the boundary):
+        # fall back to a minuscule box around the seed.
+        epsilon = max(outer.width, outer.height) * 1e-6
+        candidate = BoundingBox(seed_x - epsilon, seed_y - epsilon, seed_x + epsilon, seed_y + epsilon)
+        if not _box_within(candidate, region):
+            return None
+        box = candidate
+    else:
+        box = centred(low)
+
+    # Phase 2: grow each side independently as far as it goes.
+    for _ in range(2):  # two rounds let opposite sides interact
+        box = _grow_side(box, region, outer, "min_x", refine_steps)
+        box = _grow_side(box, region, outer, "max_x", refine_steps)
+        box = _grow_side(box, region, outer, "min_y", refine_steps)
+        box = _grow_side(box, region, outer, "max_y", refine_steps)
+    return box
+
+
+def _interior_seed(region: Region) -> tuple[float, float] | None:
+    candidates: list[tuple[float, float]] = []
+    centroid = getattr(region, "centroid", None)
+    if callable(centroid):
+        candidates.append(centroid())
+    else:  # MultiPolygon: try part centroids, largest part first
+        parts = sorted(region.parts, key=lambda p: p.area(), reverse=True)
+        candidates.extend(part.centroid() for part in parts)
+    for x, y in candidates:
+        if region.contains_point(x, y):
+            return x, y
+    # Grid scan fallback over the bounding box.
+    outer = region.bounding_box
+    for resolution in (8, 16, 32, 64):
+        xs = np.linspace(outer.min_x, outer.max_x, resolution + 2)[1:-1]
+        ys = np.linspace(outer.min_y, outer.max_y, resolution + 2)[1:-1]
+        for y in ys:
+            for x in xs:
+                if region.contains_point(float(x), float(y)):
+                    return float(x), float(y)
+    return None
+
+
+def _grow_side(
+    box: BoundingBox, region: Region, outer: BoundingBox, side: str, steps: int
+) -> BoundingBox:
+    limit = getattr(outer, side)
+    current = getattr(box, side)
+    low, high = 0.0, 1.0  # fraction of the distance towards the limit
+
+    def with_side(fraction: float) -> BoundingBox:
+        value = current + (limit - current) * fraction
+        coords = {
+            "min_x": box.min_x,
+            "min_y": box.min_y,
+            "max_x": box.max_x,
+            "max_y": box.max_y,
+        }
+        coords[side] = value
+        return BoundingBox(**coords)
+
+    if _box_within(with_side(1.0), region):
+        return with_side(1.0)
+    for _ in range(steps):
+        mid = (low + high) / 2.0
+        if _box_within(with_side(mid), region):
+            low = mid
+        else:
+            high = mid
+    return with_side(low)

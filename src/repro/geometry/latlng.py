@@ -1,0 +1,51 @@
+"""Geodesic approximations on the lon/lat plane.
+
+GeoBlocks quantify the covering error as a *distance* bound (the cell
+diagonal, Section 3.2 of the paper).  The library works on the equirect-
+angular lon/lat plane, so this module provides the degree->metre
+conversions needed to express cell sizes in metres, matching the paper's
+"level 17 ~ 100m diagonal" style of reporting.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Mean Earth radius in metres (IUGG).
+EARTH_RADIUS_M = 6_371_008.8
+
+#: Metres spanned by one degree of latitude (constant on the sphere).
+METERS_PER_DEG_LAT = EARTH_RADIUS_M * math.pi / 180.0
+
+
+def meters_per_deg_lng(latitude: float) -> float:
+    """Metres spanned by one degree of longitude at ``latitude``."""
+    return METERS_PER_DEG_LAT * math.cos(math.radians(latitude))
+
+
+def degree_span_to_meters(dlng: float, dlat: float, latitude: float = 0.0) -> tuple[float, float]:
+    """Convert a (dlng, dlat) degree span to metres at ``latitude``."""
+    return dlng * meters_per_deg_lng(latitude), dlat * METERS_PER_DEG_LAT
+
+
+def diagonal_meters(dlng: float, dlat: float, latitude: float = 0.0) -> float:
+    """Diagonal, in metres, of a dlng x dlat degree rectangle at ``latitude``.
+
+    This is the paper's error bound sqrt(eps1^2 + eps2^2) for a cell with
+    side lengths eps1, eps2.
+    """
+    width_m, height_m = degree_span_to_meters(dlng, dlat, latitude)
+    return math.hypot(width_m, height_m)
+
+
+def approx_distance_meters(lng1: float, lat1: float, lng2: float, lat2: float) -> float:
+    """Equirectangular distance approximation in metres.
+
+    Adequate for the small extents (city / country scale) the library
+    deals with, and monotone in true distance, which is all the error
+    accounting requires.
+    """
+    mean_lat = (lat1 + lat2) / 2.0
+    dx = (lng2 - lng1) * meters_per_deg_lng(mean_lat)
+    dy = (lat2 - lat1) * METERS_PER_DEG_LAT
+    return math.hypot(dx, dy)

@@ -1,0 +1,101 @@
+"""Rectangle-vs-polygon spatial relations.
+
+The region coverer (``repro.cells.coverer``) classifies candidate cells
+against the query polygon: cells fully inside the polygon can be kept at
+any level, cells crossing the boundary are subdivided, and disjoint
+cells are dropped.  This module provides that classification for
+axis-aligned rectangles (the shape of every cell).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+Region = Union[Polygon, MultiPolygon]
+
+
+class Relation(enum.Enum):
+    """How a rectangle relates to a polygonal region."""
+
+    DISJOINT = "disjoint"
+    #: The rectangle crosses the region boundary (partial overlap).
+    INTERSECTS = "intersects"
+    #: The rectangle lies entirely within the region.
+    WITHIN = "within"
+    #: The rectangle fully encloses the region.
+    CONTAINS = "contains"
+
+
+def relate_box(box: BoundingBox, region: Region) -> Relation:
+    """Classify ``box`` against ``region``.
+
+    The result is exact for simple polygons: the rectangle is WITHIN iff
+    all four corners are inside and no polygon edge crosses the box;
+    CONTAINS iff the region's bbox is inside the box and no region vertex
+    falls outside it; INTERSECTS whenever boundaries touch.
+    """
+    region_box = region.bounding_box
+    if not box.intersects(region_box):
+        return Relation.DISJOINT
+
+    if isinstance(region, MultiPolygon):
+        return _relate_multi(box, region)
+    return _relate_simple(box, region)
+
+
+def box_intersects_region(box: BoundingBox, region: Region) -> bool:
+    """True when ``box`` and ``region`` share at least one point."""
+    return relate_box(box, region) is not Relation.DISJOINT
+
+
+def box_within_region(box: BoundingBox, region: Region) -> bool:
+    """True when ``box`` lies entirely inside ``region``."""
+    return relate_box(box, region) is Relation.WITHIN
+
+
+def _relate_simple(box: BoundingBox, polygon: Polygon) -> Relation:
+    from repro.geometry.segment import segment_intersects_box
+
+    boundary_touches = False
+    for ax, ay, bx, by in polygon.edges():
+        if segment_intersects_box(ax, ay, bx, by, box.min_x, box.min_y, box.max_x, box.max_y):
+            boundary_touches = True
+            break
+
+    if boundary_touches:
+        # Box fully inside the polygon never touches the boundary, and a
+        # box containing the polygon touches it only if edges meet the
+        # box frame -- possible when the polygon's bbox equals the box.
+        if box.contains_box(polygon.bounding_box):
+            return Relation.CONTAINS
+        return Relation.INTERSECTS
+
+    # No boundary contact: the box is entirely inside or entirely outside
+    # the polygon, or the polygon is strictly inside the box.
+    if box.contains_box(polygon.bounding_box):
+        return Relation.CONTAINS
+    cx, cy = box.center
+    if polygon.contains_point(cx, cy):
+        return Relation.WITHIN
+    return Relation.DISJOINT
+
+
+def _relate_multi(box: BoundingBox, region: MultiPolygon) -> Relation:
+    relations = [_relate_simple(box, part) for part in region.parts]
+    if any(rel is Relation.WITHIN for rel in relations):
+        return Relation.WITHIN
+    if any(rel is Relation.INTERSECTS for rel in relations):
+        return Relation.INTERSECTS
+    if all(rel is Relation.DISJOINT for rel in relations):
+        return Relation.DISJOINT
+    # Remaining case: the box contains at least one part and is disjoint
+    # from the rest -- the box still encloses region area.
+    if all(rel in (Relation.CONTAINS, Relation.DISJOINT) for rel in relations):
+        if all(rel is Relation.CONTAINS for rel in relations):
+            return Relation.CONTAINS
+        return Relation.INTERSECTS
+    return Relation.INTERSECTS

@@ -1,0 +1,76 @@
+"""Line-segment primitives used by the polygon and relate modules."""
+
+from __future__ import annotations
+
+
+def orientation(ax: float, ay: float, bx: float, by: float, cx: float, cy: float) -> int:
+    """Orientation of the ordered triple (a, b, c).
+
+    Returns +1 for counter-clockwise, -1 for clockwise, 0 for collinear.
+    """
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    if cross > 0.0:
+        return 1
+    if cross < 0.0:
+        return -1
+    return 0
+
+
+def on_segment(ax: float, ay: float, bx: float, by: float, px: float, py: float) -> bool:
+    """True when collinear point p lies on the closed segment a-b."""
+    return (
+        min(ax, bx) <= px <= max(ax, bx)
+        and min(ay, by) <= py <= max(ay, by)
+    )
+
+
+def segments_intersect(
+    ax: float, ay: float, bx: float, by: float,
+    cx: float, cy: float, dx: float, dy: float,
+) -> bool:
+    """True when closed segments a-b and c-d share at least one point."""
+    o1 = orientation(ax, ay, bx, by, cx, cy)
+    o2 = orientation(ax, ay, bx, by, dx, dy)
+    o3 = orientation(cx, cy, dx, dy, ax, ay)
+    o4 = orientation(cx, cy, dx, dy, bx, by)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(ax, ay, bx, by, cx, cy):
+        return True
+    if o2 == 0 and on_segment(ax, ay, bx, by, dx, dy):
+        return True
+    if o3 == 0 and on_segment(cx, cy, dx, dy, ax, ay):
+        return True
+    if o4 == 0 and on_segment(cx, cy, dx, dy, bx, by):
+        return True
+    return False
+
+
+def segment_intersects_box(
+    ax: float, ay: float, bx: float, by: float,
+    min_x: float, min_y: float, max_x: float, max_y: float,
+) -> bool:
+    """True when segment a-b touches the closed rectangle.
+
+    Uses a Cohen-Sutherland style trivial accept/reject followed by exact
+    edge tests, so it is both fast on the common cases and correct on
+    segments that pierce the rectangle without an endpoint inside it.
+    """
+    # Trivial accept: an endpoint inside the box.
+    if min_x <= ax <= max_x and min_y <= ay <= max_y:
+        return True
+    if min_x <= bx <= max_x and min_y <= by <= max_y:
+        return True
+    # Trivial reject: both endpoints strictly on one side.
+    if (ax < min_x and bx < min_x) or (ax > max_x and bx > max_x):
+        return False
+    if (ay < min_y and by < min_y) or (ay > max_y and by > max_y):
+        return False
+    # Exact: does the segment cross any of the four box edges?
+    return (
+        segments_intersect(ax, ay, bx, by, min_x, min_y, max_x, min_y)
+        or segments_intersect(ax, ay, bx, by, max_x, min_y, max_x, max_y)
+        or segments_intersect(ax, ay, bx, by, max_x, max_y, min_x, max_y)
+        or segments_intersect(ax, ay, bx, by, min_x, max_y, min_x, min_y)
+    )

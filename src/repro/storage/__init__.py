@@ -1,0 +1,50 @@
+"""Columnar storage engine: schemas, tables, predicates, and the ETL
+extract phase that produces sorted base data."""
+
+from repro.storage.etl import (
+    PHASE_BUILDING,
+    PHASE_CLEANING,
+    PHASE_SORTING,
+    BaseData,
+    CleaningRules,
+    extract,
+    extract_isolated,
+)
+from repro.storage.expr import (
+    ALWAYS_TRUE,
+    And,
+    Between,
+    Comparison,
+    IsIn,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    col,
+)
+from repro.storage.schema import ColumnKind, ColumnSpec, Schema
+from repro.storage.table import PointTable
+
+__all__ = [
+    "ALWAYS_TRUE",
+    "PHASE_BUILDING",
+    "PHASE_CLEANING",
+    "PHASE_SORTING",
+    "And",
+    "BaseData",
+    "Between",
+    "CleaningRules",
+    "ColumnKind",
+    "ColumnSpec",
+    "Comparison",
+    "IsIn",
+    "Not",
+    "Or",
+    "PointTable",
+    "Predicate",
+    "Schema",
+    "TruePredicate",
+    "col",
+    "extract",
+    "extract_isolated",
+]

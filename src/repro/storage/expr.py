@@ -1,0 +1,198 @@
+"""Filter predicate expressions.
+
+GeoBlocks are built per filter-predicate combination ("WHERE
+fare_amount > 20", Section 3.3).  This module provides a small,
+composable expression language over table columns:
+
+>>> from repro.storage.expr import col
+>>> predicate = (col("distance") >= 4) & (col("passenger_cnt") == 1)
+
+Predicates evaluate to boolean masks over a :class:`PointTable` and
+render to a stable string used to label GeoBlocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.storage.table import PointTable
+
+
+class Predicate:
+    """Base class of all filter expressions."""
+
+    def mask(self, table: PointTable) -> np.ndarray:
+        """Boolean mask of qualifying rows."""
+        raise NotImplementedError
+
+    def selectivity(self, table: PointTable) -> float:
+        """Fraction of qualifying rows (the paper's ``s``)."""
+        if len(table) == 0:
+            return 0.0
+        return float(self.mask(table).mean())
+
+    # -- combinators ----------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class TruePredicate(Predicate):
+    """Matches every row; the predicate of an unfiltered GeoBlock."""
+
+    def mask(self, table: PointTable) -> np.ndarray:
+        return np.ones(len(table), dtype=bool)
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class Comparison(Predicate):
+    """column <op> constant."""
+
+    _OPS = {
+        "==": np.equal,
+        "!=": np.not_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        ">": np.greater,
+        ">=": np.greater_equal,
+    }
+
+    def __init__(self, column: str, op: str, value: float) -> None:
+        if op not in self._OPS:
+            raise QueryError(f"unsupported operator {op!r}; use one of {sorted(self._OPS)}")
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def mask(self, table: PointTable) -> np.ndarray:
+        return self._OPS[self.op](table.column(self.column), self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.column} {self.op} {self.value:g}"
+
+
+class Between(Predicate):
+    """low <= column <= high."""
+
+    def __init__(self, column: str, low: float, high: float) -> None:
+        if low > high:
+            raise QueryError(f"between bounds reversed: [{low}, {high}]")
+        self.column = column
+        self.low = low
+        self.high = high
+
+    def mask(self, table: PointTable) -> np.ndarray:
+        values = table.column(self.column)
+        return (values >= self.low) & (values <= self.high)
+
+    def __repr__(self) -> str:
+        return f"{self.column} BETWEEN {self.low:g} AND {self.high:g}"
+
+
+class IsIn(Predicate):
+    """column IN (v0, v1, ...)."""
+
+    def __init__(self, column: str, values: Iterable[float]) -> None:
+        self.column = column
+        self.values = tuple(values)
+        if not self.values:
+            raise QueryError("IN list must not be empty")
+
+    def mask(self, table: PointTable) -> np.ndarray:
+        return np.isin(table.column(self.column), np.asarray(self.values))
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{v:g}" for v in self.values)
+        return f"{self.column} IN ({rendered})"
+
+
+class And(Predicate):
+    def __init__(self, operands: Iterable[Predicate]) -> None:
+        self.operands = tuple(operands)
+
+    def mask(self, table: PointTable) -> np.ndarray:
+        result = np.ones(len(table), dtype=bool)
+        for operand in self.operands:
+            result &= operand.mask(table)
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.operands)) + ")"
+
+
+class Or(Predicate):
+    def __init__(self, operands: Iterable[Predicate]) -> None:
+        self.operands = tuple(operands)
+
+    def mask(self, table: PointTable) -> np.ndarray:
+        result = np.zeros(len(table), dtype=bool)
+        for operand in self.operands:
+            result |= operand.mask(table)
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.operands)) + ")"
+
+
+class Not(Predicate):
+    def __init__(self, operand: Predicate) -> None:
+        self.operand = operand
+
+    def mask(self, table: PointTable) -> np.ndarray:
+        return ~self.operand.mask(table)
+
+    def __repr__(self) -> str:
+        return f"NOT ({self.operand!r})"
+
+
+class _ColumnProxy:
+    """Entry point of the expression language; see :func:`col`."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __eq__(self, value: object) -> Comparison:  # type: ignore[override]
+        return Comparison(self._name, "==", float(value))  # type: ignore[arg-type]
+
+    def __ne__(self, value: object) -> Comparison:  # type: ignore[override]
+        return Comparison(self._name, "!=", float(value))  # type: ignore[arg-type]
+
+    def __lt__(self, value: float) -> Comparison:
+        return Comparison(self._name, "<", float(value))
+
+    def __le__(self, value: float) -> Comparison:
+        return Comparison(self._name, "<=", float(value))
+
+    def __gt__(self, value: float) -> Comparison:
+        return Comparison(self._name, ">", float(value))
+
+    def __ge__(self, value: float) -> Comparison:
+        return Comparison(self._name, ">=", float(value))
+
+    def between(self, low: float, high: float) -> Between:
+        return Between(self._name, low, high)
+
+    def isin(self, values: Iterable[float]) -> IsIn:
+        return IsIn(self._name, values)
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+def col(name: str) -> _ColumnProxy:
+    """Reference a column in a filter expression: ``col("distance") >= 4``."""
+    return _ColumnProxy(name)
+
+
+#: Singleton used wherever "no filter" is meant.
+ALWAYS_TRUE = TruePredicate()

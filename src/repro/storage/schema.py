@@ -1,0 +1,97 @@
+"""Schemas for annotated point data.
+
+The paper's data model (Section 2) is a set of annotated points
+``P(l, v0, v1, ..., vn)``: a location plus numeric or temporal
+attributes.  A :class:`Schema` describes the attribute columns; the
+location is implicit (every table carries ``x``/``y`` coordinate
+arrays).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class ColumnKind(enum.Enum):
+    """Attribute domains supported by GeoBlocks aggregates."""
+
+    NUMERIC = "numeric"
+    #: Temporal attributes are stored as epoch seconds; min/max/sum work
+    #: the same way as for numerics (Section 3.4).
+    TEMPORAL = "temporal"
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnSpec:
+    """Description of one attribute column."""
+
+    name: str
+    kind: ColumnKind = ColumnKind.NUMERIC
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(np.float64 if self.kind is ColumnKind.NUMERIC else np.int64)
+
+
+class Schema:
+    """An ordered collection of attribute columns."""
+
+    __slots__ = ("_specs", "_index")
+
+    def __init__(self, specs: Iterable[ColumnSpec | str]) -> None:
+        normalised: list[ColumnSpec] = []
+        for spec in specs:
+            if isinstance(spec, str):
+                spec = ColumnSpec(spec)
+            normalised.append(spec)
+        names = [spec.name for spec in normalised]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        self._specs = tuple(normalised)
+        self._index = {spec.name: position for position, spec in enumerate(normalised)}
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[ColumnSpec]:
+        return iter(self._specs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._specs == other._specs
+
+    def __hash__(self) -> int:
+        return hash(self._specs)
+
+    @property
+    def names(self) -> list[str]:
+        return [spec.name for spec in self._specs]
+
+    def spec(self, name: str) -> ColumnSpec:
+        try:
+            return self._specs[self._index[name]]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}; schema has {self.names}") from None
+
+    def position(self, name: str) -> int:
+        if name not in self._index:
+            raise SchemaError(f"unknown column {name!r}; schema has {self.names}")
+        return self._index[name]
+
+    def subset(self, names: Iterable[str]) -> "Schema":
+        """Schema restricted to ``names`` (order preserved from input)."""
+        return Schema([self.spec(name) for name in names])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cols = ", ".join(f"{s.name}:{s.kind.value}" for s in self._specs)
+        return f"Schema({cols})"

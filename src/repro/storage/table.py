@@ -1,0 +1,136 @@
+"""Columnar point tables.
+
+All data in the reproduction is kept "in a columnar layout" like the
+paper's experimental setup (Section 4.1): coordinates and every
+attribute live in separate numpy arrays.  Tables are immutable; the few
+transformations (masking, reordering) return new tables sharing no
+mutable state with their source.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.geometry.bbox import BoundingBox
+from repro.storage.schema import Schema
+
+
+class PointTable:
+    """Annotated points P(l, v0, ..., vn) in struct-of-arrays form."""
+
+    __slots__ = ("_schema", "_xs", "_ys", "_columns")
+
+    def __init__(
+        self,
+        schema: Schema,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        columns: Mapping[str, np.ndarray],
+    ) -> None:
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise SchemaError("coordinate arrays must be equal-length 1-D arrays")
+        stored: dict[str, np.ndarray] = {}
+        for spec in schema:
+            if spec.name not in columns:
+                raise SchemaError(f"missing data for column {spec.name!r}")
+            data = np.ascontiguousarray(columns[spec.name], dtype=spec.dtype)
+            if data.shape != xs.shape:
+                raise SchemaError(
+                    f"column {spec.name!r} has {data.shape[0]} rows, expected {xs.shape[0]}"
+                )
+            stored[spec.name] = data
+        unknown = set(columns) - set(schema.names)
+        if unknown:
+            raise SchemaError(f"columns not in schema: {sorted(unknown)}")
+        self._schema = schema
+        self._xs = xs
+        self._ys = ys
+        self._columns = stored
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def xs(self) -> np.ndarray:
+        view = self._xs.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def ys(self) -> np.ndarray:
+        view = self._ys.view()
+        view.flags.writeable = False
+        return view
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self._columns:
+            raise SchemaError(f"unknown column {name!r}; table has {self._schema.names}")
+        view = self._columns[name].view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return int(self._xs.size)
+
+    def bounding_box(self) -> BoundingBox:
+        if len(self) == 0:
+            raise SchemaError("empty table has no bounding box")
+        return BoundingBox.from_points(self._xs, self._ys)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by all column arrays (the raw-data footprint used
+        for the relative-overhead accounting of Figure 11b)."""
+        total = self._xs.nbytes + self._ys.nbytes
+        total += sum(arr.nbytes for arr in self._columns.values())
+        return total
+
+    # -- transformations --------------------------------------------------
+
+    def filter(self, mask: np.ndarray) -> "PointTable":
+        """Rows where ``mask`` is True, as a new table."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self._xs.shape:
+            raise SchemaError("mask length does not match table length")
+        return self.take(np.flatnonzero(mask))
+
+    def take(self, indices: np.ndarray) -> "PointTable":
+        """Rows at ``indices`` in the given order, as a new table."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return PointTable(
+            self._schema,
+            self._xs[indices],
+            self._ys[indices],
+            {name: arr[indices] for name, arr in self._columns.items()},
+        )
+
+    def head(self, count: int) -> "PointTable":
+        return self.take(np.arange(min(count, len(self)), dtype=np.int64))
+
+    def with_columns(self, names: list[str]) -> "PointTable":
+        """Table restricted to the given attribute columns."""
+        subset = self._schema.subset(names)
+        return PointTable(subset, self._xs, self._ys, {n: self._columns[n] for n in names})
+
+    def concat(self, other: "PointTable") -> "PointTable":
+        if other.schema != self._schema:
+            raise SchemaError("cannot concatenate tables with different schemas")
+        return PointTable(
+            self._schema,
+            np.concatenate([self._xs, other._xs]),
+            np.concatenate([self._ys, other._ys]),
+            {
+                name: np.concatenate([arr, other._columns[name]])
+                for name, arr in self._columns.items()
+            },
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PointTable(rows={len(self)}, columns={self._schema.names})"

@@ -1,0 +1,14 @@
+"""Small shared utilities: deterministic RNG, timing, and table rendering."""
+
+from repro.util.rng import derive_rng, spawn_rngs
+from repro.util.tables import format_table, format_series
+from repro.util.timing import Stopwatch, time_call
+
+__all__ = [
+    "Stopwatch",
+    "derive_rng",
+    "format_series",
+    "format_table",
+    "spawn_rngs",
+    "time_call",
+]

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str | None = None) -> str:
+    """Render rows as an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.50
+    """
+    str_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
+    """Render an (x, y) series on one line, used for figure-style output."""
+    pairs = ", ".join(f"{_render(x)}:{_render(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

@@ -1,0 +1,70 @@
+"""Wall-clock measurement helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock phases, mirroring the paper's
+    sort-phase / build-phase breakdowns (Figure 11a, Table 2).
+
+    >>> watch = Stopwatch()
+    >>> with watch.phase("sorting"):
+    ...     _ = sorted(range(10))
+    >>> watch.total_seconds() >= 0.0
+    True
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def phase(self, name: str) -> "_PhaseContext":
+        return _PhaseContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    def seconds(self, name: str) -> float:
+        return self.phases.get(name, 0.0)
+
+    def millis(self, name: str) -> float:
+        return self.seconds(name) * 1e3
+
+    def total_seconds(self) -> float:
+        return sum(self.phases.values())
+
+
+class _PhaseContext:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = (time.perf_counter_ns() - self._start) / 1e9
+        self._watch.add(self._name, elapsed)
+
+
+def time_call(func: Callable[[], Any], repeats: int = 1) -> tuple[float, Any]:
+    """Run ``func`` ``repeats`` times; return (best seconds, last result).
+
+    Taking the best of several runs removes scheduler noise, the same
+    methodology as micro-benchmark suites such as pytest-benchmark.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    result: Any = None
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        result = func()
+        elapsed = (time.perf_counter_ns() - start) / 1e9
+        best = min(best, elapsed)
+    return best, result

@@ -1,0 +1,19 @@
+"""Workload construction: base, skewed, and combined query sequences."""
+
+from repro.workloads.workload import (
+    Query,
+    Workload,
+    base_workload,
+    combined_workload,
+    default_aggregates,
+    skewed_workload,
+)
+
+__all__ = [
+    "Query",
+    "Workload",
+    "base_workload",
+    "combined_workload",
+    "default_aggregates",
+    "skewed_workload",
+]

@@ -1,0 +1,130 @@
+"""Query workloads (Section 4.1 of the paper).
+
+A workload is an ordered list of spatial aggregation queries.  The
+paper builds three kinds:
+
+* the **base workload** queries every polygon of a set exactly once;
+* the **skewed workload** picks 10% of the polygons uniformly at random
+  and queries (only) those -- running it k times models an analyst
+  returning to the same focus areas;
+* **combined workloads** concatenate the two (e.g. Figure 10 uses base
+  + 4x skewed).
+
+Workloads also fix the requested output aggregates; the default picks
+seven aggregates touching every column at least once, like the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.aggregates import AGG_FUNCTIONS, AggSpec
+from repro.errors import QueryError
+from repro.geometry.relate import Region
+from repro.storage.schema import Schema
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class Query:
+    """One spatial aggregation query: a region plus output aggregates."""
+
+    region: Region
+    aggs: tuple[AggSpec, ...]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An ordered sequence of queries with a label for reporting."""
+
+    name: str
+    queries: tuple[Query, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    def __add__(self, other: "Workload") -> "Workload":
+        return Workload(
+            name=f"{self.name}+{other.name}",
+            queries=self.queries + other.queries,
+        )
+
+    def repeated(self, times: int) -> "Workload":
+        """The workload concatenated ``times`` times."""
+        if times < 1:
+            raise QueryError("repeat count must be positive")
+        return Workload(name=f"{self.name}x{times}", queries=self.queries * times)
+
+    def regions(self) -> list[Region]:
+        return [query.region for query in self.queries]
+
+
+def default_aggregates(schema: Schema, count: int = 7) -> list[AggSpec]:
+    """``count`` aggregates requesting each column at least once.
+
+    Mirrors the paper's default of 7 aggregates over the seven-column
+    taxi schema: cycles through the columns with varying functions.
+    Plain COUNT(*) is deliberately not included -- counting degenerates
+    to offset arithmetic on sorted data and is measured separately by
+    the COUNT-query benchmarks.
+    """
+    if count < 1:
+        raise QueryError("need at least one aggregate")
+    functions = [fn for fn in AGG_FUNCTIONS if fn != "count"]
+    names = schema.names
+    if not names:
+        return [AggSpec("count")]
+    specs: list[AggSpec] = []
+    for index in range(count):
+        column = names[index % len(names)]
+        function = functions[index % len(functions)]
+        specs.append(AggSpec(function, column))
+    return specs
+
+
+def base_workload(
+    polygons: Sequence[Region],
+    aggs: Sequence[AggSpec],
+    name: str = "base",
+) -> Workload:
+    """Each polygon queried exactly once."""
+    specs = tuple(aggs)
+    return Workload(
+        name=name,
+        queries=tuple(Query(region=polygon, aggs=specs) for polygon in polygons),
+    )
+
+
+def skewed_workload(
+    polygons: Sequence[Region],
+    aggs: Sequence[AggSpec],
+    fraction: float = 0.10,
+    seed: int | None = None,
+    name: str = "skewed",
+) -> Workload:
+    """The paper's skew model: a random ``fraction`` of the polygons.
+
+    Returns one pass over the selected polygons; use
+    :meth:`Workload.repeated` for the "run it k times" experiments.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise QueryError("skew fraction must be in (0, 1]")
+    rng = derive_rng(seed, "skewed-workload")
+    count = max(1, int(round(len(polygons) * fraction)))
+    chosen = rng.choice(len(polygons), size=count, replace=False)
+    specs = tuple(aggs)
+    return Workload(
+        name=name,
+        queries=tuple(Query(region=polygons[int(i)], aggs=specs) for i in sorted(chosen)),
+    )
+
+
+def combined_workload(
+    base: Workload, skewed: Workload, skew_repeats: int
+) -> Workload:
+    """Base once + skewed ``skew_repeats`` times (Figure 10/17 setup)."""
+    return base + skewed.repeated(skew_repeats)

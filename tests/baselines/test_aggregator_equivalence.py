@@ -1,0 +1,80 @@
+"""Cross-baseline equivalence: the covering-based approaches must agree
+exactly, and the scalar/vector folds must match."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BinarySearchIndex, BTreeIndex
+from repro.core import AggSpec, GeoBlock
+
+AGGS = [
+    AggSpec("count"),
+    AggSpec("sum", "fare"),
+    AggSpec("min", "fare"),
+    AggSpec("max", "distance"),
+    AggSpec("avg", "fare"),
+]
+
+LEVEL = 14
+
+
+@pytest.fixture(scope="module")
+def competitors(small_base):
+    return {
+        "block": GeoBlock.build(small_base, LEVEL),
+        "binary": BinarySearchIndex(small_base, LEVEL),
+        "btree": BTreeIndex(small_base, LEVEL),
+    }
+
+
+class TestExactAgreement:
+    def test_select_identical_across_sorted_approaches(self, competitors, small_polygons):
+        for polygon in small_polygons:
+            results = {name: c.select(polygon, AGGS) for name, c in competitors.items()}
+            reference = results["block"]
+            for name, result in results.items():
+                assert result.count == reference.count, name
+                for key, value in reference.values.items():
+                    if np.isnan(value):
+                        assert np.isnan(result.values[key]), (name, key)
+                    else:
+                        assert result.values[key] == pytest.approx(value), (name, key)
+
+    def test_count_identical(self, competitors, small_polygons):
+        for polygon in small_polygons:
+            counts = {name: c.count(polygon) for name, c in competitors.items()}
+            assert len(set(counts.values())) == 1, counts
+
+
+class TestScalarMode:
+    def test_scalar_equals_vector_fold(self, small_base, small_polygons):
+        vector = BinarySearchIndex(small_base, LEVEL)
+        scalar = BinarySearchIndex(small_base, LEVEL, scalar=True)
+        for polygon in small_polygons[:6]:
+            a = vector.select(polygon, AGGS)
+            b = scalar.select(polygon, AGGS)
+            assert a.count == b.count
+            for key, value in a.values.items():
+                if not np.isnan(value):
+                    assert b.values[key] == pytest.approx(value)
+
+    def test_btree_scalar_mode(self, small_base, small_polygons):
+        scalar = BTreeIndex(small_base, LEVEL, scalar=True)
+        vector = BTreeIndex(small_base, LEVEL)
+        for polygon in small_polygons[:4]:
+            assert scalar.select(polygon, AGGS).count == vector.select(polygon, AGGS).count
+
+
+class TestOverheadAccounting:
+    def test_binary_search_is_free(self, small_base):
+        assert BinarySearchIndex(small_base, LEVEL).memory_overhead_bytes() == 0
+
+    def test_btree_overhead_positive(self, small_base):
+        assert BTreeIndex(small_base, LEVEL).memory_overhead_bytes() > 0
+
+    def test_block_cheaper_than_btree_at_moderate_level(self, small_base):
+        block = GeoBlock.build(small_base, 12)
+        btree = BTreeIndex(small_base, 12)
+        assert block.memory_bytes() < btree.memory_overhead_bytes()

@@ -1,0 +1,117 @@
+"""Tests for the aggregate R*-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.artree import FANOUT, ARTree
+from repro.core import AggSpec
+from repro.geometry import BoundingBox, Polygon
+
+
+@pytest.fixture(scope="module")
+def small_artree(small_base) -> ARTree:
+    return ARTree(small_base.subset(4000))
+
+
+@pytest.fixture(scope="module")
+def bulk_artree(small_base) -> ARTree:
+    return ARTree(small_base.subset(4000), bulk=True)
+
+
+class TestStructure:
+    def test_fanout_respected(self, small_artree):
+        def check(node):
+            assert len(node.children) <= FANOUT
+            if not node.leaf:
+                for child in node.children:
+                    check(child)
+
+        check(small_artree.root)
+
+    def test_bboxes_cover_children(self, small_artree):
+        def check(node):
+            for child in node.children:
+                assert node.min_x <= child.min_x and node.max_x >= child.max_x
+                assert node.min_y <= child.min_y and node.max_y >= child.max_y
+                if not node.leaf:
+                    check(child)
+
+        check(small_artree.root)
+
+    def test_node_aggregates_cover_subtree(self, small_artree):
+        """Every node's record equals the fold of its children's."""
+
+        def check(node) -> float:
+            if node.leaf:
+                total = sum(entry.record[0] for entry in node.children)
+            else:
+                total = sum(check(child) for child in node.children)
+            assert node.record[0] == pytest.approx(total)
+            return total
+
+        assert check(small_artree.root) == 4000
+
+    def test_bulk_has_fewer_or_equal_nodes(self, small_artree, bulk_artree):
+        # STR packs nodes full; R* insertion fragments more.
+        assert bulk_artree.num_nodes <= small_artree.num_nodes
+
+
+class TestQueries:
+    def _boxes(self):
+        rng = np.random.default_rng(5)
+        for _ in range(8):
+            x0, x1 = sorted(rng.uniform(-74.15, -73.7, 2))
+            y0, y1 = sorted(rng.uniform(40.5, 40.9, 2))
+            yield BoundingBox(x0, y0, x1, y1)
+
+    def test_count_upper_bounds_exact(self, small_artree, small_base):
+        subset = small_base.subset(4000)
+        for box in self._boxes():
+            exact = int(box.contains_points(subset.table.xs, subset.table.ys).sum())
+            got = small_artree.count(box)
+            assert got >= exact
+
+    def test_full_cover_query_is_exact(self, small_artree, small_base):
+        subset = small_base.subset(4000)
+        box = subset.table.bounding_box().expanded(0.01)
+        # Fully containing rectangle: answered from the root aggregate,
+        # no double counting possible.
+        assert small_artree.count(box) == 4000
+
+    def test_bulk_and_insert_agree_on_full_cover(self, small_artree, bulk_artree, small_base):
+        box = small_base.subset(4000).table.bounding_box().expanded(0.01)
+        assert small_artree.count(box) == bulk_artree.count(box)
+
+    def test_select_aggregates(self, small_artree, small_base):
+        subset = small_base.subset(4000)
+        box = subset.table.bounding_box().expanded(0.01)
+        result = small_artree.select(box, [AggSpec("sum", "fare"), AggSpec("max", "distance")])
+        assert result["sum(fare)"] == pytest.approx(float(subset.table.column("fare").sum()))
+        assert result["max(distance)"] == pytest.approx(
+            float(subset.table.column("distance").max())
+        )
+
+    def test_polygon_uses_interior_rectangle(self, small_artree, small_base):
+        polygon = Polygon.regular(-73.95, 40.74, 0.06, 6)
+        count = small_artree.count(polygon)
+        assert count >= 0
+
+    def test_empty_region_query(self, small_artree):
+        assert small_artree.count(BoundingBox(10.0, 10.0, 11.0, 11.0)) == 0
+
+
+class TestIncrementalInsert:
+    def test_insert_after_build(self, small_base):
+        tree = ARTree(small_base.subset(500))
+        record = np.zeros(1 + 3 * 2)
+        record[0] = 1.0
+        tree.insert(-73.9, 40.7, record)
+        box = BoundingBox(-74.5, 40.0, -73.0, 41.5)
+        assert tree.count(box) == 501
+
+    def test_memory_overhead(self, small_artree):
+        assert small_artree.memory_overhead_bytes() == small_artree.num_nodes * (
+            32 + 7 * 8 + FANOUT * 8
+        )

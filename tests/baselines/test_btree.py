@@ -1,0 +1,104 @@
+"""Tests for the from-scratch B+-tree."""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.btree import BPlusTree
+from repro.errors import BuildError
+
+
+class TestInsertPath:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=0, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_behaves_like_sorted_multiset(self, keys):
+        tree = BPlusTree(order=8)
+        for value, key in enumerate(keys):
+            tree.insert(key, value)
+        tree.check_invariants()
+        assert len(tree) == len(keys)
+        assert [key for key, _ in tree.items()] == sorted(keys)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_lower_bound_matches_bisect(self, keys):
+        tree = BPlusTree(order=6)
+        for value, key in enumerate(keys):
+            tree.insert(key, value)
+        ordered = sorted(keys)
+        for probe in range(0, 105, 7):
+            hit = tree.lower_bound(probe)
+            index = bisect.bisect_left(ordered, probe)
+            if index == len(ordered):
+                assert hit is None
+            else:
+                assert hit is not None and hit[0] == ordered[index]
+
+    def test_duplicates_all_retrievable(self):
+        tree = BPlusTree(order=4)
+        for value in range(20):
+            tree.insert(5, value)
+        tree.insert(4, 99)
+        tree.insert(6, 98)
+        assert sorted(tree.get_all(5)) == list(range(20))
+        tree.check_invariants()
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(order=8)
+        for key in range(2000):
+            tree.insert(key, key)
+        assert tree.height <= 5
+        tree.check_invariants()
+
+    def test_order_validation(self):
+        with pytest.raises(BuildError):
+            BPlusTree(order=2)
+
+
+class TestBulkLoad:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=0, max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_bulk_equals_inserted(self, keys):
+        keys = sorted(keys)
+        bulk = BPlusTree.bulk_load(keys, order=8)
+        bulk.check_invariants()
+        assert [key for key, _ in bulk.items()] == keys
+        # Values are positions in the sorted input.
+        assert [value for _, value in bulk.items()] == list(range(len(keys)))
+
+    def test_bulk_rejects_unsorted(self):
+        with pytest.raises(BuildError):
+            BPlusTree.bulk_load([3, 1, 2])
+
+    def test_bulk_from_numpy(self):
+        keys = np.arange(0, 1000, 3, dtype=np.int64)
+        tree = BPlusTree.bulk_load(keys)
+        tree.check_invariants()
+        assert len(tree) == keys.size
+
+    def test_bulk_lower_bound_with_duplicates_spanning_leaves(self):
+        keys = [5] * 40 + [7] * 3
+        tree = BPlusTree.bulk_load(keys, order=4)
+        hit = tree.lower_bound(5)
+        assert hit == (5, 0)  # first duplicate, first position
+        assert tree.lower_bound(6) == (7, 40)
+
+    def test_range_values(self):
+        tree = BPlusTree.bulk_load(list(range(0, 100, 2)), order=8)
+        values = tree.range_values(10, 20)
+        assert [2 * v for v in values] == [10, 12, 14, 16, 18, 20]
+
+    def test_iterate_from_tail(self):
+        tree = BPlusTree.bulk_load([1, 5, 9], order=4)
+        assert list(tree.iterate_from(6)) == [(9, 2)]
+        assert list(tree.iterate_from(10)) == []
+
+    def test_memory_accounting(self):
+        tree = BPlusTree.bulk_load(list(range(1000)), order=16)
+        assert tree.memory_bytes() == tree.num_nodes * 16 * 24
+        assert tree.num_nodes > 1000 / 16

@@ -1,0 +1,152 @@
+"""Tests for the from-scratch PH-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.phtree import LEAF_CAPACITY, PHTree, _compact, _morton_interleave
+from repro.core import AggSpec
+from repro.geometry import BoundingBox, Polygon
+
+
+@pytest.fixture(scope="module")
+def phtree(small_base) -> PHTree:
+    return PHTree(small_base)
+
+
+class TestMortonCodes:
+    def test_interleave_compact_roundtrip(self):
+        rng = np.random.default_rng(2)
+        ix = rng.integers(0, 2**32, 200)
+        iy = rng.integers(0, 2**32, 200)
+        codes = _morton_interleave(ix, iy)
+        for index in range(0, 200, 13):
+            code = int(codes[index])
+            assert _compact(code >> 1) == int(ix[index])
+            assert _compact(code) == int(iy[index])
+
+    def test_codes_unsigned(self):
+        ix = np.array([2**32 - 1], dtype=np.int64)
+        iy = np.array([2**32 - 1], dtype=np.int64)
+        codes = _morton_interleave(ix, iy)
+        assert codes.dtype == np.uint64
+        assert int(codes[0]) == 2**64 - 1
+
+    def test_morton_order_preserves_prefix_grouping(self):
+        # Quadrant code (top bit pair) dominates the ordering.
+        ix = np.array([0, 2**31], dtype=np.int64)
+        iy = np.array([2**31, 0], dtype=np.int64)
+        codes = _morton_interleave(ix, iy)
+        assert codes[0] < codes[1]  # x bit is the more significant
+
+
+class TestWindowQueries:
+    @given(
+        st.floats(min_value=-74.2, max_value=-73.8),
+        st.floats(min_value=40.5, max_value=40.85),
+        st.floats(min_value=0.01, max_value=0.2),
+        st.floats(min_value=0.01, max_value=0.2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_count_matches_brute_force(self, x0, y0, w, h):
+        phtree = _shared_phtree()
+        base = phtree._base
+        box = BoundingBox(x0, y0, x0 + w, y0 + h)
+        got = phtree.count(box)
+        want = int(box.contains_points(base.table.xs, base.table.ys).sum())
+        # 32-bit quantisation can flip points on the exact border.
+        assert abs(got - want) <= max(2, int(0.002 * max(want, 1)))
+
+    def test_empty_window(self, phtree):
+        assert phtree.count(BoundingBox(0.0, 0.0, 1.0, 1.0)) == 0
+
+    def test_full_domain_window(self, phtree, small_base):
+        box = small_base.table.bounding_box()
+        assert phtree.count(box) == len(small_base)
+
+    def test_select_aggregates_match_brute_force(self, phtree, small_base):
+        box = BoundingBox(-74.0, 40.7, -73.9, 40.8)
+        result = phtree.select(box, [AggSpec("count"), AggSpec("sum", "fare")])
+        mask = box.contains_points(small_base.table.xs, small_base.table.ys)
+        want_sum = float(small_base.table.column("fare")[mask].sum())
+        assert result["sum(fare)"] == pytest.approx(want_sum, rel=0.01)
+
+    def test_polygon_resolved_to_interior_rectangle(self, phtree, small_base):
+        polygon = Polygon.regular(-73.95, 40.75, 0.05, 8)
+        exact = polygon.count_contained(small_base.table.xs, small_base.table.ys)
+        # The interior rectangle under-covers the polygon.
+        assert phtree.count(polygon) <= exact
+
+    def test_scalar_mode_matches(self, small_base):
+        scalar = PHTree(small_base, scalar=True)
+        vector = PHTree(small_base)
+        box = BoundingBox(-74.0, 40.7, -73.9, 40.8)
+        aggs = [AggSpec("count"), AggSpec("sum", "fare")]
+        a = scalar.select(box, aggs)
+        b = vector.select(box, aggs)
+        assert a.count == b.count
+        assert a["sum(fare)"] == pytest.approx(b["sum(fare)"])
+
+
+class TestStructure:
+    def test_prefix_sharing_limits_nodes(self, phtree, small_base):
+        # Patricia collapsing keeps the node count well below one node
+        # per point.
+        assert phtree.num_nodes < len(small_base)
+
+    def test_leaves_respect_capacity(self, phtree):
+        def check(node):
+            if node.is_leaf:
+                if node.depth < 32:
+                    assert node.hi - node.lo <= LEAF_CAPACITY
+                return
+            for child in node.children.values():
+                check(child)
+
+        check(phtree._root)
+
+    def test_node_ranges_partition_rows(self, phtree):
+        def check(node):
+            if node.is_leaf:
+                return
+            child_ranges = sorted((child.lo, child.hi) for child in node.children.values())
+            assert child_ranges[0][0] == node.lo
+            assert child_ranges[-1][1] == node.hi
+            for (_, prev_hi), (next_lo, _) in zip(child_ranges, child_ranges[1:]):
+                assert prev_hi == next_lo
+            for child in node.children.values():
+                check(child)
+
+        check(phtree._root)
+
+    def test_memory_overhead_positive(self, phtree):
+        assert phtree.memory_overhead_bytes() > 0
+
+
+_PH_CACHE: dict[str, PHTree] = {}
+
+
+def _shared_phtree() -> PHTree:
+    if "tree" not in _PH_CACHE:
+        from repro.cells import EARTH
+        from repro.storage import PointTable, Schema, extract
+
+        rng = np.random.default_rng(99)
+        count = 20_000
+        xs = np.concatenate(
+            [rng.normal(-73.98, 0.03, count // 2), rng.normal(-73.80, 0.06, count // 2)]
+        )
+        ys = np.concatenate(
+            [rng.normal(40.75, 0.03, count // 2), rng.normal(40.68, 0.05, count // 2)]
+        )
+        table = PointTable(
+            Schema(["fare", "distance"]),
+            xs,
+            ys,
+            {"fare": rng.gamma(3.0, 4.0, count), "distance": rng.gamma(2.0, 2.0, count)},
+        )
+        _PH_CACHE["tree"] = PHTree(extract(table, EARTH))
+    return _PH_CACHE["tree"]

@@ -1,0 +1,110 @@
+"""Vectorised cell ops must agree with the scalar reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells import cellid, cellops
+from repro.cells.curves import MAX_LEVEL
+from repro.errors import CellError
+
+
+def _random_ids(rng: np.random.Generator, count: int) -> np.ndarray:
+    levels = rng.integers(0, MAX_LEVEL + 1, count)
+    out = np.empty(count, dtype=np.int64)
+    for index in range(count):
+        level = int(levels[index])
+        pos = int(rng.integers(0, 4**level)) if level else 0
+        out[index] = cellid.make_id(level, pos)
+    return out
+
+
+@pytest.fixture(scope="module")
+def ids() -> np.ndarray:
+    return _random_ids(np.random.default_rng(11), 500)
+
+
+class TestAgainstScalar:
+    def test_level_array(self, ids):
+        expected = [cellid.level_of(int(raw)) for raw in ids]
+        assert cellops.level_array(ids).tolist() == expected
+
+    def test_range_arrays(self, ids):
+        assert cellops.range_min_array(ids).tolist() == [
+            cellid.range_min(int(raw)) for raw in ids
+        ]
+        assert cellops.range_max_array(ids).tolist() == [
+            cellid.range_max(int(raw)) for raw in ids
+        ]
+
+    @pytest.mark.parametrize("level", [0, 5, 14, MAX_LEVEL])
+    def test_first_last_child_arrays(self, level):
+        rng = np.random.default_rng(4)
+        coarse = np.array(
+            [cellid.make_id(level_i, int(rng.integers(0, 4**level_i)))
+             for level_i in rng.integers(0, level + 1, 100)],
+            dtype=np.int64,
+        )
+        firsts = cellops.first_child_at_array(coarse, level)
+        lasts = cellops.last_child_at_array(coarse, level)
+        for raw, first, last in zip(coarse.tolist(), firsts.tolist(), lasts.tolist()):
+            assert first == cellid.first_child_at(raw, level)
+            assert last == cellid.last_child_at(raw, level)
+
+    @pytest.mark.parametrize("level", [0, 3, 17, 29])
+    def test_ancestors_at_level(self, level):
+        rng = np.random.default_rng(21)
+        leaves = cellops.leaf_ids_from_pos(rng.integers(0, 4**MAX_LEVEL, 200))
+        ancestors = cellops.ancestors_at_level(leaves, level)
+        for leaf, anc in zip(leaves.tolist(), ancestors.tolist()):
+            assert anc == cellid.parent(leaf, level)
+
+    def test_leaf_pos_roundtrip(self):
+        pos = np.arange(1000, dtype=np.int64) * 7919
+        leaves = cellops.leaf_ids_from_pos(pos)
+        assert (cellops.pos_from_leaf_ids(leaves) == pos).all()
+        assert (leaves % 2 == 1).all()
+
+
+class TestGrouping:
+    def test_sort_and_group_basics(self):
+        keys = np.array([3, 3, 3, 7, 9, 9], dtype=np.int64)
+        unique, starts, counts = cellops.sort_and_group(keys)
+        assert unique.tolist() == [3, 7, 9]
+        assert starts.tolist() == [0, 3, 4]
+        assert counts.tolist() == [3, 1, 2]
+
+    def test_sort_and_group_empty(self):
+        unique, starts, counts = cellops.sort_and_group(np.empty(0, dtype=np.int64))
+        assert unique.size == starts.size == counts.size == 0
+
+    def test_sort_and_group_single_group(self):
+        keys = np.full(17, 42, dtype=np.int64)
+        unique, starts, counts = cellops.sort_and_group(keys)
+        assert unique.tolist() == [42]
+        assert counts.tolist() == [17]
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=0, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_counts_sum_to_input(self, values):
+        keys = np.sort(np.asarray(values, dtype=np.int64))
+        unique, starts, counts = cellops.sort_and_group(keys)
+        assert counts.sum() == keys.size
+        # offsets + counts reconstruct the boundaries
+        rebuilt = []
+        for u, s, c in zip(unique.tolist(), starts.tolist(), counts.tolist()):
+            rebuilt.extend([u] * c)
+            assert (keys[s : s + c] == u).all()
+        assert rebuilt == keys.tolist()
+
+
+class TestValidation:
+    def test_level_bounds(self):
+        ids = np.array([cellid.make_id(5, 1)], dtype=np.int64)
+        with pytest.raises(CellError):
+            cellops.ancestors_at_level(ids, 31)
+        with pytest.raises(CellError):
+            cellops.first_child_at_array(ids, -1)

@@ -1,0 +1,56 @@
+"""Tests for the per-level cell statistics table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells.space import EARTH
+from repro.cells.stats import level_for_max_diagonal, level_stats, stats_table
+from repro.errors import CellError
+
+
+class TestLevelStats:
+    def test_diagonal_halves_per_level(self):
+        for level in range(0, 29):
+            this = level_stats(EARTH, level)
+            deeper = level_stats(EARTH, level + 1)
+            assert deeper.diagonal_meters == pytest.approx(this.diagonal_meters / 2.0)
+
+    def test_metres_shrink_with_latitude(self):
+        at_equator = level_stats(EARTH, 15, latitude=0.0)
+        at_nyc = level_stats(EARTH, 15, latitude=40.7)
+        assert at_nyc.width_meters < at_equator.width_meters
+        assert at_nyc.height_meters == pytest.approx(at_equator.height_meters)
+
+    def test_table_has_all_levels(self):
+        table = stats_table(EARTH)
+        assert len(table) == 31
+        assert [entry.level for entry in table] == list(range(31))
+
+    def test_diagonal_consistent_with_sides(self):
+        entry = level_stats(EARTH, 17, latitude=40.7)
+        expected = (entry.width_meters**2 + entry.height_meters**2) ** 0.5
+        assert entry.diagonal_meters == pytest.approx(expected)
+
+
+class TestErrorBoundLookup:
+    def test_level_for_diagonal_is_coarsest_satisfying(self):
+        for target in (1e7, 1e5, 1e3, 10.0):
+            level = level_for_max_diagonal(EARTH, target)
+            assert level_stats(EARTH, level).diagonal_meters <= target
+            if level > 0:
+                assert level_stats(EARTH, level - 1).diagonal_meters > target
+
+    def test_tiny_bound_rejected(self):
+        with pytest.raises(CellError):
+            level_for_max_diagonal(EARTH, 1e-6)
+
+    def test_non_positive_bound_rejected(self):
+        with pytest.raises(CellError):
+            level_for_max_diagonal(EARTH, 0.0)
+
+    def test_paper_style_bounds(self):
+        """A ~100m bound lands in the paper's level-17..19 territory for
+        our planar cells (exact levels differ from S2's sphere)."""
+        level = level_for_max_diagonal(EARTH, 100.0, latitude=40.7)
+        assert 15 <= level <= 22

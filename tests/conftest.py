@@ -1,0 +1,81 @@
+"""Shared fixtures: a small deterministic dataset and common regions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import EARTH
+from repro.core import GeoBlock
+from repro.geometry import BoundingBox, Polygon
+from repro.storage import PointTable, Schema, extract
+
+
+NYC_WINDOW = BoundingBox(-74.2, 40.5, -73.7, 40.95)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_table() -> PointTable:
+    """20k clustered points with two numeric columns."""
+    generator = np.random.default_rng(99)
+    count = 20_000
+    xs = np.concatenate(
+        [
+            generator.normal(-73.98, 0.03, count // 2),
+            generator.normal(-73.80, 0.06, count // 2),
+        ]
+    )
+    ys = np.concatenate(
+        [
+            generator.normal(40.75, 0.03, count // 2),
+            generator.normal(40.68, 0.05, count // 2),
+        ]
+    )
+    np.clip(xs, NYC_WINDOW.min_x, NYC_WINDOW.max_x, out=xs)
+    np.clip(ys, NYC_WINDOW.min_y, NYC_WINDOW.max_y, out=ys)
+    schema = Schema(["fare", "distance"])
+    return PointTable(
+        schema,
+        xs,
+        ys,
+        {
+            "fare": generator.gamma(3.0, 4.0, count),
+            "distance": generator.gamma(2.0, 2.0, count),
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def small_base(small_table):
+    return extract(small_table, EARTH)
+
+
+@pytest.fixture(scope="session")
+def small_block(small_base) -> GeoBlock:
+    return GeoBlock.build(small_base, level=15)
+
+
+@pytest.fixture(scope="session")
+def quad_polygon() -> Polygon:
+    """A quadrilateral straddling both point clusters."""
+    return Polygon([(-74.05, 40.65), (-73.85, 40.63), (-73.82, 40.80), (-74.02, 40.82)])
+
+
+@pytest.fixture(scope="session")
+def small_polygons() -> list[Polygon]:
+    """A handful of diverse query polygons."""
+    generator = np.random.default_rng(7)
+    polygons = []
+    for _ in range(12):
+        cx = generator.uniform(-74.15, -73.75)
+        cy = generator.uniform(40.55, 40.9)
+        radius = generator.uniform(0.01, 0.08)
+        sides = int(generator.integers(3, 9))
+        phase = generator.uniform(0, 3.0)
+        polygons.append(Polygon.regular(cx, cy, radius, sides, phase))
+    return polygons

@@ -1,0 +1,59 @@
+"""Tests for the global header."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import EARTH
+from repro.core.aggregates import CellAggregates
+from repro.core.header import GlobalHeader
+from repro.storage import PointTable, Schema, extract
+
+
+@pytest.fixture(scope="module")
+def aggregates():
+    rng = np.random.default_rng(12)
+    count = 3000
+    table = PointTable(
+        Schema(["v"]),
+        rng.normal(-73.95, 0.05, count),
+        rng.normal(40.75, 0.04, count),
+        {"v": rng.normal(10.0, 2.0, count)},
+    )
+    return CellAggregates.build(extract(table, EARTH), 12)
+
+
+class TestGlobalHeader:
+    def test_totals(self, aggregates):
+        header = GlobalHeader.from_aggregates(aggregates, 12)
+        assert header.total_count == 3000
+        assert header.level == 12
+        assert not header.is_empty
+
+    def test_pruning_range(self, aggregates):
+        header = GlobalHeader.from_aggregates(aggregates, 12)
+        assert header.min_cell == int(aggregates.keys[0])
+        assert header.max_cell == int(aggregates.keys[-1])
+        assert header.min_leaf <= header.max_leaf
+
+    def test_global_record_is_block_wide_aggregate(self, aggregates):
+        header = GlobalHeader.from_aggregates(aggregates, 12)
+        assert header.global_record[0] == 3000
+        assert header.global_record[1] == pytest.approx(float(aggregates.sums["v"].sum()))
+
+    def test_empty_header(self):
+        empty = CellAggregates(
+            schema=Schema(["v"]),
+            keys=np.empty(0, dtype=np.int64),
+            offsets=np.empty(0, dtype=np.int64),
+            counts=np.empty(0, dtype=np.int64),
+            key_mins=np.empty(0, dtype=np.int64),
+            key_maxs=np.empty(0, dtype=np.int64),
+            sums={"v": np.empty(0)},
+            mins={"v": np.empty(0)},
+            maxs={"v": np.empty(0)},
+        )
+        header = GlobalHeader.from_aggregates(empty, 12)
+        assert header.is_empty
+        assert header.total_count == 0

@@ -1,0 +1,126 @@
+"""Tests for query statistics scoring and the build pipelines."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cells import cellid
+from repro.cells.union import CellUnion
+from repro.core.builder import build_incremental, build_isolated, payoff_point
+from repro.core.statistics import QueryStatistics
+from repro.data.nyc import nyc_cleaning_rules, nyc_taxi
+from repro.storage.etl import extract
+from repro.storage.expr import col
+from repro.cells.space import EARTH
+
+
+def _union(*cells: int) -> CellUnion:
+    return CellUnion(np.asarray(cells, dtype=np.int64))
+
+
+class TestScoring:
+    def test_score_adds_parent_hits(self):
+        stats = QueryStatistics()
+        parent = cellid.make_id(8, 5)
+        child = cellid.child(parent, 1)
+        stats.record_cell(parent, hits=3)
+        stats.record_cell(child, hits=2)
+        assert stats.score(child) == 5
+        assert stats.score(parent) == 3
+
+    def test_record_covering_counts_each_cell(self):
+        stats = QueryStatistics()
+        cells = [cellid.make_id(9, pos) for pos in (1, 5)]
+        stats.record_covering(_union(*cells))
+        stats.record_covering(_union(cells[0]))
+        assert stats.hits(cells[0]) == 2
+        assert stats.hits(cells[1]) == 1
+        assert stats.queries_recorded == 2
+
+    def test_ranking_order(self):
+        """Descending score, then ascending level, then key."""
+        stats = QueryStatistics()
+        coarse = cellid.make_id(6, 3)
+        fine = cellid.make_id(9, 40)
+        fine_same_score = cellid.make_id(9, 41)
+        stats.record_cell(coarse, hits=2)
+        stats.record_cell(fine, hits=2)
+        stats.record_cell(fine_same_score, hits=2)
+        ranked = stats.ranked_candidates()
+        ranked_cells = [candidate.cell for candidate in ranked]
+        assert ranked_cells.index(coarse) < ranked_cells.index(fine)
+        assert ranked_cells.index(fine) < ranked_cells.index(fine_same_score)
+
+    def test_children_of_seen_cells_are_candidates(self):
+        stats = QueryStatistics()
+        parent = cellid.make_id(8, 5)
+        stats.record_cell(parent, hits=4)
+        ranked_cells = {candidate.cell for candidate in stats.ranked_candidates()}
+        for kid in cellid.children(parent):
+            assert kid in ranked_cells
+
+    def test_level_filters(self):
+        stats = QueryStatistics()
+        stats.record_cell(cellid.make_id(5, 1), hits=1)
+        stats.record_cell(cellid.make_id(12, 1), hits=1)
+        ranked = stats.ranked_candidates(min_level=10, max_level=12)
+        assert all(10 <= candidate.level <= 12 for candidate in ranked)
+
+    def test_clear(self):
+        stats = QueryStatistics()
+        stats.record_cell(cellid.make_id(5, 1))
+        stats.clear()
+        assert len(stats) == 0
+        assert stats.queries_recorded == 0
+
+
+class TestPayoffMath:
+    def test_simple_payoff(self):
+        # Sort costs 10s; incremental saves 2s per build.
+        assert payoff_point(10.0, 1.0, 3.0) == 5
+
+    def test_rounds_up(self):
+        assert payoff_point(10.0, 1.0, 4.0) == 4  # 10/3 -> ceil
+
+    def test_never_pays_off(self):
+        assert payoff_point(10.0, 3.0, 2.0) == math.inf
+        assert payoff_point(10.0, 3.0, 3.0) == math.inf
+
+
+class TestBuildPipelines:
+    @pytest.fixture(scope="class")
+    def raw(self):
+        return nyc_taxi(15_000, seed=5)
+
+    @pytest.fixture(scope="class")
+    def base(self, raw):
+        return extract(raw, EARTH, nyc_cleaning_rules())
+
+    def test_incremental_equals_isolated_results(self, raw, base):
+        predicate = col("trip_distance") >= 4
+        incremental = build_incremental(base, 13, predicate).block
+        isolated = build_isolated(raw, EARTH, 13, predicate, nyc_cleaning_rules()).block
+        assert incremental.header.total_count == isolated.header.total_count
+        assert bool((incremental.aggregates.keys == isolated.aggregates.keys).all())
+        assert np.allclose(
+            incremental.aggregates.sums["fare_amount"],
+            isolated.aggregates.sums["fare_amount"],
+        )
+
+    def test_incremental_reports_no_sort_time(self, base):
+        report = build_incremental(base, 13)
+        assert report.sort_seconds == 0.0
+        assert report.build_seconds > 0.0
+
+    def test_isolated_reports_sort_time(self, raw):
+        report = build_isolated(raw, EARTH, 13, col("passenger_cnt") == 1, nyc_cleaning_rules())
+        assert report.sort_seconds > 0.0
+        assert report.total_seconds >= report.build_seconds
+
+    def test_isolated_block_carries_predicate(self, raw):
+        predicate = col("passenger_cnt") > 1
+        report = build_isolated(raw, EARTH, 13, predicate, nyc_cleaning_rules())
+        assert report.block.predicate is predicate

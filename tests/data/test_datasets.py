@@ -1,0 +1,122 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AMERICAS_BOUNDS,
+    NYC_BOUNDS,
+    US_BOUNDS,
+    Hotspot,
+    mixture_points,
+    nyc_cleaning_rules,
+    nyc_taxi,
+    osm_americas,
+    us_tweets,
+)
+from repro.data.nyc import DIRTY_FRACTION
+from repro.errors import GeometryError
+from repro.storage import col, extract
+from repro.cells import EARTH
+
+
+class TestMixture:
+    def test_counts_and_bounds(self):
+        rng = np.random.default_rng(1)
+        spots = [Hotspot(0.0, 0.0, 1.0, 1.0), Hotspot(5.0, 5.0, 0.5, 0.5, weight=2.0)]
+        from repro.geometry import BoundingBox
+
+        bounds = BoundingBox(-10, -10, 10, 10)
+        xs, ys = mixture_points(spots, 5000, bounds, rng)
+        assert xs.shape == ys.shape == (5000,)
+        assert bool(bounds.contains_points(xs, ys).all())
+
+    def test_weights_drive_density(self):
+        rng = np.random.default_rng(2)
+        spots = [Hotspot(-5.0, 0.0, 0.5, 0.5, weight=9.0), Hotspot(5.0, 0.0, 0.5, 0.5, weight=1.0)]
+        from repro.geometry import BoundingBox
+
+        bounds = BoundingBox(-10, -10, 10, 10)
+        xs, _ = mixture_points(spots, 10_000, bounds, rng, uniform_fraction=0.0)
+        left = int((xs < 0).sum())
+        assert left > 8000
+
+    def test_validation(self):
+        rng = np.random.default_rng(3)
+        from repro.geometry import BoundingBox
+
+        bounds = BoundingBox(-1, -1, 1, 1)
+        with pytest.raises(GeometryError):
+            mixture_points([], 10, bounds, rng)
+        with pytest.raises(GeometryError):
+            Hotspot(0, 0, -1.0, 1.0)
+        with pytest.raises(GeometryError):
+            mixture_points([Hotspot(0, 0, 1, 1)], 10, bounds, rng, uniform_fraction=2.0)
+
+
+class TestNycTaxi:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return nyc_taxi(30_000, seed=42)
+
+    def test_schema_and_size(self, table):
+        assert len(table) == 30_000
+        assert "fare_amount" in table.schema
+        assert "pickup_ts" in table.schema
+        assert len(table.schema) == 7
+
+    def test_filter_selectivities_match_paper(self, table):
+        base = extract(table, EARTH, nyc_cleaning_rules())
+        assert (col("trip_distance") >= 4).selectivity(base.table) == pytest.approx(0.16, abs=0.04)
+        assert (col("passenger_cnt") == 1).selectivity(base.table) == pytest.approx(0.70, abs=0.03)
+        assert (col("passenger_cnt") > 1).selectivity(base.table) == pytest.approx(0.30, abs=0.03)
+
+    def test_cleaning_drops_dirty_rows(self, table):
+        base = extract(table, EARTH, nyc_cleaning_rules())
+        dropped = len(table) - len(base)
+        assert dropped > 0
+        assert dropped < 3 * DIRTY_FRACTION * len(table)
+        assert bool(NYC_BOUNDS.contains_points(base.table.xs, base.table.ys).all())
+        assert bool((base.table.column("fare_amount") <= 500).all())
+
+    def test_clean_generation(self):
+        table = nyc_taxi(1000, seed=1, dirty=False)
+        base = extract(table, EARTH, nyc_cleaning_rules())
+        assert len(base) == 1000
+
+    def test_deterministic_per_seed(self):
+        a = nyc_taxi(500, seed=7)
+        b = nyc_taxi(500, seed=7)
+        c = nyc_taxi(500, seed=8)
+        assert np.array_equal(a.xs, b.xs)
+        assert not np.array_equal(a.xs, c.xs)
+
+    def test_fare_correlates_with_distance(self, table):
+        fare = table.column("fare_amount")
+        distance = table.column("trip_distance")
+        finite = (fare < 1000) & (distance < 100)
+        correlation = np.corrcoef(fare[finite], distance[finite])[0, 1]
+        assert correlation > 0.8
+
+
+class TestOtherDatasets:
+    def test_tweets_bounds_and_schema(self):
+        table = us_tweets(5000, seed=3)
+        assert bool(US_BOUNDS.contains_points(table.xs, table.ys).all())
+        assert table.schema.names == ["val_a", "val_b", "val_c", "val_d"]
+
+    def test_osm_bounds(self):
+        table = osm_americas(5000, seed=3)
+        assert bool(AMERICAS_BOUNDS.contains_points(table.xs, table.ys).all())
+
+    def test_tweets_metro_skew(self):
+        table = us_tweets(20_000, seed=4)
+        # NYC metro box should hold far more than uniform density.
+        from repro.geometry import BoundingBox
+
+        nyc = BoundingBox(-74.5, 40.2, -73.5, 41.2)
+        fraction = float(nyc.contains_points(table.xs, table.ys).mean())
+        uniform_share = nyc.area() / US_BOUNDS.area()
+        assert fraction > 10 * uniform_share

@@ -1,0 +1,121 @@
+"""Tests for polygon tessellations and selectivity-targeted polygons."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    NYC_BOUNDS,
+    US_BOUNDS,
+    americas_countries,
+    bounded_voronoi,
+    nyc_neighborhoods,
+    random_rectangles,
+    selectivity_polygon,
+    selectivity_sweep,
+    us_states,
+)
+from repro.errors import GeometryError
+
+
+class TestBoundedVoronoi:
+    def test_cells_partition_the_box(self):
+        rng = np.random.default_rng(1)
+        xs = rng.uniform(0.1, 9.9, 40)
+        ys = rng.uniform(0.1, 4.9, 40)
+        from repro.geometry import BoundingBox
+
+        bounds = BoundingBox(0, 0, 10, 5)
+        cells = bounded_voronoi(xs, ys, bounds)
+        assert len(cells) == 40
+        total_area = sum(cell.area() for cell in cells)
+        assert total_area == pytest.approx(bounds.area(), rel=1e-6)
+
+    def test_each_seed_in_own_cell(self):
+        rng = np.random.default_rng(2)
+        xs = rng.uniform(1, 9, 25)
+        ys = rng.uniform(1, 4, 25)
+        from repro.geometry import BoundingBox
+
+        cells = bounded_voronoi(xs, ys, BoundingBox(0, 0, 10, 5))
+        for index, cell in enumerate(cells):
+            assert cell.contains_point(float(xs[index]), float(ys[index]))
+
+    def test_needs_three_seeds(self):
+        from repro.geometry import BoundingBox
+
+        with pytest.raises(GeometryError):
+            bounded_voronoi(np.array([1.0]), np.array([1.0]), BoundingBox(0, 0, 2, 2))
+
+
+class TestTessellations:
+    def test_nyc_neighborhoods(self):
+        polygons = nyc_neighborhoods(seed=1)
+        assert 150 <= len(polygons) <= 195
+        total = sum(p.area() for p in polygons)
+        assert total == pytest.approx(NYC_BOUNDS.area(), rel=1e-6)
+        # Simple shapes, as the paper notes.
+        median_vertices = float(np.median([p.num_vertices for p in polygons]))
+        assert median_vertices <= 8
+
+    def test_density_tracking(self):
+        """Manhattan-side polygons are smaller than suburb polygons."""
+        polygons = nyc_neighborhoods(seed=1)
+        manhattan = [p for p in polygons if p.centroid()[0] < -73.94 and 40.70 < p.centroid()[1] < 40.82]
+        suburbs = [p for p in polygons if p.centroid()[0] > -73.80]
+        assert manhattan and suburbs
+        assert np.median([p.area() for p in manhattan]) < np.median([p.area() for p in suburbs])
+
+    def test_us_states_and_countries(self):
+        states = us_states(seed=2)
+        countries = americas_countries(seed=2)
+        assert 40 <= len(states) <= 49
+        assert 25 <= len(countries) <= 35
+
+    def test_deterministic(self):
+        a = nyc_neighborhoods(seed=5)
+        b = nyc_neighborhoods(seed=5)
+        assert len(a) == len(b)
+        assert np.allclose(a[0].xs, b[0].xs)
+
+
+class TestRectangles:
+    def test_count_and_bounds(self):
+        rects = random_rectangles(US_BOUNDS, count=51, seed=3)
+        assert len(rects) == 51
+        for rect in rects:
+            assert rect.num_vertices == 4
+            assert US_BOUNDS.contains_box(rect.bounding_box)
+
+
+class TestSelectivityPolygons:
+    @pytest.fixture(scope="class")
+    def cloud(self):
+        rng = np.random.default_rng(11)
+        return rng.normal(0, 1, 30_000), rng.normal(5, 2, 30_000)
+
+    @pytest.mark.parametrize("fraction", [0.01, 0.1, 0.5, 0.9])
+    def test_fraction_is_accurate(self, cloud, fraction):
+        xs, ys = cloud
+        polygon = selectivity_polygon(xs, ys, fraction)
+        actual = polygon.contains_points(xs, ys).mean()
+        assert actual == pytest.approx(fraction, abs=0.02)
+
+    def test_full_selectivity_covers_everything(self, cloud):
+        xs, ys = cloud
+        polygon = selectivity_polygon(xs, ys, 1.0)
+        assert polygon.contains_points(xs, ys).all()
+
+    def test_sweep_is_nested(self, cloud):
+        xs, ys = cloud
+        polygons = selectivity_sweep(xs, ys, [0.1, 0.5, 1.0])
+        areas = [p.area() for p in polygons]
+        assert areas == sorted(areas)
+
+    def test_validation(self, cloud):
+        xs, ys = cloud
+        with pytest.raises(GeometryError):
+            selectivity_polygon(xs, ys, 0.0)
+        with pytest.raises(GeometryError):
+            selectivity_polygon(np.empty(0), np.empty(0), 0.5)

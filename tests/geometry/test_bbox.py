@@ -1,0 +1,85 @@
+"""Tests for BoundingBox."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.bbox import BoundingBox
+
+
+class TestConstruction:
+    def test_rejects_inverted(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([1.0, 3.0, 2.0], [5.0, 4.0, 6.0])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (1.0, 4.0, 3.0, 6.0)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            BoundingBox.from_points([], [])
+
+    def test_degenerate_allowed(self):
+        box = BoundingBox(1.0, 1.0, 1.0, 1.0)
+        assert box.area() == 0.0
+        assert box.contains_point(1.0, 1.0)
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        box = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        assert box.contains_point(0.0, 0.0)
+        assert box.contains_point(2.0, 2.0)
+        assert not box.contains_point(2.0001, 1.0)
+
+    def test_contains_points_vectorised(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        xs = np.array([0.5, 1.5, 0.0])
+        ys = np.array([0.5, 0.5, 1.0])
+        assert box.contains_points(xs, ys).tolist() == [True, False, True]
+
+    def test_intersects_touching_edges(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(1.0, 0.0, 2.0, 1.0)
+        assert a.intersects(b)
+        assert not a.intersects(BoundingBox(1.1, 0.0, 2.0, 1.0))
+
+    def test_contains_box(self):
+        outer = BoundingBox(0.0, 0.0, 4.0, 4.0)
+        assert outer.contains_box(BoundingBox(1.0, 1.0, 3.0, 3.0))
+        assert outer.contains_box(outer)
+        assert not outer.contains_box(BoundingBox(1.0, 1.0, 5.0, 3.0))
+
+
+class TestCombinators:
+    def test_union(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(2.0, -1.0, 3.0, 0.5)
+        union = a.union(b)
+        assert (union.min_x, union.min_y, union.max_x, union.max_y) == (0.0, -1.0, 3.0, 1.0)
+
+    def test_intersection(self):
+        a = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        b = BoundingBox(1.0, 1.0, 3.0, 3.0)
+        overlap = a.intersection(b)
+        assert overlap == BoundingBox(1.0, 1.0, 2.0, 2.0)
+        assert a.intersection(BoundingBox(5.0, 5.0, 6.0, 6.0)) is None
+
+    def test_expanded_and_scaled(self):
+        box = BoundingBox(0.0, 0.0, 2.0, 4.0)
+        grown = box.expanded(1.0)
+        assert (grown.width, grown.height) == (4.0, 6.0)
+        halved = box.scaled(0.5)
+        assert (halved.width, halved.height) == (1.0, 2.0)
+        assert halved.center == box.center
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(0.0, 0.0, 1.0, 1.0).scaled(-1.0)
+
+    def test_corners_ccw(self):
+        corners = list(BoundingBox(0.0, 0.0, 1.0, 2.0).corners())
+        assert corners == [(0.0, 0.0), (1.0, 0.0), (1.0, 2.0), (0.0, 2.0)]

@@ -1,0 +1,138 @@
+"""Tests for interior rectangle extraction and polygon clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.clip import box_within_union, clip_polygon_to_box, clipped_area
+from repro.geometry.interior import interior_box
+from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.geometry.relate import Relation, relate_box
+
+
+class TestInteriorBox:
+    def test_square_interior_nearly_fills(self):
+        square = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        box = interior_box(square)
+        assert box is not None
+        assert relate_box(box, square) is Relation.WITHIN
+        assert box.area() >= 0.9 * square.area()
+
+    @given(
+        st.floats(min_value=-5, max_value=5),
+        st.floats(min_value=-5, max_value=5),
+        st.floats(min_value=0.5, max_value=3.0),
+        st.integers(min_value=3, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_always_within(self, cx, cy, radius, sides):
+        polygon = Polygon.regular(cx, cy, radius, sides)
+        box = interior_box(polygon)
+        assert box is not None
+        assert relate_box(box, polygon) is Relation.WITHIN
+
+    def test_interior_is_substantial_for_convex(self):
+        hexagon = Polygon.regular(0.0, 0.0, 1.0, 6)
+        box = interior_box(hexagon)
+        assert box is not None
+        assert box.area() >= 0.4 * hexagon.area()
+
+    def test_concave_polygon(self):
+        u_shape = Polygon([(0, 0), (3, 0), (3, 3), (2, 3), (2, 1), (1, 1), (1, 3), (0, 3)])
+        box = interior_box(u_shape)
+        assert box is not None
+        assert relate_box(box, u_shape) is Relation.WITHIN
+
+    def test_union_spanning_box(self):
+        """For a tessellation union, the box may span multiple parts."""
+        left = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        right = Polygon([(2, 0), (4, 0), (4, 2), (2, 2)])
+        union = MultiPolygon([left, right])
+        box = interior_box(union)
+        assert box is not None
+        assert box.area() > left.area()  # crosses the shared edge
+
+
+class TestClipping:
+    SQUARE = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+
+    def test_clip_identity(self):
+        box = BoundingBox(-1, -1, 3, 3)
+        assert clipped_area(self.SQUARE, box) == pytest.approx(self.SQUARE.area())
+
+    def test_clip_half(self):
+        box = BoundingBox(0, 0, 1, 2)
+        assert clipped_area(self.SQUARE, box) == pytest.approx(2.0)
+
+    def test_clip_disjoint(self):
+        box = BoundingBox(5, 5, 6, 6)
+        assert clipped_area(self.SQUARE, box) == 0.0
+
+    def test_clip_triangle_corner(self):
+        triangle = Polygon([(0, 0), (2, 0), (0, 2)])
+        box = BoundingBox(0, 0, 1, 1)
+        # The box keeps the unit corner square minus nothing: the
+        # hypotenuse cuts at (1,1): area = 1 - 0.  Compute directly.
+        vertices = clip_polygon_to_box(triangle, box)
+        assert len(vertices) >= 3
+        assert clipped_area(triangle, box) == pytest.approx(1.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1.9),
+        st.floats(min_value=0.1, max_value=1.9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_clipped_area_never_exceeds_either(self, w, h):
+        box = BoundingBox(0.0, 0.0, w, h)
+        area = clipped_area(self.SQUARE, box)
+        assert area <= min(box.area(), self.SQUARE.area()) + 1e-12
+        assert area == pytest.approx(w * h)  # box inside the square
+
+
+class TestBoxWithinUnion:
+    LEFT = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+    RIGHT = Polygon([(2, 0), (4, 0), (4, 2), (2, 2)])
+    UNION = MultiPolygon([LEFT, RIGHT])
+
+    def test_box_across_shared_edge(self):
+        assert box_within_union(BoundingBox(1.0, 0.5, 3.0, 1.5), self.UNION)
+
+    def test_box_poking_out(self):
+        assert not box_within_union(BoundingBox(1.0, 0.5, 5.0, 1.5), self.UNION)
+
+    def test_degenerate_box(self):
+        assert box_within_union(BoundingBox(1.0, 1.0, 1.0, 1.0), self.UNION)
+
+    def test_gap_between_parts(self):
+        gapped = MultiPolygon(
+            [self.LEFT, Polygon([(3, 0), (5, 0), (5, 2), (3, 2)])]
+        )
+        assert not box_within_union(BoundingBox(1.5, 0.5, 3.5, 1.5), gapped)
+
+
+class TestLatLng:
+    def test_meters_per_degree(self):
+        from repro.geometry import latlng
+
+        assert latlng.meters_per_deg_lng(0.0) == pytest.approx(latlng.METERS_PER_DEG_LAT)
+        assert latlng.meters_per_deg_lng(60.0) == pytest.approx(
+            latlng.METERS_PER_DEG_LAT / 2.0, rel=1e-9
+        )
+
+    def test_diagonal(self):
+        from repro.geometry import latlng
+
+        diagonal = latlng.diagonal_meters(1.0, 1.0, 0.0)
+        assert diagonal == pytest.approx(np.sqrt(2.0) * latlng.METERS_PER_DEG_LAT)
+
+    def test_approx_distance_symmetry(self):
+        from repro.geometry import latlng
+
+        d1 = latlng.approx_distance_meters(-73.9, 40.7, -74.0, 40.8)
+        d2 = latlng.approx_distance_meters(-74.0, 40.8, -73.9, 40.7)
+        assert d1 == pytest.approx(d2)
+        assert d1 > 0

@@ -1,0 +1,80 @@
+"""Tests for rectangle-vs-polygon classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.geometry.relate import Relation, box_intersects_region, box_within_region, relate_box
+
+DIAMOND = Polygon([(0, -2), (2, 0), (0, 2), (-2, 0)])
+
+
+class TestSimplePolygon:
+    def test_disjoint(self):
+        assert relate_box(BoundingBox(3, 3, 4, 4), DIAMOND) is Relation.DISJOINT
+
+    def test_within(self):
+        assert relate_box(BoundingBox(-0.4, -0.4, 0.4, 0.4), DIAMOND) is Relation.WITHIN
+
+    def test_intersects_boundary(self):
+        assert relate_box(BoundingBox(1.0, -0.5, 3.0, 0.5), DIAMOND) is Relation.INTERSECTS
+
+    def test_contains_polygon(self):
+        assert relate_box(BoundingBox(-5, -5, 5, 5), DIAMOND) is Relation.CONTAINS
+
+    def test_corner_case_box_outside_bbox_overlap(self):
+        # Overlaps the diamond's bbox near a corner but misses it.
+        assert relate_box(BoundingBox(1.5, 1.5, 1.9, 1.9), DIAMOND) is Relation.DISJOINT
+
+    def test_helpers(self):
+        assert box_within_region(BoundingBox(-0.2, -0.2, 0.2, 0.2), DIAMOND)
+        assert box_intersects_region(BoundingBox(1.0, -0.5, 3.0, 0.5), DIAMOND)
+        assert not box_intersects_region(BoundingBox(5, 5, 6, 6), DIAMOND)
+
+
+class TestConcave:
+    U_SHAPE = Polygon([(0, 0), (3, 0), (3, 3), (2, 3), (2, 1), (1, 1), (1, 3), (0, 3)])
+
+    def test_box_in_notch_is_disjoint(self):
+        assert relate_box(BoundingBox(1.2, 1.5, 1.8, 2.5), self.U_SHAPE) is Relation.DISJOINT
+
+    def test_box_in_left_arm_is_within(self):
+        assert relate_box(BoundingBox(0.2, 1.5, 0.8, 2.5), self.U_SHAPE) is Relation.WITHIN
+
+    def test_box_spanning_notch_intersects(self):
+        assert relate_box(BoundingBox(0.5, 1.5, 2.5, 2.5), self.U_SHAPE) is Relation.INTERSECTS
+
+
+class TestMultiPolygon:
+    LEFT = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+    RIGHT = Polygon([(3, 0), (4, 0), (4, 1), (3, 1)])
+    MULTI = MultiPolygon([LEFT, RIGHT])
+
+    def test_within_one_part(self):
+        assert relate_box(BoundingBox(0.2, 0.2, 0.8, 0.8), self.MULTI) is Relation.WITHIN
+
+    def test_between_parts_disjoint(self):
+        assert relate_box(BoundingBox(1.5, 0.2, 2.5, 0.8), self.MULTI) is Relation.DISJOINT
+
+    def test_contains_one_part_only_is_intersects(self):
+        # Encloses the left part but not the right.
+        assert relate_box(BoundingBox(-1, -1, 2, 2), self.MULTI) is Relation.INTERSECTS
+
+    def test_contains_all_parts(self):
+        assert relate_box(BoundingBox(-1, -1, 5, 2), self.MULTI) is Relation.CONTAINS
+
+    def test_crosses_part_boundary(self):
+        assert relate_box(BoundingBox(0.5, 0.2, 1.5, 0.8), self.MULTI) is Relation.INTERSECTS
+
+
+@pytest.mark.parametrize(
+    "box, expected",
+    [
+        (BoundingBox(-2, -2, 2, 2), Relation.CONTAINS),  # equals polygon bbox
+        (BoundingBox(0, 0, 2, 2), Relation.INTERSECTS),  # quarter overlap
+    ],
+)
+def test_bbox_equality_edge_cases(box, expected):
+    assert relate_box(box, DIAMOND) is expected

@@ -1,0 +1,70 @@
+"""Tests for the segment intersection primitives."""
+
+from __future__ import annotations
+
+from repro.geometry.segment import (
+    on_segment,
+    orientation,
+    segment_intersects_box,
+    segments_intersect,
+)
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(0, 0, 1, 0, 1, 1) == 1
+
+    def test_clockwise(self):
+        assert orientation(0, 0, 1, 1, 1, 0) == -1
+
+    def test_collinear(self):
+        assert orientation(0, 0, 1, 1, 2, 2) == 0
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert segments_intersect(0, 0, 2, 2, 0, 2, 2, 0)
+
+    def test_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 0, 1, 1, 1)
+
+    def test_touching_endpoint(self):
+        assert segments_intersect(0, 0, 1, 1, 1, 1, 2, 0)
+
+    def test_collinear_overlap(self):
+        assert segments_intersect(0, 0, 2, 0, 1, 0, 3, 0)
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 2, 0, 3, 0)
+
+    def test_t_junction(self):
+        assert segments_intersect(0, 0, 2, 0, 1, -1, 1, 0)
+
+
+class TestSegmentBox:
+    def test_endpoint_inside(self):
+        assert segment_intersects_box(0.5, 0.5, 5, 5, 0, 0, 1, 1)
+
+    def test_pierces_through(self):
+        assert segment_intersects_box(-1, 0.5, 2, 0.5, 0, 0, 1, 1)
+
+    def test_misses_diagonally(self):
+        # Near a corner but outside.
+        assert not segment_intersects_box(1.5, -0.2, 2.2, 0.6, 0, 0, 1, 1)
+
+    def test_trivial_reject_left(self):
+        assert not segment_intersects_box(-3, 0, -2, 1, 0, 0, 1, 1)
+
+    def test_touches_corner(self):
+        assert segment_intersects_box(1, 1, 2, 2, 0, 0, 1, 1)
+
+    def test_grazes_edge(self):
+        assert segment_intersects_box(0, 1, 1, 1, 0, 0, 1, 1)
+
+
+class TestOnSegment:
+    def test_inside(self):
+        assert on_segment(0, 0, 2, 2, 1, 1)
+
+    def test_outside_bbox(self):
+        assert not on_segment(0, 0, 2, 2, 3, 3)

@@ -1,0 +1,119 @@
+"""End-to-end integration tests over the full pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ARTree, BinarySearchIndex, BTreeIndex, PHTree
+from repro.cells import EARTH
+from repro.core import AdaptiveGeoBlock, AggSpec, CachePolicy, GeoBlock
+from repro.data import nyc_cleaning_rules, nyc_neighborhoods, nyc_taxi
+from repro.storage import col, extract
+from repro.workloads import base_workload, default_aggregates, skewed_workload
+
+LEVEL = 14
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    raw = nyc_taxi(25_000, seed=77)
+    base = extract(raw, EARTH, nyc_cleaning_rules())
+    block = GeoBlock.build(base, LEVEL)
+    return raw, base, block
+
+
+class TestFullPipeline:
+    def test_extract_clean_and_sorted(self, pipeline):
+        raw, base, _ = pipeline
+        assert 0 < len(base) <= len(raw)
+        assert bool((base.keys[1:] >= base.keys[:-1]).all())
+
+    def test_all_competitors_agree_on_coverings(self, pipeline):
+        _, base, block = pipeline
+        polygons = nyc_neighborhoods(seed=77)[:25]
+        aggs = default_aggregates(base.table.schema, 4)
+        binary = BinarySearchIndex(base, LEVEL)
+        btree = BTreeIndex(base, LEVEL)
+        for polygon in polygons:
+            expected = block.select(polygon, aggs)
+            for competitor in (binary, btree):
+                got = competitor.select(polygon, aggs)
+                assert got.count == expected.count
+                for key, value in expected.values.items():
+                    if not np.isnan(value):
+                        assert got.values[key] == pytest.approx(value), key
+
+    def test_rect_approximators_bracket_exact_count(self, pipeline):
+        """PHTree under-counts (interior rectangle), Block over-counts
+        (covering): the truth lies in between."""
+        _, base, block = pipeline
+        phtree = PHTree(base)
+        polygons = nyc_neighborhoods(seed=77)[:10]
+        for polygon in polygons:
+            exact = polygon.count_contained(base.table.xs, base.table.ys)
+            assert phtree.count(polygon) <= exact <= block.count(polygon)
+
+    def test_artree_on_subset(self, pipeline):
+        _, base, _ = pipeline
+        subset = base.subset(5000)
+        artree = ARTree(subset)
+        box = subset.table.bounding_box().expanded(0.01)
+        assert artree.count(box) == len(subset)
+
+    def test_filtered_blocks_partition_totals(self, pipeline):
+        _, base, _ = pipeline
+        solo = GeoBlock.build(base, LEVEL, col("passenger_cnt") == 1)
+        shared = GeoBlock.build(base, LEVEL, col("passenger_cnt") > 1)
+        assert solo.header.total_count + shared.header.total_count == len(base)
+
+    def test_workload_replay_with_adaptive_cache(self, pipeline):
+        _, base, block = pipeline
+        polygons = nyc_neighborhoods(seed=77)
+        aggs = default_aggregates(base.table.schema, 7)
+        base_wl = base_workload(polygons, aggs)
+        skew_wl = skewed_workload(polygons, aggs, seed=77)
+        adaptive = AdaptiveGeoBlock(GeoBlock.build(base, LEVEL), CachePolicy(threshold=1.0))
+        # Base pass, adapt, then skewed passes must agree with Block.
+        for query in base_wl:
+            adaptive.select(query.region, list(query.aggs))
+        adaptive.adapt()
+        adaptive.reset_cache_counters()
+        for query in skew_wl:
+            expected = block.select(query.region, list(query.aggs))
+            got = adaptive.select(query.region, list(query.aggs))
+            assert got.count == expected.count
+        assert adaptive.cache_hit_rate > 0.5
+
+    def test_coarsening_chain(self, pipeline):
+        _, base, block = pipeline
+        chain = block
+        polygon = nyc_neighborhoods(seed=77)[0]
+        previous_count = chain.count(polygon)
+        for level in (12, 10, 8):
+            chain = chain.coarsened(level)
+            current = chain.count(polygon)
+            assert current >= previous_count  # coarser -> more false positives
+            previous_count = current
+
+    def test_count_query_specialisation(self, pipeline):
+        _, base, block = pipeline
+        for polygon in nyc_neighborhoods(seed=77)[:15]:
+            assert block.count(polygon) == block.select(polygon).count
+
+
+class TestScalabilityShape:
+    def test_block_query_cost_grows_sublinearly(self):
+        """The headline scaling property: GeoBlock query latency is
+        driven by the number of aggregates, not the number of points."""
+        polygons = nyc_neighborhoods(seed=3)[:20]
+        aggs = [AggSpec("sum", "fare_amount")]
+        cells_small, cells_large = [], []
+        for count, sink in ((5_000, cells_small), (40_000, cells_large)):
+            base = extract(nyc_taxi(count, seed=3), EARTH, nyc_cleaning_rules())
+            block = GeoBlock.build(base, 12)
+            for polygon in polygons:
+                result = block.select(polygon, aggs)
+                sink.append(result.cells_probed)
+        # 8x the points -> far less than 8x the probed cells.
+        assert sum(cells_large) < 3 * sum(cells_small)

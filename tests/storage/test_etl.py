@@ -1,0 +1,114 @@
+"""Tests for the extract phase (cleaning, keying, sorting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import EARTH
+from repro.errors import BuildError
+from repro.geometry.bbox import BoundingBox
+from repro.storage.etl import BaseData, CleaningRules, extract, extract_isolated
+from repro.storage.expr import col
+from repro.storage.schema import Schema
+from repro.storage.table import PointTable
+from repro.util.timing import Stopwatch
+
+
+def _dirty_table(count: int = 5000) -> PointTable:
+    rng = np.random.default_rng(8)
+    xs = rng.uniform(-74.2, -73.7, count)
+    ys = rng.uniform(40.5, 40.9, count)
+    values = rng.gamma(3.0, 5.0, count)
+    # Inject outliers.
+    xs[::100] = 500.0
+    values[::50] = -1.0
+    values[::77] = np.nan
+    return PointTable(Schema(["v"]), xs, ys, {"v": values})
+
+
+class TestExtract:
+    def test_output_sorted_by_key(self):
+        base = extract(_dirty_table(), EARTH)
+        keys = base.keys
+        assert bool((keys[1:] >= keys[:-1]).all())
+
+    def test_keys_match_locations(self):
+        base = extract(_dirty_table(), EARTH)
+        recomputed = EARTH.leaf_ids(base.table.xs, base.table.ys)
+        assert bool((recomputed == base.keys).all())
+
+    def test_cleaning_drops_outliers(self):
+        table = _dirty_table()
+        rules = CleaningRules(
+            bounds=BoundingBox(-74.3, 40.4, -73.6, 41.0),
+            column_ranges={"v": (0.0, 1e6)},
+        )
+        base = extract(table, EARTH, rules)
+        assert len(base) < len(table)
+        assert bool((base.table.xs <= -73.6).all())
+        assert bool((base.table.column("v") >= 0).all())
+        assert bool(np.isfinite(base.table.column("v")).all())
+
+    def test_no_rules_keeps_everything(self):
+        table = _dirty_table()
+        base = extract(table, EARTH)
+        assert len(base) == len(table)
+
+    def test_stopwatch_records_phases(self):
+        watch = Stopwatch()
+        extract(_dirty_table(), EARTH, CleaningRules(), stopwatch=watch)
+        assert watch.seconds("sorting") > 0
+        assert "cleaning" in watch.phases
+
+    def test_deterministic(self):
+        a = extract(_dirty_table(), EARTH)
+        b = extract(_dirty_table(), EARTH)
+        assert bool((a.keys == b.keys).all())
+        assert np.array_equal(a.table.column("v"), b.table.column("v"), equal_nan=True)
+
+
+class TestBaseData:
+    def test_rejects_unsorted_keys(self):
+        table = _dirty_table(10)
+        keys = np.arange(10, 0, -1, dtype=np.int64) * 2 + 1
+        with pytest.raises(BuildError):
+            BaseData(EARTH, table, keys)
+
+    def test_rejects_length_mismatch(self):
+        table = _dirty_table(10)
+        with pytest.raises(BuildError):
+            BaseData(EARTH, table, np.ones(5, dtype=np.int64))
+
+    def test_filtered_keeps_order_and_alignment(self):
+        base = extract(_dirty_table(), EARTH, CleaningRules(column_ranges={"v": (0, 1e9)}))
+        filtered = base.filtered(col("v") >= 10)
+        assert bool((filtered.keys[1:] >= filtered.keys[:-1]).all())
+        assert bool((filtered.table.column("v") >= 10).all())
+        recomputed = EARTH.leaf_ids(filtered.table.xs, filtered.table.ys)
+        assert bool((recomputed == filtered.keys).all())
+
+    def test_subset_prefix(self):
+        base = extract(_dirty_table(), EARTH)
+        subset = base.subset(100)
+        assert len(subset) == 100
+        assert bool((subset.keys == base.keys[:100]).all())
+
+    def test_memory_accounting(self):
+        base = extract(_dirty_table(), EARTH)
+        assert base.memory_bytes() == base.table.memory_bytes() + base.keys.nbytes
+
+
+class TestIsolatedPipeline:
+    def test_isolated_equals_filtered_incremental(self):
+        """Filter-then-sort and sort-then-filter agree row for row."""
+        table = _dirty_table()
+        rules = CleaningRules(column_ranges={"v": (0.0, 1e9)})
+        predicate = col("v") >= 12
+        incremental = extract(table, EARTH, rules).filtered(predicate)
+        isolated = extract_isolated(table, EARTH, predicate, rules)
+        assert len(incremental) == len(isolated)
+        assert bool((incremental.keys == isolated.keys).all())
+        assert np.allclose(
+            np.sort(incremental.table.column("v")), np.sort(isolated.table.column("v"))
+        )

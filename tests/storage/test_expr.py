@@ -1,0 +1,83 @@
+"""Tests for the filter predicate expressions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.storage.expr import ALWAYS_TRUE, Comparison, col
+from repro.storage.schema import Schema
+from repro.storage.table import PointTable
+
+
+@pytest.fixture(scope="module")
+def table() -> PointTable:
+    values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+    flags = np.array([0.0, 1.0, 0.0, 1.0, 1.0])
+    return PointTable(Schema(["v", "f"]), np.zeros(5), np.zeros(5), {"v": values, "f": flags})
+
+
+class TestComparisons:
+    def test_all_operators(self, table):
+        assert (col("v") == 3).mask(table).tolist() == [False, False, True, False, False]
+        assert (col("v") != 3).mask(table).sum() == 4
+        assert (col("v") < 3).mask(table).sum() == 2
+        assert (col("v") <= 3).mask(table).sum() == 3
+        assert (col("v") > 3).mask(table).sum() == 2
+        assert (col("v") >= 3).mask(table).sum() == 3
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison("v", "~", 1.0)
+
+    def test_repr_stable(self):
+        assert repr(col("v") >= 4) == "v >= 4"
+
+
+class TestCombinators:
+    def test_and(self, table):
+        predicate = (col("v") > 1) & (col("f") == 1)
+        assert predicate.mask(table).tolist() == [False, True, False, True, True]
+
+    def test_or(self, table):
+        predicate = (col("v") == 1) | (col("v") == 5)
+        assert predicate.mask(table).sum() == 2
+
+    def test_not(self, table):
+        predicate = ~(col("f") == 1)
+        assert predicate.mask(table).tolist() == [True, False, True, False, False]
+
+    def test_nested_repr(self, table):
+        predicate = ((col("v") > 1) & (col("f") == 1)) | ~(col("v") == 2)
+        assert "AND" in repr(predicate) and "OR" in repr(predicate)
+
+
+class TestRangePredicates:
+    def test_between(self, table):
+        assert col("v").between(2, 4).mask(table).tolist() == [False, True, True, True, False]
+
+    def test_between_reversed_rejected(self):
+        with pytest.raises(QueryError):
+            col("v").between(4, 2)
+
+    def test_isin(self, table):
+        assert col("v").isin([1, 5, 9]).mask(table).sum() == 2
+
+    def test_isin_empty_rejected(self):
+        with pytest.raises(QueryError):
+            col("v").isin([])
+
+
+class TestSelectivity:
+    def test_always_true(self, table):
+        assert ALWAYS_TRUE.selectivity(table) == 1.0
+        assert bool(ALWAYS_TRUE.mask(table).all())
+
+    def test_fractions(self, table):
+        assert (col("f") == 1).selectivity(table) == pytest.approx(0.6)
+        assert (col("v") > 100).selectivity(table) == 0.0
+
+    def test_empty_table(self):
+        empty = PointTable(Schema(["v"]), np.zeros(0), np.zeros(0), {"v": np.zeros(0)})
+        assert (col("v") > 0).selectivity(empty) == 0.0

@@ -1,0 +1,131 @@
+"""Tests for Schema, ColumnSpec, and PointTable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import ColumnKind, ColumnSpec, Schema
+from repro.storage.table import PointTable
+
+
+def _table(count: int = 10) -> PointTable:
+    rng = np.random.default_rng(0)
+    return PointTable(
+        Schema(["a", ColumnSpec("t", ColumnKind.TEMPORAL)]),
+        rng.uniform(-1, 1, count),
+        rng.uniform(-1, 1, count),
+        {"a": rng.normal(0, 1, count), "t": rng.integers(0, 100, count)},
+    )
+
+
+class TestSchema:
+    def test_string_shorthand(self):
+        schema = Schema(["x", "y"])
+        assert schema.names == ["x", "y"]
+        assert schema.spec("x").kind is ColumnKind.NUMERIC
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_unknown_column(self):
+        schema = Schema(["a"])
+        with pytest.raises(SchemaError):
+            schema.spec("b")
+        with pytest.raises(SchemaError):
+            schema.position("b")
+
+    def test_dtype_by_kind(self):
+        assert ColumnSpec("n").dtype == np.dtype(np.float64)
+        assert ColumnSpec("t", ColumnKind.TEMPORAL).dtype == np.dtype(np.int64)
+
+    def test_subset_preserves_specs(self):
+        schema = Schema(["a", ColumnSpec("t", ColumnKind.TEMPORAL), "c"])
+        sub = schema.subset(["t", "a"])
+        assert sub.names == ["t", "a"]
+        assert sub.spec("t").kind is ColumnKind.TEMPORAL
+
+    def test_equality_and_membership(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a"]) != Schema(["b"])
+        assert "a" in Schema(["a"])
+        assert "z" not in Schema(["a"])
+
+
+class TestPointTable:
+    def test_length_and_columns(self):
+        table = _table(25)
+        assert len(table) == 25
+        assert table.column("a").shape == (25,)
+        assert table.column("t").dtype == np.dtype(np.int64)
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(SchemaError):
+            PointTable(Schema(["a"]), np.zeros(3), np.zeros(3), {})
+
+    def test_extra_column_rejected(self):
+        with pytest.raises(SchemaError):
+            PointTable(
+                Schema(["a"]),
+                np.zeros(3),
+                np.zeros(3),
+                {"a": np.zeros(3), "b": np.zeros(3)},
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            PointTable(Schema(["a"]), np.zeros(3), np.zeros(4), {"a": np.zeros(3)})
+        with pytest.raises(SchemaError):
+            PointTable(Schema(["a"]), np.zeros(3), np.zeros(3), {"a": np.zeros(5)})
+
+    def test_columns_read_only(self):
+        table = _table()
+        with pytest.raises(ValueError):
+            table.xs[0] = 5.0
+        with pytest.raises(ValueError):
+            table.column("a")[0] = 5.0
+
+    def test_filter(self):
+        table = _table(50)
+        mask = table.column("a") > 0
+        filtered = table.filter(mask)
+        assert len(filtered) == int(mask.sum())
+        assert bool((filtered.column("a") > 0).all())
+
+    def test_take_preserves_order(self):
+        table = _table(10)
+        taken = table.take(np.array([3, 1, 4]))
+        assert taken.xs.tolist() == [table.xs[3], table.xs[1], table.xs[4]]
+
+    def test_head(self):
+        assert len(_table(10).head(4)) == 4
+        assert len(_table(3).head(10)) == 3
+
+    def test_with_columns(self):
+        table = _table()
+        projected = table.with_columns(["a"])
+        assert projected.schema.names == ["a"]
+        with pytest.raises(SchemaError):
+            projected.column("t")
+
+    def test_concat(self):
+        a = _table(5)
+        b = _table(7)
+        combined = a.concat(b)
+        assert len(combined) == 12
+        with pytest.raises(SchemaError):
+            a.concat(
+                PointTable(Schema(["z"]), np.zeros(2), np.zeros(2), {"z": np.zeros(2)})
+            )
+
+    def test_memory_bytes(self):
+        table = _table(100)
+        # xs + ys (float64) + a (float64) + t (int64) = 4 * 8 * 100
+        assert table.memory_bytes() == 4 * 8 * 100
+
+    def test_bounding_box(self):
+        table = _table(30)
+        box = table.bounding_box()
+        assert bool(box.contains_points(table.xs, table.ys).all())

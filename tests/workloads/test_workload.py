@@ -1,0 +1,104 @@
+"""Tests for workload construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AggSpec
+from repro.errors import QueryError
+from repro.geometry import Polygon
+from repro.storage import Schema
+from repro.workloads import (
+    Workload,
+    base_workload,
+    combined_workload,
+    default_aggregates,
+    skewed_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def polygons() -> list[Polygon]:
+    return [Polygon.regular(float(i), 0.0, 0.3, 4) for i in range(20)]
+
+
+SCHEMA = Schema(["a", "b", "c"])
+AGGS = default_aggregates(SCHEMA, 3)
+
+
+class TestDefaultAggregates:
+    def test_count_of_specs(self):
+        assert len(default_aggregates(SCHEMA, 7)) == 7
+        assert len(default_aggregates(SCHEMA, 1)) == 1
+
+    def test_every_column_covered(self):
+        specs = default_aggregates(SCHEMA, 7)
+        covered = {spec.column for spec in specs}
+        assert covered >= set(SCHEMA.names)
+
+    def test_no_plain_count(self):
+        specs = default_aggregates(SCHEMA, 8)
+        assert all(spec.function != "count" for spec in specs)
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            default_aggregates(SCHEMA, 0)
+
+    def test_empty_schema_falls_back_to_count(self):
+        specs = default_aggregates(Schema([]), 3)
+        assert specs == [AggSpec("count")]
+
+
+class TestBaseWorkload:
+    def test_one_query_per_polygon(self, polygons):
+        workload = base_workload(polygons, AGGS)
+        assert len(workload) == len(polygons)
+        assert [query.region for query in workload] == polygons
+        assert all(query.aggs == tuple(AGGS) for query in workload)
+
+
+class TestSkewedWorkload:
+    def test_ten_percent_by_default(self, polygons):
+        workload = skewed_workload(polygons, AGGS, seed=1)
+        assert len(workload) == 2  # 10% of 20
+
+    def test_subset_of_base(self, polygons):
+        workload = skewed_workload(polygons, AGGS, seed=1)
+        for query in workload:
+            assert query.region in polygons
+
+    def test_deterministic_per_seed(self, polygons):
+        a = skewed_workload(polygons, AGGS, seed=2)
+        b = skewed_workload(polygons, AGGS, seed=2)
+        assert [id(q.region) for q in a] == [id(q.region) for q in b]
+
+    def test_fraction_validation(self, polygons):
+        with pytest.raises(QueryError):
+            skewed_workload(polygons, AGGS, fraction=0.0)
+
+
+class TestComposition:
+    def test_repeated(self, polygons):
+        workload = base_workload(polygons, AGGS).repeated(3)
+        assert len(workload) == 60
+        with pytest.raises(QueryError):
+            workload.repeated(0)
+
+    def test_add(self, polygons):
+        combined = base_workload(polygons[:5], AGGS) + base_workload(polygons[5:], AGGS)
+        assert len(combined) == 20
+
+    def test_combined_workload(self, polygons):
+        base = base_workload(polygons, AGGS)
+        skew = skewed_workload(polygons, AGGS, seed=3)
+        combined = combined_workload(base, skew, skew_repeats=4)
+        assert len(combined) == len(base) + 4 * len(skew)
+
+    def test_regions_helper(self, polygons):
+        workload = base_workload(polygons[:3], AGGS)
+        assert workload.regions() == polygons[:3]
+
+    def test_empty_workload_iteration(self):
+        workload = Workload(name="empty")
+        assert list(workload) == []
+        assert len(workload) == 0
