@@ -1,0 +1,125 @@
+"""Engine batch execution: ``run_batch`` vs sequential SELECTs.
+
+Workload shape of Figure 10: the NYC base workload once plus the skewed
+workload four times (heavy polygon repetition), answered by a vector-
+mode GeoBlock.  The batched path shares covering-cell range location
+across the whole batch and materialises each distinct aggregate range
+once, so the skew repetitions are nearly free; results are asserted
+identical to the sequential answers.
+
+The report benchmark records the measured speedup and the planner's
+covering-cache hit rate to ``benchmarks/results/engine_batch.txt``, and
+additionally times the sharded block's fanned-out batch.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.core import GeoBlock
+from repro.engine.shards import ShardedGeoBlock
+from repro.experiments.common import run_workload, run_workload_batched, warm_caches
+from repro.workloads import (
+    base_workload,
+    combined_workload,
+    default_aggregates,
+    skewed_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def workload(base, polygons):
+    aggs = default_aggregates(base.table.schema, 7)
+    return combined_workload(
+        base_workload(polygons, aggs),
+        skewed_workload(polygons, aggs, seed=17),
+        skew_repeats=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def vector_block(base, level, workload):
+    block = GeoBlock.build(base, level)  # production (vector) mode
+    warm_caches(block, workload)
+    return block
+
+
+@pytest.fixture(scope="module")
+def sharded_block(base, level, workload):
+    block = ShardedGeoBlock.build(base, level)
+    warm_caches(block, workload)
+    return block
+
+
+def test_sequential_workload(benchmark, vector_block, workload):
+    benchmark(lambda: run_workload(vector_block, workload))
+
+
+def test_batched_workload(benchmark, vector_block, workload):
+    benchmark(lambda: run_workload_batched(vector_block, workload))
+
+
+def test_batched_workload_sharded(benchmark, sharded_block, workload):
+    benchmark(lambda: run_workload_batched(sharded_block, workload))
+
+
+def test_report_engine_batch(benchmark, vector_block, sharded_block, workload):
+    def measure():
+        seq_seconds, seq_results = run_workload(vector_block, workload)
+        cache = vector_block.planner.cache
+        hits_before, misses_before = cache.hits, cache.misses
+        batch_seconds, batch_results = run_workload_batched(vector_block, workload)
+        hit_rate = (cache.hits - hits_before) / max(
+            1, cache.hits - hits_before + cache.misses - misses_before
+        )
+        sharded_seconds, sharded_results = run_workload_batched(sharded_block, workload)
+        return (
+            seq_seconds,
+            batch_seconds,
+            sharded_seconds,
+            hit_rate,
+            seq_results,
+            batch_results,
+            sharded_results,
+        )
+
+    (
+        seq_seconds,
+        batch_seconds,
+        sharded_seconds,
+        hit_rate,
+        seq_results,
+        batch_results,
+        sharded_results,
+    ) = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Identical results are a hard requirement of the batched path.
+    assert len(batch_results) == len(seq_results)
+    for want, got in zip(seq_results, batch_results):
+        assert got.count == want.count
+        for key, value in want.values.items():
+            if not np.isnan(value):
+                assert got.values[key] == value
+    for want, got in zip(seq_results, sharded_results):
+        assert got.count == want.count
+
+    speedup = seq_seconds / max(batch_seconds, 1e-12)
+    sharded_speedup = seq_seconds / max(sharded_seconds, 1e-12)
+    lines = [
+        "[engine_batch] run_batch vs sequential (fig10 base + 4x skewed workload)",
+        f"  queries                 : {len(workload)}",
+        f"  sequential_seconds      : {seq_seconds:.4f}",
+        f"  batched_seconds         : {batch_seconds:.4f}",
+        f"  batched_sharded_seconds : {sharded_seconds:.4f}",
+        f"  speedup                 : {speedup:.2f}x",
+        f"  sharded_speedup         : {sharded_speedup:.2f}x",
+        f"  covering_cache_hit_rate : {hit_rate:.3f}",
+        f"  shards                  : {sharded_block.num_shards}",
+    ]
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "engine_batch.txt").write_text(text + "\n")
+    print()
+    print(text)
+    # The batched path must be measurably faster on this skewed shape.
+    assert speedup > 1.0

@@ -23,9 +23,9 @@ import numpy as np
 from repro.baselines.interface import SpatialAggregator
 from repro.core.aggregates import Accumulator, AggSpec
 from repro.core.geoblock import QueryResult, QueryTarget
+from repro.engine.planner import Planner
 from repro.errors import QueryError
 from repro.geometry.bbox import BoundingBox
-from repro.geometry.interior import interior_box
 from repro.storage.etl import BaseData
 from repro.storage.schema import Schema
 
@@ -161,7 +161,9 @@ class ARTree(SpatialAggregator):
         self._schema: Schema = base.table.schema
         self._record_width = 1 + 3 * len(self._schema)
         self._root = _Node(leaf=True, record_width=self._record_width)
-        self._box_cache: dict[int, tuple[object, BoundingBox | None]] = {}
+        # Interior rectangles are planned (and LRU-cached) by the
+        # shared engine planner, like every competitor's approximation.
+        self._planner = Planner(base.space)
         if bulk:
             self._bulk_load()
         else:
@@ -309,12 +311,7 @@ class ARTree(SpatialAggregator):
         if isinstance(target, BoundingBox):
             return target
         if hasattr(target, "bounding_box"):
-            key = id(target)
-            entry = self._box_cache.get(key)
-            if entry is None or entry[0] is not target:
-                entry = (target, interior_box(target))  # type: ignore[arg-type]
-                self._box_cache[key] = entry
-            return entry[1]
+            return self._planner.interior_rect(target)  # type: ignore[arg-type]
         raise QueryError("aRTree queries need a polygon or a bounding box")
 
     def _query(self, node: _Node, rect: BoundingBox, accumulator: Accumulator) -> None:

@@ -3,7 +3,9 @@
 The simplest on-the-fly competitor: no index at all.  For every cell of
 the query covering it binary-searches the sorted raw data for the first
 and last contained tuple and folds all tuples in between into the
-requested aggregates.  Storage overhead is zero.
+requested aggregates.  Storage overhead is zero.  Coverings are planned
+through the shared engine planner (LRU covering cache), like every
+other competitor.
 """
 
 from __future__ import annotations
@@ -18,10 +20,10 @@ from repro.baselines.interface import (
     aggregate_rows_scalar,
     union_ranges,
 )
-from repro.cells.coverer import RegionCoverer
 from repro.cells.union import CellUnion
 from repro.core.aggregates import AggSpec
 from repro.core.geoblock import QueryResult, QueryTarget
+from repro.engine.planner import Planner
 from repro.storage.etl import BaseData
 
 
@@ -38,7 +40,7 @@ class BinarySearchIndex(SpatialAggregator):
         harness's execution model)."""
         self._base = base
         self._level = covering_level
-        self._coverer = RegionCoverer(base.space, cache=True)
+        self._planner = Planner(base.space, covering_level)
         self.scalar = scalar
 
     @property
@@ -49,14 +51,16 @@ class BinarySearchIndex(SpatialAggregator):
     def covering_level(self) -> int:
         return self._level
 
+    @property
+    def planner(self) -> Planner:
+        return self._planner
+
     def _resolve(self, target: QueryTarget) -> CellUnion:
-        if isinstance(target, CellUnion):
-            return target
-        return self._coverer.covering(target, self._level)
+        return self._planner.plan(target).union
 
     def warm(self, region) -> None:  # noqa: ANN001
         """Populate the covering cache for ``region`` (see GeoBlock.warm)."""
-        self._coverer.covering(region, self._level)
+        self._planner.warm(region)
 
     def count(self, target: QueryTarget) -> int:
         union = self._resolve(target)
@@ -70,7 +74,12 @@ class BinarySearchIndex(SpatialAggregator):
         aggs = list(aggs) if aggs is not None else [AggSpec("count")]
         union = self._resolve(target)
         fold = aggregate_rows_scalar if self.scalar else aggregate_rows
-        return fold(self._base, union_ranges(self._base, union), aggs)
+        return fold(
+            self._base,
+            union_ranges(self._base, union),
+            aggs,
+            cells_probed=len(union),
+        )
 
     def memory_overhead_bytes(self) -> int:
         """BinarySearch needs no storage beyond the sorted raw data."""

@@ -18,10 +18,10 @@ from repro.baselines.interface import (
     aggregate_rows,
     aggregate_rows_scalar,
 )
-from repro.cells.coverer import RegionCoverer
 from repro.cells.union import CellUnion
 from repro.core.aggregates import AggSpec
 from repro.core.geoblock import QueryResult, QueryTarget
+from repro.engine.planner import Planner
 from repro.storage.etl import BaseData
 
 
@@ -39,7 +39,7 @@ class BTreeIndex(SpatialAggregator):
     ) -> None:
         self._base = base
         self._level = covering_level
-        self._coverer = RegionCoverer(base.space, cache=True)
+        self._planner = Planner(base.space, covering_level)
         self._tree = BPlusTree.bulk_load(base.keys, order=order)
         self.scalar = scalar
 
@@ -47,14 +47,16 @@ class BTreeIndex(SpatialAggregator):
     def tree(self) -> BPlusTree:
         return self._tree
 
+    @property
+    def planner(self) -> Planner:
+        return self._planner
+
     def _resolve(self, target: QueryTarget) -> CellUnion:
-        if isinstance(target, CellUnion):
-            return target
-        return self._coverer.covering(target, self._level)
+        return self._planner.plan(target).union
 
     def warm(self, region) -> None:  # noqa: ANN001
         """Populate the covering cache for ``region`` (see GeoBlock.warm)."""
-        self._coverer.covering(region, self._level)
+        self._planner.warm(region)
 
     def _slices(self, union: CellUnion) -> list[tuple[int, int]]:
         """Probe the tree for each covering cell's first tuple, then
@@ -81,7 +83,7 @@ class BTreeIndex(SpatialAggregator):
         aggs = list(aggs) if aggs is not None else [AggSpec("count")]
         union = self._resolve(target)
         fold = aggregate_rows_scalar if self.scalar else aggregate_rows
-        return fold(self._base, self._slices(union), aggs)
+        return fold(self._base, self._slices(union), aggs, cells_probed=len(union))
 
     def memory_overhead_bytes(self) -> int:
         return self._tree.memory_bytes()

@@ -5,6 +5,12 @@ baselines -- answers the same two query forms (COUNT and multi-aggregate
 SELECT over a polygonal region) and reports its storage overhead
 relative to the raw data.  This module pins down that contract so the
 experiment harness can treat them uniformly.
+
+All region-derived planning (coverings, interior rectangles, warm-up)
+goes through a shared :class:`~repro.engine.planner.Planner`, and the
+row-level folds of the on-the-fly baselines live in
+:mod:`repro.engine.executor` (re-exported here for compatibility):
+every competitor answers through the unified engine.
 """
 
 from __future__ import annotations
@@ -12,13 +18,21 @@ from __future__ import annotations
 import abc
 from typing import Sequence
 
-import numpy as np
-
-from repro.cells.union import CellUnion
 from repro.core.aggregates import AggSpec
 from repro.core.geoblock import QueryResult, QueryTarget
-from repro.storage.etl import BaseData
-from repro.storage.schema import Schema
+from repro.engine.executor import (
+    aggregate_rows,
+    aggregate_rows_scalar,
+    batch_items,
+    union_ranges,
+)
+
+__all__ = [
+    "SpatialAggregator",
+    "aggregate_rows",
+    "aggregate_rows_scalar",
+    "union_ranges",
+]
 
 
 class SpatialAggregator(abc.ABC):
@@ -39,139 +53,17 @@ class SpatialAggregator(abc.ABC):
     def memory_overhead_bytes(self) -> int:
         """Extra bytes beyond the raw columnar data."""
 
+    def run_batch(
+        self, queries: Sequence, aggs: Sequence[AggSpec] | None = None  # noqa: ANN401
+    ) -> list[QueryResult]:
+        """Batched execution; the default answers sequentially.
 
-def aggregate_rows(
-    base: BaseData,
-    slices: list[tuple[int, int]],
-    aggs: Sequence[AggSpec],
-    extra_indices: np.ndarray | None = None,
-) -> QueryResult:
-    """On-the-fly aggregation over row ranges of the base data.
-
-    This is the shared "scan the qualifying raw tuples and fold them"
-    step of the non-pre-aggregating baselines.  ``slices`` are [lo, hi)
-    ranges in base order; ``extra_indices`` adds individually selected
-    rows (used by the PH-tree's partial leaves).
-    """
-    schema: Schema = base.table.schema
-    count = 0
-    needed = {spec.column for spec in aggs if spec.column is not None}
-    sums = {name: 0.0 for name in needed}
-    mins = {name: np.inf for name in needed}
-    maxs = {name: -np.inf for name in needed}
-    columns = {name: base.table.column(name) for name in needed}
-    for lo, hi in slices:
-        if hi <= lo:
-            continue
-        count += hi - lo
-        for name in needed:
-            values = columns[name][lo:hi]
-            sums[name] += float(values.sum())
-            mins[name] = min(mins[name], float(values.min()))
-            maxs[name] = max(maxs[name], float(values.max()))
-    if extra_indices is not None and extra_indices.size:
-        count += int(extra_indices.size)
-        for name in needed:
-            values = columns[name][extra_indices]
-            sums[name] += float(values.sum())
-            mins[name] = min(mins[name], float(values.min()))
-            maxs[name] = max(maxs[name], float(values.max()))
-    values_out: dict[str, float] = {}
-    for spec in aggs:
-        if spec.function == "count":
-            values_out[spec.key] = float(count)
-        elif spec.function == "sum":
-            values_out[spec.key] = sums[spec.column]  # type: ignore[index]
-        elif spec.function == "min":
-            values_out[spec.key] = mins[spec.column] if count else np.nan  # type: ignore[index]
-        elif spec.function == "max":
-            values_out[spec.key] = maxs[spec.column] if count else np.nan  # type: ignore[index]
-        elif spec.function == "avg":
-            values_out[spec.key] = (sums[spec.column] / count) if count else np.nan  # type: ignore[index]
-    return QueryResult(values=values_out, count=count, cells_probed=len(slices))
-
-
-def aggregate_rows_scalar(
-    base: BaseData,
-    slices: list[tuple[int, int]],
-    aggs: Sequence[AggSpec],
-    extra_indices: np.ndarray | None = None,
-) -> QueryResult:
-    """Scalar (tuple-at-a-time) variant of :func:`aggregate_rows`.
-
-    Folds every qualifying raw tuple individually, the way the paper's
-    single-threaded C++ baselines do.  The experiment harness uses this
-    execution model for all competitors so that per-item costs stay
-    comparable; the vectorised :func:`aggregate_rows` is the production
-    path.
-    """
-    count = 0
-    needed = [spec.column for spec in aggs if spec.column is not None]
-    needed = list(dict.fromkeys(needed))
-    columns = {name: base.table.column(name) for name in needed}
-    sums = {name: 0.0 for name in needed}
-    mins = {name: np.inf for name in needed}
-    maxs = {name: -np.inf for name in needed}
-    all_slices = list(slices)
-    if extra_indices is not None and extra_indices.size:
-        index_rows: np.ndarray | None = extra_indices
-    else:
-        index_rows = None
-    for lo, hi in all_slices:
-        if hi <= lo:
-            continue
-        count += hi - lo
-        for name in needed:
-            column = columns[name]
-            total = sums[name]
-            low = mins[name]
-            high = maxs[name]
-            for row in range(lo, hi):
-                value = column[row]
-                total += value
-                if value < low:
-                    low = value
-                if value > high:
-                    high = value
-            sums[name] = total
-            mins[name] = low
-            maxs[name] = high
-        if not needed:
-            continue
-    if index_rows is not None:
-        count += int(index_rows.size)
-        for name in needed:
-            column = columns[name]
-            total = sums[name]
-            low = mins[name]
-            high = maxs[name]
-            for row in index_rows.tolist():
-                value = column[row]
-                total += value
-                if value < low:
-                    low = value
-                if value > high:
-                    high = value
-            sums[name] = total
-            mins[name] = low
-            maxs[name] = high
-    values_out: dict[str, float] = {}
-    for spec in aggs:
-        if spec.function == "count":
-            values_out[spec.key] = float(count)
-        elif spec.function == "sum":
-            values_out[spec.key] = float(sums[spec.column])  # type: ignore[index]
-        elif spec.function == "min":
-            values_out[spec.key] = float(mins[spec.column]) if count else np.nan  # type: ignore[index]
-        elif spec.function == "max":
-            values_out[spec.key] = float(maxs[spec.column]) if count else np.nan  # type: ignore[index]
-        elif spec.function == "avg":
-            values_out[spec.key] = float(sums[spec.column]) / count if count else np.nan  # type: ignore[index]
-    return QueryResult(values=values_out, count=count, cells_probed=len(all_slices))
-
-
-def union_ranges(base: BaseData, union: CellUnion) -> list[tuple[int, int]]:
-    """Row ranges of base data covered by each cell of a union."""
-    lo = np.searchsorted(base.keys, union.range_mins, side="left")
-    hi = np.searchsorted(base.keys, union.range_maxs, side="right")
-    return list(zip(lo.tolist(), hi.tolist()))
+        Engine-backed structures (GeoBlocks) override this with the
+        shared vectorised pass; the on-the-fly baselines gain nothing
+        from batching beyond the covering cache, so sequential is their
+        honest batch behaviour.
+        """
+        return [
+            self.select(target, query_aggs)
+            for target, query_aggs in batch_items(queries, aggs)
+        ]

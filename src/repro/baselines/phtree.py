@@ -29,10 +29,9 @@ from repro.baselines.interface import (
 )
 from repro.core.aggregates import AggSpec
 from repro.core.geoblock import QueryResult, QueryTarget
+from repro.engine.planner import Planner
 from repro.errors import QueryError
 from repro.geometry.bbox import BoundingBox
-from repro.geometry.interior import interior_box
-from repro.geometry.relate import Region
 from repro.storage.etl import BaseData
 
 #: Bits per coordinate; 32+32 interleave into a 64-bit Morton code.
@@ -75,9 +74,9 @@ class PHTree(SpatialAggregator):
     def __init__(self, base: BaseData, scalar: bool = False) -> None:
         self._base = base
         self.scalar = scalar
-        # Interior rectangles are pure functions of the (immutable)
-        # region; memoise them per region identity.
-        self._box_cache: dict[int, tuple[object, BoundingBox | None]] = {}
+        # Interior rectangles are planned (and LRU-cached) by the
+        # shared engine planner, like every competitor's approximation.
+        self._planner = Planner(base.space)
         table = base.table
         self._ix = self._quantise(table.xs, base.space.domain.min_x, base.space.domain.width)
         self._iy = self._quantise(table.ys, base.space.domain.min_y, base.space.domain.height)
@@ -180,12 +179,7 @@ class PHTree(SpatialAggregator):
         if isinstance(target, BoundingBox):
             return target
         if hasattr(target, "bounding_box"):
-            key = id(target)
-            entry = self._box_cache.get(key)
-            if entry is None or entry[0] is not target:
-                entry = (target, interior_box(target))  # type: ignore[arg-type]
-                self._box_cache[key] = entry
-            return entry[1]
+            return self._planner.interior_rect(target)  # type: ignore[arg-type]
         raise QueryError("PHTree queries need a polygon or a bounding box")
 
     def _gather(self, target: QueryTarget) -> tuple[list[tuple[int, int]], np.ndarray]:

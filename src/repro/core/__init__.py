@@ -10,7 +10,12 @@ from repro.core.builder import (
     prepare_base_data,
 )
 from repro.core.geoblock import GeoBlock, QueryResult, common_ancestor
-from repro.core.serialize import load_block, save_block
+from repro.core.serialize import (
+    load_adaptive_block,
+    load_block,
+    save_adaptive_block,
+    save_block,
+)
 from repro.core.updates import apply_batch, apply_update, apply_update_adaptive
 from repro.core.header import GlobalHeader
 from repro.core.policy import CachePolicy
@@ -37,7 +42,9 @@ __all__ = [
     "apply_batch",
     "apply_update",
     "apply_update_adaptive",
+    "load_adaptive_block",
     "load_block",
+    "save_adaptive_block",
     "save_block",
     "build_incremental",
     "build_isolated",

@@ -7,18 +7,25 @@ from the cache when the cell (or some of its direct children) is
 cached, and fall back to the base algorithm otherwise.  COUNT queries
 bypass the cache entirely -- their runtime is mostly independent of
 the cell level, so the paper leaves them unadapted.
+
+Like the plain block, the adaptive variant answers through the unified
+query engine (:mod:`repro.engine`): the wrapped block's planner
+attaches the per-cell cache-probe decisions to every
+:class:`~repro.engine.planner.QueryPlan`, and the shared executor
+consumes them -- including in :meth:`AdaptiveGeoBlock.run_batch`.  This
+class only owns the adaptation loop: statistics, policy, and trie
+rebuilds.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.cells import cellid
 from repro.cells.union import CellUnion
-from repro.core.aggregates import Accumulator, AggSpec
+from repro.core.aggregates import AggSpec
 from repro.core.geoblock import GeoBlock, QueryResult, QueryTarget
+from repro.engine.executor import batch_items
 from repro.core.policy import CachePolicy
 from repro.core.statistics import QueryStatistics
 from repro.core.trie import AggregateTrie, TrieBuilder
@@ -107,76 +114,70 @@ class AdaptiveGeoBlock:
         """COUNT queries use the base algorithm unchanged."""
         return self._block.count(target)
 
+    def plan(self, target: QueryTarget):  # noqa: ANN201 - QueryPlan
+        """Plan one query with cache-probe decisions attached."""
+        return self._block.planner.plan(
+            target, header=self._block.header, trie=self._trie
+        )
+
     def select(
         self,
         target: QueryTarget,
         aggs: Sequence[AggSpec] | None = None,
     ) -> QueryResult:
-        """Figure 8's adapted SELECT."""
-        aggs = list(aggs) if aggs is not None else [AggSpec("count")]
-        self._block._validate_aggs(aggs)
-        union = self._block._resolve(target)
-        self._statistics.record_covering(union)
-        accumulator = Accumulator.for_aggs(self._block.aggregates.schema, aggs)
-        cache_hits = 0
-        scalar = self._block.query_mode == "scalar"
-        if self._trie is None:
-            if len(union):
-                lo, hi = self._block._ranges(union)
-                for first, last in zip(lo.tolist(), hi.tolist()):
-                    self._fold_range(first, last, accumulator, scalar)
-        else:
-            trie_probe = self._trie.probe
-            lo, hi = (
-                self._block._ranges(union) if len(union) else (None, None)
-            )
-            for index, qcell in enumerate(union.ids.tolist()):
-                probe = trie_probe(qcell)
-                if probe.status == "hit":
-                    accumulator.add_record(probe.record)
-                    cache_hits += 1
-                    continue
-                if probe.status == "partial" and probe.child_records:
-                    for record in probe.child_records:
-                        accumulator.add_record(record)
-                    for child_cell in probe.uncached_children:
-                        self._base_range(child_cell, accumulator)
-                    continue
-                self._fold_range(int(lo[index]), int(hi[index]), accumulator, scalar)
-        self._cells_probed += len(union)
-        self._cells_hit += cache_hits
-        self._selects_since_rebuild += 1
+        """Figure 8's adapted SELECT, through the shared engine."""
+        # Validate before recording: rejected queries must not feed the
+        # adaptation statistics (they were never answered).
+        if aggs is not None:
+            self._block.executor.validate_aggs(list(aggs))
+        plan = self.plan(target)
+        self._statistics.record_covering(plan.union)
+        result = self._block.executor.select(plan, aggs, mode=self.query_mode)
+        self._fold_counters(result)
+        self._maybe_adapt(1)
+        return result
+
+    def run_batch(
+        self,
+        queries: Sequence,  # noqa: ANN401 - Query objects or raw targets
+        aggs: Sequence[AggSpec] | None = None,
+    ) -> list[QueryResult]:
+        """Batched Figure 8 execution (see :meth:`GeoBlock.run_batch`).
+
+        Statistics are recorded per query; the adaptation cadence is
+        checked once after the whole batch (a rebuild mid-batch would
+        invalidate the batch's probe decisions).
+        """
+        pairs = batch_items(queries, aggs)
+        for _, query_aggs in pairs:
+            if query_aggs is not None:
+                self._block.executor.validate_aggs(list(query_aggs))
+        items = []
+        for target, query_aggs in pairs:
+            plan = self.plan(target)
+            self._statistics.record_covering(plan.union)
+            items.append((plan, query_aggs))
+        results = self._block.executor.run_batch(items, mode=self.query_mode)
+        for result in results:
+            self._fold_counters(result)
+        self._maybe_adapt(len(results))
+        return results
+
+    def _fold_counters(self, result: QueryResult) -> None:
+        """Fold one result into the cache-effectiveness counters."""
+        self._cells_probed += result.cells_probed
+        self._cells_hit += result.cache_hits
+
+    def _maybe_adapt(self, new_queries: int) -> None:
+        """Advance the rebuild cadence and adapt when it is due."""
+        if not new_queries:
+            return
+        self._selects_since_rebuild += new_queries
         if (
             self._policy.rebuild_every is not None
             and self._selects_since_rebuild >= self._policy.rebuild_every
         ):
             self.adapt()
-        return QueryResult(
-            values={spec.key: accumulator.extract(spec) for spec in aggs},
-            count=int(accumulator.count),
-            cells_probed=len(union),
-            cache_hits=cache_hits,
-        )
-
-    def _fold_range(
-        self, lo: int, hi: int, accumulator: Accumulator, scalar: bool
-    ) -> None:
-        """Combine aggregate rows [lo, hi) under the execution model."""
-        if scalar:
-            aggregates = self._block.aggregates
-            add_row = accumulator.add_row
-            for row in range(lo, hi):
-                add_row(aggregates, row)
-        else:
-            accumulator.add_slice(self._block.aggregates, lo, hi)
-
-    def _base_range(self, qcell: int, accumulator: Accumulator) -> None:
-        """The base algorithm restricted to one query cell (used for
-        the uncached children of a partial cache hit)."""
-        keys = self._block.aggregates.keys
-        lo = int(np.searchsorted(keys, cellid.range_min(qcell), side="left"))
-        hi = int(np.searchsorted(keys, cellid.range_max(qcell), side="right"))
-        self._fold_range(lo, hi, accumulator, self._block.query_mode == "scalar")
 
     # -- adaptation ------------------------------------------------------------------
 
@@ -201,17 +202,10 @@ class AdaptiveGeoBlock:
                 continue
             if not builder.would_fit(candidate.cell):
                 break
-            builder.insert(candidate.cell, self._materialise(candidate.cell))
+            builder.insert(candidate.cell, self._block.executor.cell_record(candidate.cell))
         self._trie = builder.finish()
         self._selects_since_rebuild = 0
         return self._trie
-
-    def _materialise(self, cell: int) -> np.ndarray:
-        """Aggregate record for ``cell`` computed from the block."""
-        keys = self._block.aggregates.keys
-        lo = int(np.searchsorted(keys, cellid.range_min(cell), side="left"))
-        hi = int(np.searchsorted(keys, cellid.range_max(cell), side="right"))
-        return self._block.aggregates.slice_record(lo, hi)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         cached = self._trie.num_cached if self._trie is not None else 0

@@ -13,48 +13,38 @@ header.  It answers two query variants:
 Both accept either a polygon (covered on the fly, as in the paper) or a
 pre-computed :class:`~repro.cells.union.CellUnion`.
 
-Two SELECT implementations are provided: a numpy-vectorised fast path
-(the default) and a scalar path that mirrors Listing 1's ``lastAgg``
-successor iteration literally.  Tests assert they are equivalent.
+The canonical query path lives in :mod:`repro.engine`: every query is
+planned by :class:`~repro.engine.planner.Planner` (LRU-cached covering +
+header pruning) and carried out by
+:class:`~repro.engine.executor.Executor` (vectorised or scalar
+execution, batched workloads via :meth:`GeoBlock.run_batch`).  The
+methods below are thin façades over that engine; extend the engine, not
+this class, when adding query capabilities.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence, Union
-
-import numpy as np
+from typing import Sequence
 
 from repro.cells import cellid
-from repro.cells.coverer import RegionCoverer
 from repro.cells.space import CellSpace
 from repro.cells.union import CellUnion
 from repro.core.aggregates import Accumulator, AggSpec, CellAggregates
 from repro.core.header import GlobalHeader
-from repro.errors import BuildError, QueryError
+from repro.engine.executor import Executor, QueryResult, batch_items
+from repro.engine.planner import Planner, QueryTarget
+from repro.errors import BuildError
 from repro.geometry.relate import Region
 from repro.storage.etl import PHASE_BUILDING, BaseData
 from repro.storage.expr import ALWAYS_TRUE, Predicate
 from repro.util.timing import Stopwatch
 
-QueryTarget = Union[Region, CellUnion]
-
-
-@dataclass(frozen=True)
-class QueryResult:
-    """Outcome of a SELECT query."""
-
-    #: Requested aggregate values keyed by ``AggSpec.key``.
-    values: dict[str, float]
-    #: Number of tuples covered by the query (always computed).
-    count: int
-    #: Number of covering cells probed against the block.
-    cells_probed: int = 0
-    #: Covering cells answered entirely from the query cache.
-    cache_hits: int = 0
-
-    def __getitem__(self, key: str) -> float:
-        return self.values[key]
+__all__ = [
+    "GeoBlock",
+    "QueryResult",
+    "QueryTarget",
+    "common_ancestor",
+]
 
 
 class GeoBlock:
@@ -72,13 +62,18 @@ class GeoBlock:
         self._aggregates = aggregates
         self._predicate = predicate
         self._header = GlobalHeader.from_aggregates(aggregates, level)
-        self._coverer = RegionCoverer(space, cache=True)
+        self._planner = Planner(space, level)
+        self._executor = self._make_executor()
         #: Execution model for SELECT: "vector" uses numpy slice
         #: reductions (the production default); "scalar" combines cell
         #: aggregates one by one, exactly like Listing 1.  The
         #: experiment harness runs every competitor in the scalar model
         #: so per-item costs are comparable, as in the paper's C++.
         self.query_mode = "vector"
+
+    def _make_executor(self) -> Executor:
+        """Factory hook so sharded blocks can substitute their executor."""
+        return Executor(self)
 
     # -- construction ----------------------------------------------------
 
@@ -131,6 +126,16 @@ class GeoBlock:
         return self._predicate
 
     @property
+    def planner(self) -> Planner:
+        """The engine planner owning this block's covering cache."""
+        return self._planner
+
+    @property
+    def executor(self) -> Executor:
+        """The engine executor bound to this block's aggregates."""
+        return self._executor
+
+    @property
     def num_cells(self) -> int:
         return len(self._aggregates)
 
@@ -149,7 +154,7 @@ class GeoBlock:
 
     def covering(self, region: Region) -> CellUnion:
         """Error-bounded covering of ``region`` at the block level."""
-        return self._coverer.covering(region, self._level)
+        return self._planner.covering(region)
 
     def warm(self, region: Region) -> None:
         """Populate the covering cache for ``region`` without querying.
@@ -159,52 +164,17 @@ class GeoBlock:
         (polygon covering is shared work, negligible in the paper's
         C++/S2 stack).
         """
-        self.covering(region)
+        self._planner.warm(region)
 
-    def _resolve(self, target: QueryTarget) -> CellUnion:
-        if isinstance(target, CellUnion):
-            union = target
-        else:
-            union = self.covering(target)
-        if self._header.is_empty:
-            return CellUnion(np.empty(0, dtype=np.int64))
-        # Prune the search range against the global header
-        # (Listing 1, lines 5-6).
-        return union.prune_outside(
-            cellid.range_min(self._header.min_cell),
-            cellid.range_max(self._header.max_cell),
-        )
-
-    def _ranges(self, union: CellUnion) -> tuple[np.ndarray, np.ndarray]:
-        """Aggregate-row ranges [lo, hi) per covering cell.
-
-        A block cell belongs to covering cell ``c`` iff its key falls in
-        ``[range_min(c), range_max(c)]``; on the sorted key array both
-        ends are binary searches (the upper-bound search of Listing 1).
-        """
-        lo = np.searchsorted(self._aggregates.keys, union.range_mins, side="left")
-        hi = np.searchsorted(self._aggregates.keys, union.range_maxs, side="right")
-        return lo.astype(np.int64), hi.astype(np.int64)
+    def plan(self, target: QueryTarget):  # noqa: ANN201 - QueryPlan
+        """Plan one query against this block (cover + prune)."""
+        return self._planner.plan(target, header=self._header)
 
     # -- COUNT queries (Listing 2) -----------------------------------------------
 
     def count(self, target: QueryTarget) -> int:
-        """Number of tuples in the covering of the query region.
-
-        Uses only the first and last contained aggregate per covering
-        cell: ``last.offset + last.count - first.offset``.
-        """
-        union = self._resolve(target)
-        if not len(union):
-            return 0
-        lo, hi = self._ranges(union)
-        offsets = self._aggregates.offsets
-        counts = self._aggregates.counts
-        total = 0
-        for first, last in zip(lo.tolist(), hi.tolist()):
-            if last > first:
-                total += int(offsets[last - 1] + counts[last - 1] - offsets[first])
-        return total
+        """Number of tuples in the covering of the query region."""
+        return self._executor.count(self.plan(target))
 
     # -- SELECT queries (Listing 1) -------------------------------------------------
 
@@ -215,21 +185,7 @@ class GeoBlock:
     ) -> QueryResult:
         """Aggregate every attribute requested in ``aggs`` over the
         covering of the query region (dispatches on ``query_mode``)."""
-        if self.query_mode == "scalar":
-            return self.select_scalar(target, aggs)
-        aggs = list(aggs) if aggs is not None else [AggSpec("count")]
-        self._validate_aggs(aggs)
-        union = self._resolve(target)
-        accumulator = Accumulator.for_aggs(self._aggregates.schema, aggs)
-        if len(union):
-            lo, hi = self._ranges(union)
-            for first, last in zip(lo.tolist(), hi.tolist()):
-                accumulator.add_slice(self._aggregates, first, last)
-        return QueryResult(
-            values={spec.key: accumulator.extract(spec) for spec in aggs},
-            count=int(accumulator.count),
-            cells_probed=len(union),
-        )
+        return self._executor.select(self.plan(target), aggs, mode=self.query_mode)
 
     def select_scalar(
         self,
@@ -241,44 +197,16 @@ class GeoBlock:
         is planned with the same batched binary searches every
         competitor uses.  ``select_listing1`` keeps the fully literal
         per-cell variant with the ``lastAgg`` successor hint."""
-        aggs = list(aggs) if aggs is not None else [AggSpec("count")]
-        self._validate_aggs(aggs)
-        union = self._resolve(target)
-        accumulator = Accumulator.for_aggs(self._aggregates.schema, aggs)
-        if len(union):
-            lo, hi = self._ranges(union)
-            aggregates = self._aggregates
-            add_row = accumulator.add_row
-            for first, last in zip(lo.tolist(), hi.tolist()):
-                for row in range(first, last):
-                    add_row(aggregates, row)
-        return QueryResult(
-            values={spec.key: accumulator.extract(spec) for spec in aggs},
-            count=int(accumulator.count),
-            cells_probed=len(union),
-        )
+        return self._executor.select(self.plan(target), aggs, mode="scalar")
 
     def select_listing1(
         self,
         target: QueryTarget,
         aggs: Sequence[AggSpec] | None = None,
     ) -> QueryResult:
-        """Literal Listing 1: per query cell, an upper-bound binary
-        search locates the first grid cell (checking the last result's
-        successor first), then contiguous aggregates are combined until
-        the key leaves the query cell."""
-        aggs = list(aggs) if aggs is not None else [AggSpec("count")]
-        self._validate_aggs(aggs)
-        union = self._resolve(target)
-        accumulator = Accumulator.for_aggs(self._aggregates.schema, aggs)
-        last_agg = -1  # index of the last combined aggregate, -1 = none
-        for qmin, qmax in zip(union.range_mins.tolist(), union.range_maxs.tolist()):
-            last_agg = self.scan_range_scalar(qmin, qmax, accumulator, last_agg)
-        return QueryResult(
-            values={spec.key: accumulator.extract(spec) for spec in aggs},
-            count=int(accumulator.count),
-            cells_probed=len(union),
-        )
+        """Literal Listing 1 (per-cell upper-bound binary search with
+        the ``lastAgg`` successor hint); see the engine executor."""
+        return self._executor.select_listing1(self.plan(target), aggs)
 
     def scan_range_scalar(
         self,
@@ -287,35 +215,44 @@ class GeoBlock:
         accumulator: Accumulator,
         last_agg: int = -1,
     ) -> int:
-        """Listing 1's inner loop over one query cell's key range.
+        """Listing 1's inner loop over one query cell's key range
+        (delegates to the engine executor)."""
+        return self._executor.scan_range_scalar(qmin, qmax, accumulator, last_agg)
 
-        Checks the previous result's successor before falling back to
-        the upper-bound binary search (lines 19-28 of the paper), then
-        combines contiguous aggregates one at a time.  Returns the index
-        of the last combined aggregate for the next cell's hint.  Shared
-        by the plain scalar SELECT and the adaptive block's fallback
-        path so both spend identical per-aggregate work.
+    # -- batched execution ---------------------------------------------------------
+
+    def run_batch(
+        self,
+        queries: Sequence,  # noqa: ANN401 - Query objects or raw targets
+        aggs: Sequence[AggSpec] | None = None,
+    ) -> list[QueryResult]:
+        """Answer a whole workload in one engine pass.
+
+        ``queries`` may be :class:`~repro.workloads.workload.Query`
+        objects (each carrying its own aggregates) or raw targets
+        (regions / cell unions) combined with the shared ``aggs``.
+        Results are returned in input order and are identical to
+        issuing the queries sequentially under the block's
+        ``query_mode``; in vector mode overlapping coverings are
+        materialised only once, which is where batching wins on skewed
+        workloads.  (Exception: on sharded blocks a range spanning a
+        shard boundary merges per-shard float partials, so sums may
+        drift in the last ulp -- see :mod:`repro.engine.shards`.)
         """
-        keys = self._aggregates.keys
-        if last_agg >= 0 and last_agg + 1 < keys.size and qmin <= keys[last_agg + 1] <= qmax:
-            cursor = last_agg + 1
-        else:
-            cursor = int(np.searchsorted(keys, qmin, side="left"))
-        while cursor < keys.size and keys[cursor] <= qmax:
-            accumulator.add_row(self._aggregates, cursor)
-            last_agg = cursor
-            cursor += 1
-        return last_agg
+        items = [
+            (self.plan(target), query_aggs)
+            for target, query_aggs in batch_items(queries, aggs)
+        ]
+        return self._executor.run_batch(items, mode=self.query_mode)
 
     # -- helpers ----------------------------------------------------------------------
 
     def _validate_aggs(self, aggs: Sequence[AggSpec]) -> None:
-        for spec in aggs:
-            if spec.column is not None and spec.column not in self._aggregates.schema:
-                raise QueryError(
-                    f"column {spec.column!r} not in block schema "
-                    f"{self._aggregates.schema.names}"
-                )
+        self._executor.validate_aggs(aggs)
+
+    def _note_update(self, cell: int, row: int, in_place: bool) -> None:
+        """Hook for ``core/updates.py``; sharded blocks adjust their
+        partition here.  Plain blocks have nothing to maintain."""
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

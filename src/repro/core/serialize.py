@@ -5,6 +5,18 @@ but persisting them avoids keeping the base data around at query time
 (a block is typically ~2-50% of its input, Figure 11b).  The format is
 a single ``.npz`` file holding the aggregate arrays, the block level,
 the curve name, the domain, and the filter predicate's display string.
+
+Format version 2 adds a ``kind`` discriminator:
+
+* ``geoblock`` -- a plain block (version-1 files load as this kind);
+* ``sharded``  -- a :class:`~repro.engine.shards.ShardedGeoBlock`; the
+  shard level rides along, the partition itself is re-derived from the
+  sorted keys on load (it is pure bookkeeping);
+* ``adaptive`` -- an :class:`~repro.core.adaptive.AdaptiveGeoBlock`
+  including its AggregateTrie (node + record regions, Figure 7), the
+  accumulated query statistics, and the cache policy, written by
+  :func:`save_adaptive_block` and restored by
+  :func:`load_adaptive_block`.
 """
 
 from __future__ import annotations
@@ -16,21 +28,28 @@ import numpy as np
 
 from repro.cells.curves import curve_by_name
 from repro.cells.space import CellSpace
+from repro.core.adaptive import AdaptiveGeoBlock
 from repro.core.aggregates import CellAggregates
 from repro.core.geoblock import GeoBlock
+from repro.core.policy import CachePolicy
+from repro.core.statistics import QueryStatistics
+from repro.core.trie import AggregateTrie
 from repro.errors import BuildError
 from repro.geometry.bbox import BoundingBox
 from repro.storage.schema import ColumnKind, ColumnSpec, Schema
 
 #: Bumped whenever the on-disk layout changes.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions this module can still read.
+SUPPORTED_VERSIONS = (1, 2)
 
 
-def save_block(block: GeoBlock, path: str | pathlib.Path) -> None:
-    """Persist ``block`` to ``path`` (``.npz``)."""
+def _block_meta(block: GeoBlock, kind: str) -> dict:
     aggregates = block.aggregates
     meta = {
         "version": FORMAT_VERSION,
+        "kind": kind,
         "level": block.level,
         "curve": block.space.curve.name,
         "domain": [
@@ -42,6 +61,11 @@ def save_block(block: GeoBlock, path: str | pathlib.Path) -> None:
         "schema": [[spec.name, spec.kind.value] for spec in aggregates.schema],
         "predicate": repr(block.predicate),
     }
+    return meta
+
+
+def _block_arrays(block: GeoBlock) -> dict[str, np.ndarray]:
+    aggregates = block.aggregates
     arrays: dict[str, np.ndarray] = {
         "keys": aggregates.keys,
         "offsets": aggregates.offsets,
@@ -53,38 +77,143 @@ def save_block(block: GeoBlock, path: str | pathlib.Path) -> None:
         arrays[f"sum__{spec.name}"] = aggregates.sums[spec.name]
         arrays[f"min__{spec.name}"] = aggregates.mins[spec.name]
         arrays[f"max__{spec.name}"] = aggregates.maxs[spec.name]
+    return arrays
+
+
+def _write(path: str | pathlib.Path, meta: dict, arrays: dict[str, np.ndarray]) -> None:
     np.savez_compressed(
         path, meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8), **arrays
     )
 
 
+def save_block(block: GeoBlock, path: str | pathlib.Path) -> None:
+    """Persist ``block`` to ``path`` (``.npz``).
+
+    Sharded blocks round-trip automatically (their kind and shard level
+    are recorded); adaptive blocks need :func:`save_adaptive_block` --
+    passing one here raises, as silently dropping the cache would be a
+    data-loss surprise.
+    """
+    if isinstance(block, AdaptiveGeoBlock):
+        raise BuildError("use save_adaptive_block for AdaptiveGeoBlock instances")
+    from repro.engine.shards import ShardedGeoBlock
+
+    if isinstance(block, ShardedGeoBlock):
+        meta = _block_meta(block, "sharded")
+        meta["shard_level"] = block.shard_level
+    else:
+        meta = _block_meta(block, "geoblock")
+    _write(path, meta, _block_arrays(block))
+
+
+def save_adaptive_block(adaptive: AdaptiveGeoBlock, path: str | pathlib.Path) -> None:
+    """Persist an adaptive block: base block + trie + statistics + policy."""
+    block = adaptive.block
+    from repro.engine.shards import ShardedGeoBlock
+
+    meta = _block_meta(block, "adaptive")
+    if isinstance(block, ShardedGeoBlock):
+        meta["base_kind"] = "sharded"
+        meta["shard_level"] = block.shard_level
+    else:
+        meta["base_kind"] = "geoblock"
+    meta["policy"] = {
+        "threshold": adaptive.policy.threshold,
+        "rebuild_every": adaptive.policy.rebuild_every,
+    }
+    meta["queries_recorded"] = adaptive.statistics.queries_recorded
+    arrays = _block_arrays(block)
+    cells, hits = adaptive.statistics.export_counts()
+    arrays["stat_cells"] = cells
+    arrays["stat_hits"] = hits
+    trie = adaptive.trie
+    meta["has_trie"] = trie is not None
+    if trie is not None:
+        meta["trie_root_cell"] = trie.root_cell
+        meta["trie_record_width"] = trie.record_width
+        arrays["trie_nodes"] = trie.nodes
+        arrays["trie_records"] = trie.records
+    _write(path, meta, arrays)
+
+
+def _read_meta(archive) -> dict:  # noqa: ANN001 - NpzFile
+    meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+    if meta.get("version") not in SUPPORTED_VERSIONS:
+        raise BuildError(
+            f"unsupported GeoBlock file version {meta.get('version')!r}; "
+            f"expected one of {SUPPORTED_VERSIONS}"
+        )
+    return meta
+
+
+def _read_block(archive, meta: dict, kind: str) -> GeoBlock:  # noqa: ANN001
+    schema = Schema(
+        [ColumnSpec(name, ColumnKind(kind_)) for name, kind_ in meta["schema"]]
+    )
+    aggregates = CellAggregates(
+        schema=schema,
+        keys=archive["keys"],
+        offsets=archive["offsets"],
+        counts=archive["counts"],
+        key_mins=archive["key_mins"],
+        key_maxs=archive["key_maxs"],
+        sums={spec.name: archive[f"sum__{spec.name}"] for spec in schema},
+        mins={spec.name: archive[f"min__{spec.name}"] for spec in schema},
+        maxs={spec.name: archive[f"max__{spec.name}"] for spec in schema},
+    )
+    domain = BoundingBox(*meta["domain"])
+    space = CellSpace(domain, curve=curve_by_name(meta["curve"]))
+    if kind == "sharded":
+        from repro.engine.shards import ShardedGeoBlock
+
+        return ShardedGeoBlock(
+            space, int(meta["level"]), aggregates, shard_level=int(meta["shard_level"])
+        )
+    return GeoBlock(space, int(meta["level"]), aggregates)
+
+
 def load_block(path: str | pathlib.Path) -> GeoBlock:
-    """Load a GeoBlock saved by :func:`save_block`.
+    """Load a plain or sharded GeoBlock saved by :func:`save_block`.
 
     The filter predicate is restored as its display string only (it is
     metadata; the aggregates already reflect it).
     """
     with np.load(path) as archive:
-        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
-        if meta.get("version") != FORMAT_VERSION:
-            raise BuildError(
-                f"unsupported GeoBlock file version {meta.get('version')!r}; "
-                f"expected {FORMAT_VERSION}"
+        meta = _read_meta(archive)
+        kind = meta.get("kind", "geoblock")
+        if kind == "adaptive":
+            raise BuildError("use load_adaptive_block for adaptive GeoBlock files")
+        return _read_block(archive, meta, kind)
+
+
+def load_adaptive_block(path: str | pathlib.Path) -> AdaptiveGeoBlock:
+    """Load an adaptive block saved by :func:`save_adaptive_block`.
+
+    The trie, statistics, and policy are restored exactly: queries
+    answered after the round-trip hit the same cache entries, and a
+    later ``adapt()`` continues from the persisted statistics.
+    """
+    with np.load(path) as archive:
+        meta = _read_meta(archive)
+        if meta.get("kind") != "adaptive":
+            raise BuildError("not an adaptive GeoBlock file; use load_block")
+        block = _read_block(archive, meta, meta.get("base_kind", "geoblock"))
+        policy_meta = meta.get("policy", {})
+        policy = CachePolicy(
+            threshold=float(policy_meta.get("threshold", 0.05)),
+            rebuild_every=policy_meta.get("rebuild_every"),
+        )
+        adaptive = AdaptiveGeoBlock(block, policy)
+        adaptive._statistics = QueryStatistics.from_counts(
+            archive["stat_cells"],
+            archive["stat_hits"],
+            int(meta.get("queries_recorded", 0)),
+        )
+        if meta.get("has_trie"):
+            adaptive._trie = AggregateTrie(
+                int(meta["trie_root_cell"]),
+                archive["trie_nodes"],
+                archive["trie_records"],
+                int(meta["trie_record_width"]),
             )
-        schema = Schema(
-            [ColumnSpec(name, ColumnKind(kind)) for name, kind in meta["schema"]]
-        )
-        aggregates = CellAggregates(
-            schema=schema,
-            keys=archive["keys"],
-            offsets=archive["offsets"],
-            counts=archive["counts"],
-            key_mins=archive["key_mins"],
-            key_maxs=archive["key_maxs"],
-            sums={spec.name: archive[f"sum__{spec.name}"] for spec in schema},
-            mins={spec.name: archive[f"min__{spec.name}"] for spec in schema},
-            maxs={spec.name: archive[f"max__{spec.name}"] for spec in schema},
-        )
-        domain = BoundingBox(*meta["domain"])
-        space = CellSpace(domain, curve=curve_by_name(meta["curve"]))
-        return GeoBlock(space, int(meta["level"]), aggregates)
+        return adaptive

@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cells import cellid
 from repro.cells.union import CellUnion
 
@@ -72,6 +74,27 @@ class QueryStatistics:
     def clear(self) -> None:
         self._hits.clear()
         self._queries_recorded = 0
+
+    # -- persistence (core/serialize.py) -----------------------------------
+
+    def export_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Hit counters as parallel (cells, hits) arrays, key-sorted."""
+        if not self._hits:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        cells = np.asarray(sorted(self._hits), dtype=np.int64)
+        hits = np.asarray([self._hits[int(cell)] for cell in cells], dtype=np.int64)
+        return cells, hits
+
+    @classmethod
+    def from_counts(
+        cls, cells: np.ndarray, hits: np.ndarray, queries_recorded: int
+    ) -> "QueryStatistics":
+        """Rebuild statistics saved by :meth:`export_counts`."""
+        statistics = cls()
+        for cell, count in zip(cells.tolist(), hits.tolist()):
+            statistics._hits[int(cell)] = int(count)
+        statistics._queries_recorded = int(queries_recorded)
+        return statistics
 
     # -- scoring -------------------------------------------------------------
 

@@ -95,6 +95,30 @@ class AggregateTrie:
         return self._root_cell
 
     @property
+    def nodes(self) -> np.ndarray:
+        """The packed int32 node region (for persistence)."""
+        return self._nodes
+
+    @property
+    def records(self) -> np.ndarray:
+        """The dense record region (for persistence).
+
+        Rebuilt from the traversal mirrors: probes hand out the mirror
+        rows, and cache refreshes (``apply_update_adaptive``) mutate
+        them in place, so the mirrors -- not the build-time array --
+        are the live state.
+        """
+        if not self._record_rows:
+            return self._records
+        return np.asarray(self._record_rows, dtype=np.float64).reshape(
+            -1, self._record_width
+        )
+
+    @property
+    def record_width(self) -> int:
+        return self._record_width
+
+    @property
     def num_nodes(self) -> int:
         return int(self._nodes.shape[0])
 

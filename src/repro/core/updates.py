@@ -15,6 +15,10 @@ the layout admits updates, and this module implements that sketch:
   arrays, which the paper notes costs about as much as a fresh build.
 
 Batched usage is recommended, exactly as the paper suggests.
+
+Sharded blocks (:mod:`repro.engine.shards`) get a post-update callback
+(``_note_update``) so only the dirty shard's bounds are adjusted --
+never a full re-partition.
 """
 
 from __future__ import annotations
@@ -56,6 +60,8 @@ def apply_update(block: GeoBlock, x: float, y: float, values: Mapping[str, float
     from repro.core.header import GlobalHeader
 
     block._header = GlobalHeader.from_aggregates(aggregates, block.level)
+    # Sharded blocks adjust only the dirty shard's bounds here.
+    block._note_update(cell, row, in_place)
     return in_place
 
 

@@ -1,0 +1,65 @@
+"""The unified query engine: plan, then execute.
+
+Every query in this library -- plain GeoBlocks, the query-cache
+accelerated BlockQC, the evaluation baselines, and the batched workload
+runners -- flows through this package's two-stage pipeline:
+
+1. the **planner** (:mod:`repro.engine.planner`) turns a polygon or
+   pre-computed covering into a :class:`~repro.engine.planner.QueryPlan`
+   -- an LRU-cached, header-pruned covering plus the per-cell
+   AggregateTrie probe decisions of Figure 8;
+2. the **executor** (:mod:`repro.engine.executor`) carries the plan out
+   under either execution model (vectorised or scalar), answers whole
+   batches in one shared pass (``run_batch``), and defines the probe /
+   cache-hit counters once for every path.
+
+:mod:`repro.engine.shards` adds prefix-sharded blocks whose batch
+execution fans out across a thread pool and whose updates touch only
+dirty shards.  The engine is the seam later scaling work (async
+serving, multi-backend storage, distributed sharding) plugs into.
+
+``ShardedGeoBlock`` and friends are re-exported lazily: the shards
+module subclasses ``GeoBlock``, which itself imports the planner and
+executor, so an eager import here would be circular.
+"""
+
+from repro.engine.executor import (
+    Executor,
+    QueryResult,
+    aggregate_rows,
+    aggregate_rows_scalar,
+    batch_items,
+    union_ranges,
+)
+from repro.engine.planner import (
+    CoveringCache,
+    Planner,
+    QueryPlan,
+    QueryTarget,
+)
+
+__all__ = [
+    "CoveringCache",
+    "Executor",
+    "Planner",
+    "QueryPlan",
+    "QueryResult",
+    "QueryTarget",
+    "Shard",
+    "ShardedExecutor",
+    "ShardedGeoBlock",
+    "aggregate_rows",
+    "aggregate_rows_scalar",
+    "batch_items",
+    "union_ranges",
+]
+
+_LAZY = {"Shard", "ShardedExecutor", "ShardedGeoBlock"}
+
+
+def __getattr__(name: str):  # noqa: ANN201 - PEP 562 lazy re-export
+    if name in _LAZY:
+        from repro.engine import shards
+
+        return getattr(shards, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

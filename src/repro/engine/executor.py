@@ -1,0 +1,539 @@
+"""Query execution: carrying out a :class:`~repro.engine.planner.QueryPlan`.
+
+This module consolidates every probe-and-aggregate loop that used to be
+duplicated across ``core/geoblock.py`` (vector + scalar + literal
+Listing 1 paths) and ``core/adaptive.py`` (the Figure 8 cache-aware
+variant).  One :class:`Executor` is bound to one block and offers:
+
+* ``select`` / ``count`` -- single-query execution under either
+  execution model ("vector" numpy slice reductions or "scalar"
+  aggregate-at-a-time, the experiment harness's model), consuming the
+  plan's cache-probe decisions when present;
+* ``run_batch`` -- the batched workload path: all covering cells of all
+  queries are located with two shared binary-search passes, duplicate
+  aggregate ranges (the signature of skewed workloads) are materialised
+  exactly once, and the per-query folds then combine the shared
+  records.  Sharded blocks override the record materialisation to fan
+  out across shards (:mod:`repro.engine.shards`).
+
+Counter semantics are defined here once: ``cells_probed`` is the number
+of covering cells after header pruning and ``cache_hits`` the number of
+those answered entirely from the AggregateTrie -- identical across the
+scalar and vector models by construction.
+
+The row-level fold helpers used by the on-the-fly baselines
+(``aggregate_rows`` and friends) also live here, so every competitor
+answers through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.cells import cellid
+from repro.cells.union import CellUnion
+from repro.core.aggregates import Accumulator, AggSpec
+from repro.errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.planner import QueryPlan
+    from repro.storage.etl import BaseData
+    from repro.storage.schema import Schema
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of a SELECT query."""
+
+    #: Requested aggregate values keyed by ``AggSpec.key``.
+    values: dict[str, float]
+    #: Number of tuples covered by the query (always computed).
+    count: int
+    #: Number of covering cells probed against the block.
+    cells_probed: int = 0
+    #: Covering cells answered entirely from the query cache.
+    cache_hits: int = 0
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+
+def default_aggs(aggs: Sequence[AggSpec] | None) -> list[AggSpec]:
+    """Normalise a SELECT's aggregate list (default: COUNT(*))."""
+    return list(aggs) if aggs is not None else [AggSpec("count")]
+
+
+def batch_items(
+    queries: Sequence, aggs: Sequence[AggSpec] | None = None  # noqa: ANN401
+) -> list[tuple[object, Sequence[AggSpec] | None]]:
+    """Normalise a batch input into (target, aggs) pairs.
+
+    ``queries`` may be :class:`~repro.workloads.workload.Query` objects
+    (each carrying its own aggregates) or raw targets (regions / cell
+    unions); ``aggs`` is the shared fallback.  This is the one place
+    that defines the batch item protocol -- every ``run_batch``
+    implementation unpacks through it.
+    """
+    items: list[tuple[object, Sequence[AggSpec] | None]] = []
+    for query in queries:
+        target = getattr(query, "region", query)
+        query_aggs = getattr(query, "aggs", None)
+        # An explicitly empty aggs tuple is a real request (count only,
+        # no output values) and must not fall back to the shared aggs.
+        items.append((target, list(query_aggs) if query_aggs is not None else aggs))
+    return items
+
+
+class Executor:
+    """Executes plans against one block's cell aggregates.
+
+    The executor reads the block's ``aggregates`` and ``query_mode``
+    lazily on every call, so in-place updates (``core/updates.py``) and
+    mode switches take effect immediately.
+    """
+
+    def __init__(self, block) -> None:  # noqa: ANN001 - GeoBlock (circular)
+        self._block = block
+
+    # -- shared plumbing -------------------------------------------------
+
+    @property
+    def aggregates(self):  # noqa: ANN201 - CellAggregates
+        return self._block.aggregates
+
+    def validate_aggs(self, aggs: Sequence[AggSpec]) -> None:
+        schema = self.aggregates.schema
+        for spec in aggs:
+            if spec.column is not None and spec.column not in schema:
+                raise QueryError(
+                    f"column {spec.column!r} not in block schema {schema.names}"
+                )
+
+    def ranges(self, union: CellUnion) -> tuple[np.ndarray, np.ndarray]:
+        """Aggregate-row ranges [lo, hi) per covering cell.
+
+        A block cell belongs to covering cell ``c`` iff its key falls in
+        ``[range_min(c), range_max(c)]``; on the sorted key array both
+        ends are binary searches (the upper-bound search of Listing 1).
+        """
+        keys = self.aggregates.keys
+        lo = np.searchsorted(keys, union.range_mins, side="left")
+        hi = np.searchsorted(keys, union.range_maxs, side="right")
+        return lo.astype(np.int64), hi.astype(np.int64)
+
+    def cell_range(self, cell: int) -> tuple[int, int]:
+        """Aggregate-row range of one cell's key interval."""
+        keys = self.aggregates.keys
+        lo = int(np.searchsorted(keys, cellid.range_min(cell), side="left"))
+        hi = int(np.searchsorted(keys, cellid.range_max(cell), side="right"))
+        return lo, hi
+
+    def cell_record(self, cell: int) -> np.ndarray:
+        """Full-schema aggregate record of one cell (used to materialise
+        AggregateTrie entries and to answer uncached trie children)."""
+        lo, hi = self.cell_range(cell)
+        return self.aggregates.slice_record(lo, hi)
+
+    def _fold_slice(self, accumulator: Accumulator, lo: int, hi: int, scalar: bool) -> None:
+        """Combine aggregate rows [lo, hi) under the execution model."""
+        if scalar:
+            aggregates = self.aggregates
+            add_row = accumulator.add_row
+            for row in range(lo, hi):
+                add_row(aggregates, row)
+        else:
+            accumulator.add_slice(self.aggregates, lo, hi)
+
+    def _fold_cell(self, cell: int, accumulator: Accumulator, scalar: bool) -> None:
+        """The base algorithm restricted to one query cell (used for
+        the uncached children of a partial cache hit)."""
+        lo, hi = self.cell_range(cell)
+        self._fold_slice(accumulator, lo, hi, scalar)
+
+    # -- single-query execution ------------------------------------------
+
+    def select(
+        self,
+        plan: "QueryPlan",
+        aggs: Sequence[AggSpec] | None = None,
+        mode: str | None = None,
+    ) -> QueryResult:
+        """Execute one SELECT plan (Listing 1 / Figure 8).
+
+        ``mode`` defaults to the bound block's ``query_mode``.  Plans
+        carrying cache-probe decisions follow Figure 8 per covering
+        cell: hits fold the cached record, partial hits fold the cached
+        children and fall back per uncached child, misses run the base
+        range fold.
+        """
+        aggs = default_aggs(aggs)
+        self.validate_aggs(aggs)
+        scalar = (mode or self._block.query_mode) == "scalar"
+        union = plan.union
+        aggregates = self.aggregates
+        accumulator = Accumulator.for_aggs(aggregates.schema, aggs)
+        cache_hits = 0
+        if len(union):
+            lo, hi = self.ranges(union)
+            if plan.probes is None:
+                # Hot loop: inlined per execution model (a method call
+                # per covering cell would dominate on sparse coverings).
+                if scalar:
+                    add_row = accumulator.add_row
+                    for first, last in zip(lo.tolist(), hi.tolist()):
+                        for row in range(first, last):
+                            add_row(aggregates, row)
+                else:
+                    add_slice = accumulator.add_slice
+                    for first, last in zip(lo.tolist(), hi.tolist()):
+                        add_slice(aggregates, first, last)
+            else:
+                cache_hits = self._fold_with_probes(
+                    plan, accumulator, lo, hi, scalar, records=None
+                )
+        return QueryResult(
+            values={spec.key: accumulator.extract(spec) for spec in aggs},
+            count=int(accumulator.count),
+            cells_probed=len(union),
+            cache_hits=cache_hits,
+        )
+
+    def _fold_with_probes(
+        self,
+        plan: "QueryPlan",
+        accumulator: Accumulator,
+        lo: np.ndarray | None,
+        hi: np.ndarray | None,
+        scalar: bool,
+        records: "dict[tuple[int, int], np.ndarray] | None",
+    ) -> int:
+        """Figure 8's per-cell cache walk; returns the cache-hit count.
+
+        When ``records`` is given (batch execution), base-range folds
+        combine the pre-materialised shared records instead of touching
+        the aggregate arrays directly.
+        """
+        assert plan.probes is not None
+        cache_hits = 0
+        for index, probe in enumerate(plan.probes):
+            if probe.status == "hit":
+                accumulator.add_record(probe.record)
+                cache_hits += 1
+                continue
+            if probe.status == "partial" and probe.child_records:
+                for record in probe.child_records:
+                    accumulator.add_record(record)
+                for child_cell in probe.uncached_children:
+                    self._fold_cell(child_cell, accumulator, scalar)
+                continue
+            pair = (int(lo[index]), int(hi[index]))
+            if records is not None:
+                accumulator.add_record(records[pair])
+            else:
+                self._fold_slice(accumulator, pair[0], pair[1], scalar)
+        return cache_hits
+
+    def count(self, plan: "QueryPlan") -> int:
+        """COUNT execution (Listing 2): per covering cell only the first
+        and last contained aggregate are touched, computing the result
+        in a range-sum manner from offsets."""
+        union = plan.union
+        if not len(union):
+            return 0
+        lo, hi = self.ranges(union)
+        offsets = self.aggregates.offsets
+        counts = self.aggregates.counts
+        total = 0
+        for first, last in zip(lo.tolist(), hi.tolist()):
+            if last > first:
+                total += int(offsets[last - 1] + counts[last - 1] - offsets[first])
+        return total
+
+    # -- literal Listing 1 reference path --------------------------------
+
+    def select_listing1(
+        self, plan: "QueryPlan", aggs: Sequence[AggSpec] | None = None
+    ) -> QueryResult:
+        """Literal Listing 1: per query cell, an upper-bound binary
+        search locates the first grid cell (checking the last result's
+        successor first), then contiguous aggregates are combined until
+        the key leaves the query cell."""
+        aggs = default_aggs(aggs)
+        self.validate_aggs(aggs)
+        union = plan.union
+        accumulator = Accumulator.for_aggs(self.aggregates.schema, aggs)
+        last_agg = -1  # index of the last combined aggregate, -1 = none
+        for qmin, qmax in zip(union.range_mins.tolist(), union.range_maxs.tolist()):
+            last_agg = self.scan_range_scalar(qmin, qmax, accumulator, last_agg)
+        return QueryResult(
+            values={spec.key: accumulator.extract(spec) for spec in aggs},
+            count=int(accumulator.count),
+            cells_probed=len(union),
+        )
+
+    def scan_range_scalar(
+        self, qmin: int, qmax: int, accumulator: Accumulator, last_agg: int = -1
+    ) -> int:
+        """Listing 1's inner loop over one query cell's key range.
+
+        Checks the previous result's successor before falling back to
+        the upper-bound binary search (lines 19-28 of the paper), then
+        combines contiguous aggregates one at a time.  Returns the index
+        of the last combined aggregate for the next cell's hint.
+        """
+        aggregates = self.aggregates
+        keys = aggregates.keys
+        if last_agg >= 0 and last_agg + 1 < keys.size and qmin <= keys[last_agg + 1] <= qmax:
+            cursor = last_agg + 1
+        else:
+            cursor = int(np.searchsorted(keys, qmin, side="left"))
+        while cursor < keys.size and keys[cursor] <= qmax:
+            accumulator.add_row(aggregates, cursor)
+            last_agg = cursor
+            cursor += 1
+        return last_agg
+
+    # -- batched execution -----------------------------------------------
+
+    def run_batch(
+        self,
+        items: Sequence[tuple["QueryPlan", Sequence[AggSpec] | None]],
+        mode: str | None = None,
+    ) -> list[QueryResult]:
+        """Answer many plans in one shared pass.
+
+        All covering-cell key ranges of the whole batch are located with
+        two shared ``searchsorted`` calls.  In "vector" mode (the
+        production default) duplicate [lo, hi) aggregate ranges --
+        queries overlap heavily under the paper's skewed workloads --
+        are additionally materialised into records exactly once, and the
+        per-query folds combine those shared records in covering order;
+        results are bit-identical to issuing the same queries one by
+        one.  In "scalar" mode (the experiment harness's comparable-
+        per-item-cost model) the folds stay aggregate-at-a-time with no
+        record sharing, again matching the sequential scalar results.
+        """
+        scalar = (mode or self._block.query_mode) == "scalar"
+        plans = [plan for plan, _ in items]
+        agg_lists = [default_aggs(aggs) for _, aggs in items]
+        for aggs in agg_lists:
+            self.validate_aggs(aggs)
+        aggregates = self.aggregates
+        # One batched range location for every covering cell of the batch.
+        sizes = [len(plan.union) for plan in plans]
+        if sum(sizes):
+            all_mins = np.concatenate([p.union.range_mins for p in plans if len(p.union)])
+            all_maxs = np.concatenate([p.union.range_maxs for p in plans if len(p.union)])
+            keys = aggregates.keys
+            lo_all = np.searchsorted(keys, all_mins, side="left").astype(np.int64)
+            hi_all = np.searchsorted(keys, all_maxs, side="right").astype(np.int64)
+        else:
+            lo_all = hi_all = np.empty(0, dtype=np.int64)
+        offsets = np.cumsum([0] + sizes)
+        # Materialise each distinct aggregate range exactly once (vector
+        # mode only -- the scalar model charges every aggregate).  Cells
+        # answered by the trie cache never reach the aggregate arrays,
+        # so their ranges are excluded from materialisation.
+        records: dict[tuple[int, int], np.ndarray] | None = None
+        if not scalar:
+            needed: dict[tuple[int, int], None] = {}
+            for plan_index, plan in enumerate(plans):
+                start = offsets[plan_index]
+                for cell_index in range(sizes[plan_index]):
+                    probe = plan.probes[cell_index] if plan.probes is not None else None
+                    if probe is not None and (
+                        probe.status == "hit"
+                        or (probe.status == "partial" and probe.child_records)
+                    ):
+                        continue
+                    pair = (int(lo_all[start + cell_index]), int(hi_all[start + cell_index]))
+                    needed.setdefault(pair, None)
+            records = self.materialise_slices(list(needed))
+        # Per-query folds.
+        results: list[QueryResult] = []
+        for plan_index, (plan, aggs) in enumerate(zip(plans, agg_lists)):
+            start, stop = offsets[plan_index], offsets[plan_index + 1]
+            lo, hi = lo_all[start:stop], hi_all[start:stop]
+            accumulator = Accumulator.for_aggs(aggregates.schema, aggs)
+            cache_hits = 0
+            if len(plan.union):
+                if plan.probes is not None:
+                    cache_hits = self._fold_with_probes(
+                        plan, accumulator, lo, hi, scalar=scalar, records=records
+                    )
+                elif scalar:
+                    add_row = accumulator.add_row
+                    for first, last in zip(lo.tolist(), hi.tolist()):
+                        for row in range(first, last):
+                            add_row(aggregates, row)
+                else:
+                    for first, last in zip(lo.tolist(), hi.tolist()):
+                        accumulator.add_record(records[(first, last)])
+            results.append(
+                QueryResult(
+                    values={spec.key: accumulator.extract(spec) for spec in aggs},
+                    count=int(accumulator.count),
+                    cells_probed=len(plan.union),
+                    cache_hits=cache_hits,
+                )
+            )
+        return results
+
+    def materialise_slices(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> dict[tuple[int, int], np.ndarray]:
+        """Full-schema records for each distinct aggregate range.
+
+        Sharded blocks override this to fan the work out per shard
+        (:class:`repro.engine.shards.ShardedExecutor`).
+        """
+        aggregates = self.aggregates
+        return {pair: aggregates.slice_record(pair[0], pair[1]) for pair in pairs}
+
+
+# -- row-level folds for the on-the-fly baselines ------------------------
+
+
+def aggregate_rows(
+    base: "BaseData",
+    slices: list[tuple[int, int]],
+    aggs: Sequence[AggSpec],
+    extra_indices: np.ndarray | None = None,
+    cells_probed: int | None = None,
+) -> QueryResult:
+    """On-the-fly aggregation over row ranges of the base data.
+
+    This is the shared "scan the qualifying raw tuples and fold them"
+    step of the non-pre-aggregating baselines.  ``slices`` are [lo, hi)
+    ranges in base order; ``extra_indices`` adds individually selected
+    rows (used by the PH-tree's partial leaves).  ``cells_probed``
+    overrides the probe counter when the caller probed more cells than
+    produced slices (empty covering cells still cost a probe).
+    """
+    schema: "Schema" = base.table.schema
+    count = 0
+    needed = {spec.column for spec in aggs if spec.column is not None}
+    sums = {name: 0.0 for name in needed}
+    mins = {name: np.inf for name in needed}
+    maxs = {name: -np.inf for name in needed}
+    columns = {name: base.table.column(name) for name in needed}
+    for lo, hi in slices:
+        if hi <= lo:
+            continue
+        count += hi - lo
+        for name in needed:
+            values = columns[name][lo:hi]
+            sums[name] += float(values.sum())
+            mins[name] = min(mins[name], float(values.min()))
+            maxs[name] = max(maxs[name], float(values.max()))
+    if extra_indices is not None and extra_indices.size:
+        count += int(extra_indices.size)
+        for name in needed:
+            values = columns[name][extra_indices]
+            sums[name] += float(values.sum())
+            mins[name] = min(mins[name], float(values.min()))
+            maxs[name] = max(maxs[name], float(values.max()))
+    values_out: dict[str, float] = {}
+    for spec in aggs:
+        if spec.function == "count":
+            values_out[spec.key] = float(count)
+        elif spec.function == "sum":
+            values_out[spec.key] = sums[spec.column]  # type: ignore[index]
+        elif spec.function == "min":
+            values_out[spec.key] = mins[spec.column] if count else np.nan  # type: ignore[index]
+        elif spec.function == "max":
+            values_out[spec.key] = maxs[spec.column] if count else np.nan  # type: ignore[index]
+        elif spec.function == "avg":
+            values_out[spec.key] = (sums[spec.column] / count) if count else np.nan  # type: ignore[index]
+    return QueryResult(
+        values=values_out,
+        count=count,
+        cells_probed=len(slices) if cells_probed is None else cells_probed,
+    )
+
+
+def aggregate_rows_scalar(
+    base: "BaseData",
+    slices: list[tuple[int, int]],
+    aggs: Sequence[AggSpec],
+    extra_indices: np.ndarray | None = None,
+    cells_probed: int | None = None,
+) -> QueryResult:
+    """Scalar (tuple-at-a-time) variant of :func:`aggregate_rows`.
+
+    Folds every qualifying raw tuple individually, the way the paper's
+    single-threaded C++ baselines do.  The experiment harness uses this
+    execution model for all competitors so that per-item costs stay
+    comparable; the vectorised :func:`aggregate_rows` is the production
+    path.  Counter semantics are identical to the vectorised fold.
+    """
+    count = 0
+    needed = [spec.column for spec in aggs if spec.column is not None]
+    needed = list(dict.fromkeys(needed))
+    columns = {name: base.table.column(name) for name in needed}
+    sums = {name: 0.0 for name in needed}
+    mins = {name: np.inf for name in needed}
+    maxs = {name: -np.inf for name in needed}
+    for lo, hi in slices:
+        if hi <= lo:
+            continue
+        count += hi - lo
+        for name in needed:
+            column = columns[name]
+            total = sums[name]
+            low = mins[name]
+            high = maxs[name]
+            for row in range(lo, hi):
+                value = column[row]
+                total += value
+                if value < low:
+                    low = value
+                if value > high:
+                    high = value
+            sums[name] = total
+            mins[name] = low
+            maxs[name] = high
+    if extra_indices is not None and extra_indices.size:
+        count += int(extra_indices.size)
+        for name in needed:
+            column = columns[name]
+            total = sums[name]
+            low = mins[name]
+            high = maxs[name]
+            for row in extra_indices.tolist():
+                value = column[row]
+                total += value
+                if value < low:
+                    low = value
+                if value > high:
+                    high = value
+            sums[name] = total
+            mins[name] = low
+            maxs[name] = high
+    values_out: dict[str, float] = {}
+    for spec in aggs:
+        if spec.function == "count":
+            values_out[spec.key] = float(count)
+        elif spec.function == "sum":
+            values_out[spec.key] = float(sums[spec.column])  # type: ignore[index]
+        elif spec.function == "min":
+            values_out[spec.key] = float(mins[spec.column]) if count else np.nan  # type: ignore[index]
+        elif spec.function == "max":
+            values_out[spec.key] = float(maxs[spec.column]) if count else np.nan  # type: ignore[index]
+        elif spec.function == "avg":
+            values_out[spec.key] = float(sums[spec.column]) / count if count else np.nan  # type: ignore[index]
+    return QueryResult(
+        values=values_out,
+        count=count,
+        cells_probed=len(slices) if cells_probed is None else cells_probed,
+    )
+
+
+def union_ranges(base: "BaseData", union: CellUnion) -> list[tuple[int, int]]:
+    """Row ranges of base data covered by each cell of a union."""
+    lo = np.searchsorted(base.keys, union.range_mins, side="left")
+    hi = np.searchsorted(base.keys, union.range_maxs, side="right")
+    return list(zip(lo.tolist(), hi.tolist()))

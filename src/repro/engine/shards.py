@@ -1,0 +1,356 @@
+"""Sharded GeoBlocks: cell-ID-prefix partitioning of the aggregate array.
+
+A :class:`ShardedGeoBlock` behaves exactly like a plain
+:class:`~repro.core.geoblock.GeoBlock` -- same construction, query, and
+serialisation API -- but partitions its sorted aggregate array into
+independent shards keyed by the cell-ID prefix at ``shard_level``.
+Because aggregates are sorted by spatial key and every cell at the
+block level has exactly one ancestor at the shard level, each shard is
+a contiguous row range ``[lo, hi)`` of the shared arrays: the partition
+is zero-copy.
+
+What sharding buys:
+
+* **batched execution fans out per shard**: the executor's record
+  materialisation (the dominant cost of ``run_batch``) is split at
+  shard boundaries and dispatched to a thread pool, one numpy segment
+  per shard (threads release the GIL inside numpy reductions);
+* **incremental updates touch only dirty shards**: an update through
+  ``core/updates.py`` adjusts the affected shard's bounds (and shifts
+  its successors) in O(num_shards) instead of re-deriving the whole
+  partition, and records the shard as dirty for downstream consumers
+  (e.g. per-shard persistence);
+* it is the seam later scaling work (per-shard storage backends,
+  distributed placement) plugs into, without touching the query path.
+
+Note on float determinism: a record for a range spanning several shards
+is merged from per-shard partials, so its float sums may differ from
+the unsharded result in the last ulp (counts, mins, and maxs are always
+exact).  Single-shard ranges -- the common case once ``shard_level`` is
+coarser than the covering cells -- are bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from repro.cells import cellid, cellops
+from repro.core.aggregates import CellAggregates
+from repro.core.geoblock import GeoBlock
+from repro.engine.executor import Executor
+from repro.errors import BuildError
+from repro.storage.etl import PHASE_BUILDING, BaseData
+from repro.storage.expr import ALWAYS_TRUE, Predicate
+from repro.util.timing import Stopwatch
+
+#: Default shard-prefix depth below the block's root cell.  Data spans
+#: vary wildly (a city block vs. a continent), so the default derives
+#: the prefix level from the data extent: three levels below the root
+#: cell yields up to 64 shards that actually partition the data.
+SHARD_LEVEL_OFFSET = 3
+
+#: Below this many distinct ranges a thread pool costs more than it
+#: saves; the executor then materialises inline.
+MIN_RANGES_FOR_FANOUT = 32
+
+
+class Shard:
+    """One contiguous row range of the block's aggregate arrays."""
+
+    __slots__ = ("prefix", "lo", "hi", "dirty")
+
+    def __init__(self, prefix: int, lo: int, hi: int) -> None:
+        self.prefix = prefix  #: cell id of the shard's prefix cell
+        self.lo = lo
+        self.hi = hi
+        self.dirty = False  #: touched by an update since the last sweep
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = ", dirty" if self.dirty else ""
+        return f"Shard(prefix={self.prefix:#x}, rows=[{self.lo}, {self.hi}){flag})"
+
+
+class ShardedExecutor(Executor):
+    """Executor whose batch record materialisation fans out per shard."""
+
+    def materialise_slices(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> dict[tuple[int, int], np.ndarray]:
+        block: "ShardedGeoBlock" = self._block  # type: ignore[assignment]
+        shards = block.shards
+        if len(shards) <= 1 or len(pairs) < MIN_RANGES_FOR_FANOUT:
+            return super().materialise_slices(pairs)
+        # Split every range at shard boundaries and bucket the pieces.
+        starts = np.asarray([shard.lo for shard in shards], dtype=np.int64)
+        per_shard: list[list[tuple[int, int, int]]] = [[] for _ in shards]
+        for pair_index, (lo, hi) in enumerate(pairs):
+            if hi <= lo:
+                continue
+            first = int(np.searchsorted(starts, lo, side="right")) - 1
+            last = int(np.searchsorted(starts, hi - 1, side="right")) - 1
+            first = max(first, 0)
+            for shard_index in range(first, last + 1):
+                shard = shards[shard_index]
+                piece_lo = max(lo, shard.lo)
+                piece_hi = min(hi, shard.hi)
+                if piece_hi > piece_lo:
+                    per_shard[shard_index].append((pair_index, piece_lo, piece_hi))
+        aggregates = self.aggregates
+
+        def shard_records(work: list[tuple[int, int, int]]) -> list[tuple[int, np.ndarray]]:
+            return [
+                (pair_index, aggregates.slice_record(piece_lo, piece_hi))
+                for pair_index, piece_lo, piece_hi in work
+            ]
+
+        busy = [work for work in per_shard if work]
+        chunks = list(block.thread_pool.map(shard_records, busy))
+        # Merge per-shard partial records back into one record per range.
+        records: dict[tuple[int, int], np.ndarray] = {}
+        partials: dict[int, np.ndarray] = {}
+        for chunk in chunks:
+            for pair_index, record in chunk:
+                existing = partials.get(pair_index)
+                if existing is None:
+                    partials[pair_index] = record
+                else:
+                    _merge_records(existing, record)
+        for pair_index, pair in enumerate(pairs):
+            record = partials.get(pair_index)
+            if record is None:
+                # Empty ranges land here by design; a non-empty range
+                # would mean the shard partition has a gap, so compute
+                # the true record rather than silently answering zero.
+                record = aggregates.slice_record(pair[0], pair[1])
+            records[pair] = record
+        return records
+
+
+def _merge_records(into: np.ndarray, other: np.ndarray) -> None:
+    """Fold one full-schema record into another (count/sum add, extremes fold)."""
+    into[0] += other[0]
+    for position in range((into.size - 1) // 3):
+        into[1 + 3 * position] += other[1 + 3 * position]
+        if other[2 + 3 * position] < into[2 + 3 * position]:
+            into[2 + 3 * position] = other[2 + 3 * position]
+        if other[3 + 3 * position] > into[3 + 3 * position]:
+            into[3 + 3 * position] = other[3 + 3 * position]
+
+
+class ShardedGeoBlock(GeoBlock):
+    """A GeoBlock partitioned by cell-ID prefix into contiguous shards.
+
+    Drop-in replacement: every inherited query path works unchanged
+    (shards are ranges over the same sorted arrays); only batch
+    execution and update bookkeeping differ.
+    """
+
+    def __init__(
+        self,
+        space,  # noqa: ANN001 - CellSpace
+        level: int,
+        aggregates: CellAggregates,
+        predicate: Predicate = ALWAYS_TRUE,
+        shard_level: int | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        if shard_level is not None and shard_level < 0:
+            raise BuildError("shard level must be non-negative")
+        self._max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._shards: list[Shard] = []
+        self._shard_level = 0  # resolved below, once the header exists
+        super().__init__(space, level, aggregates, predicate)
+        if shard_level is None:
+            root_level = 0 if self._header.is_empty else cellid.level_of(self.root_cell())
+            shard_level = root_level + SHARD_LEVEL_OFFSET
+        self._shard_level = min(shard_level, level)
+        self._rebuild_shards()
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        base: BaseData,
+        level: int,
+        predicate: Predicate = ALWAYS_TRUE,
+        stopwatch: Stopwatch | None = None,
+        shard_level: int | None = None,
+        max_workers: int | None = None,
+    ) -> "ShardedGeoBlock":
+        """Build from sorted base data, then partition by prefix."""
+        watch = stopwatch or Stopwatch()
+        with watch.phase(PHASE_BUILDING):
+            filtered = base if isinstance(predicate, type(ALWAYS_TRUE)) else base.filtered(predicate)
+            aggregates = CellAggregates.build(filtered, level)
+        return cls(
+            base.space,
+            level,
+            aggregates,
+            predicate,
+            shard_level=shard_level,
+            max_workers=max_workers,
+        )
+
+    @classmethod
+    def from_block(
+        cls,
+        block: GeoBlock,
+        shard_level: int | None = None,
+        max_workers: int | None = None,
+    ) -> "ShardedGeoBlock":
+        """Re-wrap an existing block's aggregates (zero-copy)."""
+        return cls(
+            block.space,
+            block.level,
+            block.aggregates,
+            block.predicate,
+            shard_level=shard_level,
+            max_workers=max_workers,
+        )
+
+    def coarsened(self, level: int) -> "ShardedGeoBlock":
+        """A coarser *sharded* block (drop-in contract: coarsening must
+        not silently lose the shard fan-out and update bookkeeping)."""
+        coarse = super().coarsened(level)
+        return ShardedGeoBlock.from_block(
+            coarse,
+            shard_level=min(self._shard_level, level),
+            max_workers=self._max_workers,
+        )
+
+    def _make_executor(self) -> Executor:
+        return ShardedExecutor(self)
+
+    def _rebuild_shards(self) -> None:
+        """Derive the prefix partition from the sorted key array."""
+        keys = self._aggregates.keys
+        if keys.size == 0:
+            self._shards = []
+            return
+        prefixes = cellops.ancestors_at_level(keys, self._shard_level)
+        boundaries = np.flatnonzero(prefixes[1:] != prefixes[:-1]) + 1
+        bounds = [0, *boundaries.tolist(), int(keys.size)]
+        self._shards = [
+            Shard(int(prefixes[bounds[i]]), bounds[i], bounds[i + 1])
+            for i in range(len(bounds) - 1)
+        ]
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def shard_level(self) -> int:
+        return self._shard_level
+
+    @property
+    def shards(self) -> list[Shard]:
+        return self._shards
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def max_workers(self) -> int | None:
+        if self._max_workers is not None:
+            return self._max_workers
+        return min(max(len(self._shards), 1), os.cpu_count() or 1)
+
+    @property
+    def thread_pool(self) -> ThreadPoolExecutor:
+        """The block's persistent fan-out pool (created lazily).
+
+        One pool per block: spawning a fresh pool per batch would put
+        thread-creation latency on the hot path that sharding exists to
+        speed up.  Call :meth:`close` (or use the block as a context
+        manager) to release the workers when cycling through many
+        blocks; a closed block lazily re-creates the pool if queried
+        again.
+        """
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the fan-out pool (no-op if it was never created)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedGeoBlock":
+        return self
+
+    def __exit__(self, *exc_info) -> None:  # noqa: ANN002
+        self.close()
+
+    def dirty_shards(self) -> list[Shard]:
+        return [shard for shard in self._shards if shard.dirty]
+
+    def sweep_dirty(self) -> int:
+        """Clear dirty flags (after persisting/merging); returns how many."""
+        dirty = 0
+        for shard in self._shards:
+            if shard.dirty:
+                shard.dirty = False
+                dirty += 1
+        return dirty
+
+    # -- update bookkeeping ----------------------------------------------
+
+    def _note_update(self, cell: int, row: int, in_place: bool) -> None:
+        """Adjust shard bounds after ``core/updates.py`` touched ``row``.
+
+        In-place folds leave the partition intact (only the owning shard
+        turns dirty); a spliced row grows the owning shard and shifts
+        every later shard by one -- O(num_shards), never a re-partition.
+        """
+        prefix = cellid.parent(cell, self._shard_level)
+        if in_place:
+            for shard in self._shards:
+                if shard.lo <= row < shard.hi:
+                    shard.dirty = True
+                    return
+            return
+        # Splice: find the insertion position among the existing shards.
+        for index, shard in enumerate(self._shards):
+            if shard.prefix == prefix:
+                if row < shard.lo or row > shard.hi:
+                    break  # inconsistent hint; fall back to a re-partition
+                shard.hi += 1
+                shard.dirty = True
+                for later in self._shards[index + 1 :]:
+                    later.lo += 1
+                    later.hi += 1
+                return
+            if shard.prefix > prefix:
+                new = Shard(prefix, row, row + 1)
+                new.dirty = True
+                self._shards.insert(index, new)
+                for later in self._shards[index + 1 :]:
+                    later.lo += 1
+                    later.hi += 1
+                return
+        else:
+            if self._shards and row == self._shards[-1].hi:
+                new = Shard(prefix, row, row + 1)
+                new.dirty = True
+                self._shards.append(new)
+                return
+        self._rebuild_shards()
+        for shard in self._shards:
+            if shard.lo <= row < shard.hi:
+                shard.dirty = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedGeoBlock(level={self._level}, shard_level={self._shard_level}, "
+            f"shards={self.num_shards}, cells={self.num_cells})"
+        )

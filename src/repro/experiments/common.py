@@ -219,13 +219,8 @@ def warm_caches(aggregator, workload: Workload) -> None:  # noqa: ANN001
     the timed path keeps the measured runtimes focused on what the
     data structures differentiate: probing and aggregation.
     """
-    seen: set[int] = set()
-    for query in workload:
-        key = id(query.region)
-        if key in seen:
-            continue
-        seen.add(key)
-        aggregator.warm(query.region)
+    for region in workload.distinct_regions():
+        aggregator.warm(region)
 
 
 def threshold_for_workload(block, workload: Workload, slack: float = 1.5) -> float:  # noqa: ANN001
@@ -254,6 +249,29 @@ def run_workload(aggregator, workload: Workload) -> tuple[float, list[QueryResul
     with watch.phase("workload"):
         for query in workload:
             results.append(aggregator.select(query.region, list(query.aggs)))
+    return watch.seconds("workload"), results
+
+
+def run_workload_batched(
+    aggregator,  # noqa: ANN001
+    workload: Workload,
+    batch_size: int | None = None,
+) -> tuple[float, list[QueryResult]]:
+    """Execute the workload through the engine's batched path.
+
+    ``batch_size`` bounds each ``run_batch`` call (None = the whole
+    workload in one batch).  Results are in workload order and -- for
+    engine-backed aggregators in vector mode -- identical to
+    :func:`run_workload`.
+    """
+    watch = Stopwatch()
+    results: list[QueryResult] = []
+    with watch.phase("workload"):
+        if batch_size is None:
+            results = aggregator.run_batch(workload.queries)
+        else:
+            for chunk in workload.chunked(batch_size):
+                results.extend(aggregator.run_batch(chunk.queries))
     return watch.seconds("workload"), results
 
 

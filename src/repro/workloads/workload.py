@@ -62,6 +62,34 @@ class Workload:
     def regions(self) -> list[Region]:
         return [query.region for query in self.queries]
 
+    def distinct_regions(self) -> list[Region]:
+        """Distinct regions in first-seen order (identity semantics;
+        regions are immutable, so identity is what caches key on)."""
+        seen: set[int] = set()
+        out: list[Region] = []
+        for query in self.queries:
+            key = id(query.region)
+            if key not in seen:
+                seen.add(key)
+                out.append(query.region)
+        return out
+
+    def chunked(self, size: int) -> Iterator["Workload"]:
+        """Split into consecutive batches of at most ``size`` queries.
+
+        This is the serving shape for the engine's batched execution
+        (``run_batch``): a stream of queries is answered batch by
+        batch, bounding latency while keeping the shared-covering wins
+        within each batch.
+        """
+        if size < 1:
+            raise QueryError("batch size must be positive")
+        for start in range(0, len(self.queries), size):
+            yield Workload(
+                name=f"{self.name}[{start}:{start + size}]",
+                queries=self.queries[start : start + size],
+            )
+
 
 def default_aggregates(schema: Schema, count: int = 7) -> list[AggSpec]:
     """``count`` aggregates requesting each column at least once.

@@ -1,0 +1,185 @@
+"""Serialize round-trips for adaptive and sharded blocks (format v2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveGeoBlock,
+    AggSpec,
+    CachePolicy,
+    GeoBlock,
+    load_adaptive_block,
+    load_block,
+    save_adaptive_block,
+    save_block,
+)
+from repro.engine.shards import ShardedGeoBlock
+from repro.errors import BuildError
+
+AGGS = [
+    AggSpec("count"),
+    AggSpec("sum", "fare"),
+    AggSpec("min", "fare"),
+    AggSpec("max", "distance"),
+    AggSpec("avg", "distance"),
+]
+
+LEVEL = 14
+
+
+def assert_same_answers(want_block, got_block, polygons):  # noqa: ANN001
+    for polygon in polygons:
+        want = want_block.select(polygon, AGGS)
+        got = got_block.select(polygon, AGGS)
+        assert got.count == want.count
+        assert got.cache_hits == want.cache_hits
+        for key, value in want.values.items():
+            if np.isnan(value):
+                assert np.isnan(got.values[key])
+            else:
+                assert got.values[key] == value
+
+
+class TestShardedRoundTrip:
+    def test_sharded_block_survives_save_load(self, small_base, small_polygons, tmp_path):
+        block = ShardedGeoBlock.build(small_base, LEVEL, shard_level=11)
+        path = tmp_path / "sharded.npz"
+        save_block(block, path)
+        loaded = load_block(path)
+        assert isinstance(loaded, ShardedGeoBlock)
+        assert loaded.shard_level == block.shard_level
+        assert loaded.num_shards == block.num_shards
+        assert [(s.prefix, s.lo, s.hi) for s in loaded.shards] == [
+            (s.prefix, s.lo, s.hi) for s in block.shards
+        ]
+        assert_same_answers(block, loaded, small_polygons)
+
+    def test_sharded_batch_after_load(self, small_base, small_polygons, tmp_path):
+        block = ShardedGeoBlock.build(small_base, LEVEL)
+        path = tmp_path / "sharded.npz"
+        save_block(block, path)
+        loaded = load_block(path)
+        for want, got in zip(
+            block.run_batch(small_polygons, aggs=AGGS),
+            loaded.run_batch(small_polygons, aggs=AGGS),
+        ):
+            assert got.count == want.count
+
+
+class TestAdaptiveRoundTrip:
+    @pytest.fixture()
+    def warmed(self, small_base, small_polygons) -> AdaptiveGeoBlock:
+        adaptive = AdaptiveGeoBlock(
+            GeoBlock.build(small_base, LEVEL),
+            CachePolicy(threshold=0.5, rebuild_every=500),
+        )
+        for polygon in small_polygons:
+            adaptive.select(polygon, AGGS)
+        adaptive.adapt()
+        return adaptive
+
+    def test_trie_and_statistics_survive(self, warmed, small_polygons, tmp_path):
+        path = tmp_path / "adaptive.npz"
+        save_adaptive_block(warmed, path)
+        loaded = load_adaptive_block(path)
+        # Policy round-trips.
+        assert loaded.policy.threshold == warmed.policy.threshold
+        assert loaded.policy.rebuild_every == warmed.policy.rebuild_every
+        # Statistics round-trip exactly.
+        assert loaded.statistics.queries_recorded == warmed.statistics.queries_recorded
+        cells, hits = warmed.statistics.export_counts()
+        for cell, count in zip(cells.tolist(), hits.tolist()):
+            assert loaded.statistics.hits(cell) == count
+        # Trie round-trips: same layout, same cached cells.
+        assert loaded.trie is not None
+        assert loaded.trie.root_cell == warmed.trie.root_cell
+        assert loaded.trie.num_nodes == warmed.trie.num_nodes
+        assert loaded.trie.num_cached == warmed.trie.num_cached
+        assert loaded.trie.memory_bytes() == warmed.trie.memory_bytes()
+        assert loaded.trie.cached_cells() == warmed.trie.cached_cells()
+
+    def test_identical_query_answers_with_cache_hits(
+        self, warmed, small_polygons, tmp_path
+    ):
+        path = tmp_path / "adaptive.npz"
+        save_adaptive_block(warmed, path)
+        loaded = load_adaptive_block(path)
+        assert_same_answers(warmed, loaded, small_polygons)
+        # The loaded cache actually answers queries.
+        hit_totals = sum(
+            loaded.select(p, AGGS).cache_hits for p in small_polygons
+        )
+        assert hit_totals > 0
+
+    def test_adapt_continues_from_persisted_statistics(
+        self, warmed, small_polygons, tmp_path
+    ):
+        path = tmp_path / "adaptive.npz"
+        save_adaptive_block(warmed, path)
+        loaded = load_adaptive_block(path)
+        trie = loaded.adapt()  # rebuild purely from persisted statistics
+        assert trie.num_cached == warmed.trie.num_cached
+
+    def test_cold_adaptive_round_trip(self, small_base, small_polygons, tmp_path):
+        """No trie yet: statistics-only persistence."""
+        adaptive = AdaptiveGeoBlock(GeoBlock.build(small_base, LEVEL))
+        for polygon in small_polygons[:4]:
+            adaptive.select(polygon, AGGS)
+        path = tmp_path / "cold.npz"
+        save_adaptive_block(adaptive, path)
+        loaded = load_adaptive_block(path)
+        assert loaded.trie is None
+        assert loaded.statistics.queries_recorded == 4
+        assert_same_answers(adaptive, loaded, small_polygons)
+
+    def test_cache_refreshes_survive_save_load(self, warmed, small_polygons, tmp_path):
+        """Regression: apply_update_adaptive mutates the trie's live
+        record rows; persistence must capture those, not the build-time
+        array, or loaded blocks silently answer with stale aggregates."""
+        from repro.core import apply_update_adaptive
+
+        # Update inside a cached region so a trie record is refreshed.
+        polygon = small_polygons[0]
+        box = polygon.bounding_box
+        x = (box.min_x + box.max_x) / 2
+        y = (box.min_y + box.max_y) / 2
+        apply_update_adaptive(warmed, x, y, {"fare": 1000.0, "distance": 1.0})
+        path = tmp_path / "updated.npz"
+        save_adaptive_block(warmed, path)
+        loaded = load_adaptive_block(path)
+        assert_same_answers(warmed, loaded, small_polygons)
+
+    def test_sharded_base_block_round_trips(self, small_base, small_polygons, tmp_path):
+        adaptive = AdaptiveGeoBlock(
+            ShardedGeoBlock.build(small_base, LEVEL), CachePolicy(threshold=0.5)
+        )
+        for polygon in small_polygons:
+            adaptive.select(polygon, AGGS)
+        adaptive.adapt()
+        path = tmp_path / "adaptive-sharded.npz"
+        save_adaptive_block(adaptive, path)
+        loaded = load_adaptive_block(path)
+        assert isinstance(loaded.block, ShardedGeoBlock)
+        assert_same_answers(adaptive, loaded, small_polygons)
+
+
+class TestKindGuards:
+    def test_save_block_rejects_adaptive(self, small_base, tmp_path):
+        adaptive = AdaptiveGeoBlock(GeoBlock.build(small_base, LEVEL))
+        with pytest.raises(BuildError):
+            save_block(adaptive, tmp_path / "x.npz")
+
+    def test_load_block_rejects_adaptive_files(self, small_base, tmp_path):
+        adaptive = AdaptiveGeoBlock(GeoBlock.build(small_base, LEVEL))
+        path = tmp_path / "adaptive.npz"
+        save_adaptive_block(adaptive, path)
+        with pytest.raises(BuildError):
+            load_block(path)
+
+    def test_load_adaptive_rejects_plain_files(self, small_base, tmp_path):
+        path = tmp_path / "plain.npz"
+        save_block(GeoBlock.build(small_base, LEVEL), path)
+        with pytest.raises(BuildError):
+            load_adaptive_block(path)

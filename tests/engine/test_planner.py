@@ -1,0 +1,135 @@
+"""Tests for the engine planner: LRU covering cache, pruning, probes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import EARTH
+from repro.cells.union import CellUnion
+from repro.core import AdaptiveGeoBlock, CachePolicy, GeoBlock
+from repro.engine.planner import CoveringCache, Planner
+from repro.geometry import Polygon
+from repro.storage import col
+
+LEVEL = 14
+
+
+class TestCoveringCache:
+    def test_hit_and_miss_counters(self, quad_polygon):
+        cache = CoveringCache(max_entries=4)
+        union = CellUnion(np.asarray([4], dtype=np.int64))
+        assert cache.get(quad_polygon, LEVEL) is None
+        cache.put(quad_polygon, LEVEL, union)
+        assert cache.get(quad_polygon, LEVEL) is union
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction(self, small_polygons):
+        cache = CoveringCache(max_entries=2)
+        union = CellUnion(np.asarray([4], dtype=np.int64))
+        first, second, third = small_polygons[:3]
+        cache.put(first, LEVEL, union)
+        cache.put(second, LEVEL, union)
+        assert cache.get(first, LEVEL) is union  # refresh first
+        cache.put(third, LEVEL, union)  # evicts second (LRU)
+        assert cache.get(second, LEVEL) is None
+        assert cache.get(first, LEVEL) is union
+        assert cache.get(third, LEVEL) is union
+        assert len(cache) == 2
+
+    def test_level_is_part_of_the_key(self, quad_polygon):
+        cache = CoveringCache()
+        union = CellUnion(np.asarray([4], dtype=np.int64))
+        cache.put(quad_polygon, 10, union)
+        assert cache.get(quad_polygon, 11) is None
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            CoveringCache(max_entries=0)
+
+
+class TestPlannerCoverings:
+    def test_covering_matches_direct_coverer(self, small_block, quad_polygon):
+        planner = Planner(EARTH, small_block.level)
+        assert planner.covering(quad_polygon) == small_block.covering(quad_polygon)
+
+    def test_repeated_covering_is_cached(self, quad_polygon):
+        planner = Planner(EARTH, LEVEL)
+        first = planner.covering(quad_polygon)
+        second = planner.covering(quad_polygon)
+        assert first is second
+        assert planner.cache.hits == 1
+        assert planner.cache.misses == 1
+
+    def test_warm_populates_cache(self, quad_polygon):
+        planner = Planner(EARTH, LEVEL)
+        planner.warm(quad_polygon)
+        assert planner.covering(quad_polygon) is not None
+        assert planner.cache.hits == 1
+
+    def test_level_required_for_coverings(self, quad_polygon):
+        planner = Planner(EARTH)
+        with pytest.raises(ValueError):
+            planner.covering(quad_polygon)
+
+
+class TestPlannerPlans:
+    def test_plan_prunes_against_header(self, small_base, quad_polygon):
+        block = GeoBlock.build(small_base, LEVEL)
+        plan = block.plan(quad_polygon)
+        union = block.covering(quad_polygon)
+        assert len(plan.union) <= len(union)
+        assert plan.probes is None
+
+    def test_plan_for_empty_block_is_empty(self, small_base, quad_polygon):
+        block = GeoBlock.build(small_base, LEVEL, col("fare") > 1e12)
+        assert len(block.plan(quad_polygon).union) == 0
+
+    def test_cell_union_targets_skip_the_cache(self, small_block, quad_polygon):
+        union = small_block.covering(quad_polygon)
+        hits_before = small_block.planner.cache.hits
+        plan = small_block.planner.plan(union, header=small_block.header)
+        assert small_block.planner.cache.hits == hits_before
+        assert not plan.from_cache
+        assert len(plan.union) <= len(union)
+
+    def test_from_cache_flag(self, small_base, quad_polygon):
+        block = GeoBlock.build(small_base, LEVEL)
+        assert not block.plan(quad_polygon).from_cache
+        assert block.plan(quad_polygon).from_cache
+
+    def test_probes_attached_when_trie_present(self, small_base, small_polygons):
+        adaptive = AdaptiveGeoBlock(
+            GeoBlock.build(small_base, LEVEL), CachePolicy(threshold=1.0)
+        )
+        for polygon in small_polygons:
+            adaptive.select(polygon)
+        adaptive.adapt()
+        plan = adaptive.plan(small_polygons[0])
+        assert plan.probes is not None
+        assert len(plan.probes) == len(plan.union)
+        assert any(probe.status == "hit" for probe in plan.probes)
+
+
+class TestInteriorRects:
+    def test_interior_rect_cached_by_identity(self, quad_polygon):
+        planner = Planner(EARTH)
+        first = planner.interior_rect(quad_polygon)
+        assert planner.interior_rect(quad_polygon) is first
+        assert planner.rect_cache.hits == 1
+        assert planner.rect_cache.misses == 1
+
+    def test_rect_inside_polygon(self):
+        polygon = Polygon.regular(-73.9, 40.7, 0.05, 8)
+        planner = Planner(EARTH)
+        rect = planner.interior_rect(polygon)
+        assert rect is not None
+        for x, y in [
+            (rect.min_x, rect.min_y),
+            (rect.max_x, rect.max_y),
+            (rect.min_x, rect.max_y),
+            (rect.max_x, rect.min_y),
+        ]:
+            assert polygon.contains_point(x, y)

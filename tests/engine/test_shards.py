@@ -1,0 +1,194 @@
+"""Sharded GeoBlocks: partition invariants, query equivalence, updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import cellid
+from repro.core import AggSpec, GeoBlock
+from repro.core.updates import apply_update
+from repro.engine.shards import ShardedGeoBlock
+from repro.geometry import Polygon
+
+AGGS = [
+    AggSpec("count"),
+    AggSpec("sum", "fare"),
+    AggSpec("min", "fare"),
+    AggSpec("max", "distance"),
+]
+
+LEVEL = 14
+
+
+@pytest.fixture(scope="module")
+def sharded(small_base) -> ShardedGeoBlock:
+    return ShardedGeoBlock.build(small_base, LEVEL)
+
+
+@pytest.fixture(scope="module")
+def plain(small_base) -> GeoBlock:
+    return GeoBlock.build(small_base, LEVEL)
+
+
+def assert_close(want, got):
+    assert got.count == want.count
+    assert got.cells_probed == want.cells_probed
+    for key, value in want.values.items():
+        if np.isnan(value):
+            assert np.isnan(got.values[key])
+        else:
+            assert got.values[key] == pytest.approx(value, rel=1e-12)
+
+
+class TestPartition:
+    def test_shards_partition_rows(self, sharded):
+        bounds = [(shard.lo, shard.hi) for shard in sharded.shards]
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == sharded.num_cells
+        for (_, prev_hi), (next_lo, _) in zip(bounds, bounds[1:]):
+            assert next_lo == prev_hi
+
+    def test_prefixes_match_rows(self, sharded):
+        keys = sharded.aggregates.keys
+        for shard in sharded.shards:
+            for row in (shard.lo, shard.hi - 1):
+                assert cellid.parent(int(keys[row]), sharded.shard_level) == shard.prefix
+
+    def test_multiple_shards_by_default(self, sharded):
+        assert sharded.num_shards > 1
+
+    def test_explicit_shard_level(self, small_base):
+        fine = ShardedGeoBlock.build(small_base, LEVEL, shard_level=12)
+        assert fine.shard_level == 12
+        assert fine.num_shards >= ShardedGeoBlock.build(small_base, LEVEL).num_shards
+
+    def test_from_block_is_zero_copy(self, plain):
+        sharded = ShardedGeoBlock.from_block(plain)
+        assert sharded.aggregates is plain.aggregates
+        assert sharded.num_cells == plain.num_cells
+
+    def test_coarsened_stays_sharded(self, sharded, plain, quad_polygon):
+        coarse = sharded.coarsened(11)
+        assert isinstance(coarse, ShardedGeoBlock)
+        assert coarse.shard_level <= 11
+        assert coarse.count(quad_polygon) == plain.coarsened(11).count(quad_polygon)
+
+
+class TestQueryEquivalence:
+    def test_select_matches_plain(self, sharded, plain, small_polygons):
+        for polygon in small_polygons:
+            assert_close(plain.select(polygon, AGGS), sharded.select(polygon, AGGS))
+
+    def test_count_matches_plain(self, sharded, plain, small_polygons):
+        for polygon in small_polygons:
+            assert plain.count(polygon) == sharded.count(polygon)
+
+    def test_batch_matches_sequential(self, sharded, small_polygons):
+        polygons = list(small_polygons) * 6  # force the fan-out path
+        sequential = [sharded.select(p, AGGS) for p in polygons]
+        batched = sharded.run_batch(polygons, aggs=AGGS)
+        for want, got in zip(sequential, batched):
+            assert_close(want, got)
+            assert got.count == want.count  # counts are exact under sharding
+
+    def test_close_releases_and_recreates_pool(self, small_base, small_polygons):
+        with ShardedGeoBlock.build(small_base, LEVEL, shard_level=12) as block:
+            polygons = list(small_polygons) * 4
+            first = block.run_batch(polygons, aggs=AGGS)
+            block.close()  # explicit close mid-life: pool is re-created lazily
+            again = block.run_batch(polygons, aggs=AGGS)
+            for want, got in zip(first, again):
+                assert_close(want, got)
+        assert block._pool is None  # context exit shut the pool down
+
+    def test_single_worker_equals_pool(self, small_base, small_polygons):
+        solo = ShardedGeoBlock.build(small_base, LEVEL, max_workers=1)
+        pooled = ShardedGeoBlock.build(small_base, LEVEL, max_workers=4)
+        polygons = list(small_polygons) * 4
+        for want, got in zip(
+            solo.run_batch(polygons, aggs=AGGS), pooled.run_batch(polygons, aggs=AGGS)
+        ):
+            assert_close(want, got)
+
+
+class TestUpdates:
+    def _fresh(self, level: int = 13) -> ShardedGeoBlock:
+        from repro.cells import EARTH
+        from repro.storage import PointTable, Schema, extract
+
+        rng = np.random.default_rng(55)
+        count = 8000
+        table = PointTable(
+            Schema(["fare", "distance"]),
+            rng.normal(-73.95, 0.04, count),
+            rng.normal(40.75, 0.03, count),
+            {"fare": rng.gamma(3.0, 4.0, count), "distance": rng.gamma(2.0, 2.0, count)},
+        )
+        return ShardedGeoBlock.build(extract(table, EARTH), level)
+
+    def test_in_place_update_marks_one_shard_dirty(self, quad_polygon):
+        block = self._fresh()
+        xs = -73.95, 40.75
+        before = block.num_cells
+        in_place = apply_update(block, xs[0], xs[1], {"fare": 9.0, "distance": 1.0})
+        assert in_place
+        assert block.num_cells == before
+        assert len(block.dirty_shards()) == 1
+        assert block.sweep_dirty() == 1
+        assert block.dirty_shards() == []
+
+    def test_splice_update_keeps_partition_consistent(self):
+        block = self._fresh()
+        shards_before = block.num_shards
+        in_place = apply_update(block, -73.5, 40.95, {"fare": 5.0, "distance": 2.0})
+        assert not in_place
+        # Partition still covers all rows contiguously.
+        bounds = [(shard.lo, shard.hi) for shard in block.shards]
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == block.num_cells
+        for (_, prev_hi), (next_lo, _) in zip(bounds, bounds[1:]):
+            assert next_lo == prev_hi
+        assert block.num_shards >= shards_before
+        probe = Polygon.regular(-73.5, 40.95, 0.01, 4)
+        assert block.count(probe) == 1
+
+    def test_update_stream_matches_rebuild(self):
+        """After a burst of updates, queries equal a freshly built block."""
+        from repro.cells import EARTH
+        from repro.storage import PointTable, Schema, extract
+
+        block = self._fresh()
+        rng = np.random.default_rng(6)
+        new_xs = rng.normal(-73.9, 0.08, 40)
+        new_ys = rng.normal(40.76, 0.05, 40)
+        fares = rng.gamma(3.0, 4.0, 40)
+        distances = rng.gamma(2.0, 2.0, 40)
+        for i in range(40):
+            apply_update(
+                block,
+                float(new_xs[i]),
+                float(new_ys[i]),
+                {"fare": float(fares[i]), "distance": float(distances[i])},
+            )
+        # Rebuild from the combined data.
+        rng2 = np.random.default_rng(55)
+        count = 8000
+        xs = np.concatenate([rng2.normal(-73.95, 0.04, count), new_xs])
+        ys = np.concatenate([rng2.normal(40.75, 0.03, count), new_ys])
+        table = PointTable(
+            Schema(["fare", "distance"]),
+            xs,
+            ys,
+            {
+                "fare": np.concatenate([rng2.gamma(3.0, 4.0, count), fares]),
+                "distance": np.concatenate([rng2.gamma(2.0, 2.0, count), distances]),
+            },
+        )
+        rebuilt = ShardedGeoBlock.build(extract(table, EARTH), 13)
+        probe = Polygon.regular(-73.9, 40.76, 0.06, 8)
+        want = rebuilt.select(probe, AGGS)
+        got = block.select(probe, AGGS)
+        assert got.count == want.count
+        for key, value in want.values.items():
+            assert got.values[key] == pytest.approx(value)
