@@ -6,11 +6,10 @@ covering cache, Listing 1's successor hint, and the trie probe cost
 (the paper reports 58-81 ns lookups; ours are Python-speed but O(depth)).
 """
 
-import numpy as np
 import pytest
 
 from repro.cells import EARTH_BOUNDS, MORTON, CellSpace, RegionCoverer
-from repro.core import AdaptiveGeoBlock, CachePolicy, GeoBlock
+from repro.core import GeoBlock
 from repro.storage import extract
 from repro.workloads import default_aggregates
 

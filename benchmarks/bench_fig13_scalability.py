@@ -1,7 +1,5 @@
 """Figure 13: scaling with increasing input sizes."""
 
-import pytest
-
 from benchmarks.conftest import RESULTS_DIR
 from repro.experiments import fig13_scalability
 

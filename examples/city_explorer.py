@@ -1,10 +1,11 @@
 """City explorer: an interactive-analysis session over NYC neighbourhoods.
 
-Simulates the exploratory workload the paper motivates: an analyst
-sweeps all neighbourhoods for a heat-map, then drills into a focus area
-with changing aggregates and slightly changing polygon shapes.  The
-adaptive GeoBlock learns the focus area and accelerates the follow-up
-queries.
+Simulates the exploratory workload the paper motivates -- through the
+serving API a dashboard backend would use: an analyst sweeps all
+neighbourhoods for a heat-map (one batched engine pass), then drills
+into a focus area with changing aggregates and slightly changing
+polygon shapes.  The adaptive dataset learns the focus area and
+accelerates the follow-up queries.
 
 Run with:  python examples/city_explorer.py
 """
@@ -13,64 +14,79 @@ from __future__ import annotations
 
 import time
 
-from repro import EARTH, AdaptiveGeoBlock, AggSpec, CachePolicy, GeoBlock, extract
+from repro import CachePolicy, Dataset, EARTH, GeoService, extract
+from repro.api import format_agg, requests_from_workload
 from repro.data import nyc_cleaning_rules, nyc_neighborhoods, nyc_taxi
-from repro.workloads import default_aggregates
+from repro.workloads import base_workload, default_aggregates
 
 
 def main() -> None:
     print("Preparing data (150k trips, 195 neighbourhood polygons)...")
     base = extract(nyc_taxi(150_000, seed=7), EARTH, nyc_cleaning_rules())
     neighborhoods = nyc_neighborhoods(seed=7)
-    block = AdaptiveGeoBlock(GeoBlock.build(base, 15), CachePolicy(threshold=0.30))
-    aggs = default_aggregates(base.table.schema, 7)
 
-    # Pass 1: city-wide heat-map sweep (every neighbourhood once).
+    service = GeoService()
+    explorer = service.register(
+        "nyc", Dataset.build(base, 15, kind="adaptive", policy=CachePolicy(threshold=0.30))
+    )
+    aggs = default_aggregates(base.table.schema, 7)
+    agg_strings = [format_agg(spec) for spec in aggs]
+
+    # Pass 1: city-wide heat-map sweep -- every neighbourhood once, as
+    # one batched request through the service.
     start = time.perf_counter()
-    heat = [(polygon, block.select(polygon, aggs)) for polygon in neighborhoods]
+    heat = list(zip(
+        neighborhoods,
+        service.run_batch(requests_from_workload(base_workload(neighborhoods, aggs), "nyc")),
+    ))
     sweep_seconds = time.perf_counter() - start
     busiest = sorted(heat, key=lambda item: item[1].count, reverse=True)[:5]
-    print(f"\nHeat-map sweep: {len(heat)} queries in {sweep_seconds:.2f}s")
+    print(f"\nHeat-map sweep: {len(heat)} queries in one batch, {sweep_seconds:.2f}s")
     print("Top-5 busiest neighbourhoods (count / avg fare):")
-    for polygon, result in busiest:
+    for polygon, response in busiest:
         cx, cy = polygon.centroid()
-        print(f"  ({cx:8.3f}, {cy:6.3f})  {result.count:7,} trips   "
-              f"avg fare ${result['avg(fare_amount)'] / 1:,.2f}"
-              if "avg(fare_amount)" in result.values
-              else f"  ({cx:8.3f}, {cy:6.3f})  {result.count:7,} trips")
+        print(f"  ({cx:8.3f}, {cy:6.3f})  {response.count:7,} trips   "
+              f"avg fare ${response['avg(fare_amount)'] / 1:,.2f}"
+              if "avg(fare_amount)" in response.values
+              else f"  ({cx:8.3f}, {cy:6.3f})  {response.count:7,} trips")
 
-    # The analyst focuses on the busiest area: adapt the cache.
-    block.adapt()
+    # The analyst focuses on the busiest area: adapt the cache.  The
+    # adaptive handle (statistics, trie, policy) stays reachable under
+    # the dataset for exactly this kind of operational control.
+    explorer.handle.adapt()
     focus_polygon = busiest[0][0]
 
     # Pass 2: repeated drill-down on the focus area with different
-    # aggregates (observation 1 of Section 3.6).
+    # aggregates (observation 1 of Section 3.6), via the fluent builder.
     drill_aggs = [
-        [AggSpec("avg", "tip_rate")],
-        [AggSpec("max", "fare_amount"), AggSpec("min", "fare_amount")],
-        [AggSpec("sum", "total_amount")],
-        [AggSpec("avg", "trip_distance"), AggSpec("count")],
+        ["avg:tip_rate"],
+        ["max:fare_amount", "min:fare_amount"],
+        ["sum:total_amount"],
+        ["avg:trip_distance", "count"],
     ]
-    block.reset_cache_counters()
+    explorer.handle.reset_cache_counters()
     start = time.perf_counter()
     for request in drill_aggs * 5:
-        block.select(focus_polygon, request)
+        explorer.over(focus_polygon).agg(*request).run()
     drill_seconds = time.perf_counter() - start
     print(f"\nDrill-down: {5 * len(drill_aggs)} repeated queries on the focus area "
-          f"in {drill_seconds:.3f}s, cache hit rate {block.cache_hit_rate:.0%}")
+          f"in {drill_seconds:.3f}s, cache hit rate {explorer.handle.cache_hit_rate:.0%}")
 
     # Pass 3: the analyst resizes the polygon (observation 2): most of
-    # the interior stays cached.
-    block.reset_cache_counters()
+    # the interior stays cached.  Per-query stats ride on every response.
+    explorer.handle.reset_cache_counters()
     for factor in (0.9, 0.95, 1.05, 1.1, 1.2):
         resized = focus_polygon.scaled(factor)
-        result = block.select(resized, [AggSpec("count")])
-        print(f"  polygon x{factor:4.2f}: {result.count:7,} trips  "
-              f"({result.cache_hits}/{result.cells_probed} cells cached)")
+        response = explorer.over(resized).agg("count").run()
+        print(f"  polygon x{factor:4.2f}: {response.count:7,} trips  "
+              f"({response.stats.cache_hits}/{response.stats.cells_probed} cells cached, "
+              f"{response.stats.latency_ms:.2f} ms)")
 
-    print(f"\nCache storage used: {block.trie.memory_bytes() / 1024:.1f} KiB "
-          f"({block.trie.num_cached} cached aggregates) on top of "
-          f"{block.block.memory_bytes() / 1024:.0f} KiB of cell aggregates")
+    trie = explorer.handle.trie
+    print(f"\nCache storage used: {trie.memory_bytes() / 1024:.1f} KiB "
+          f"({trie.num_cached} cached aggregates) on top of "
+          f"{explorer.block.memory_bytes() / 1024:.0f} KiB of cell aggregates")
+    print(f"Full workload used {', '.join(agg_strings)}")
 
 
 if __name__ == "__main__":

@@ -1,9 +1,10 @@
 """Dataset tour: error/latency trade-offs on three datasets.
 
-Builds GeoBlocks over the three synthetic datasets of the evaluation
-(NYC taxi trips, US tweets, OSM Americas points), queries each with its
-natural polygon set, and prints the error-vs-level trade-off that
-drives the choice of block level (Sections 3.2 / 4.3).
+Registers GeoBlocks over the three synthetic datasets of the evaluation
+(NYC taxi trips, US tweets, OSM Americas points) as named datasets in
+one GeoService, queries each with its natural polygon set through the
+serving API (batched COUNTs), and prints the error-vs-level trade-off
+that drives the choice of block level (Sections 3.2 / 4.3).
 
 Run with:  python examples/dataset_tour.py
 """
@@ -12,7 +13,7 @@ from __future__ import annotations
 
 import time
 
-from repro import EARTH, AggSpec, GeoBlock, extract
+from repro import Dataset, EARTH, GeoService, QueryRequest, extract
 from repro.cells import covering_error_bound_meters
 from repro.data import (
     americas_countries,
@@ -29,21 +30,21 @@ from repro.util.tables import format_table
 def main() -> None:
     datasets = [
         (
-            "NYC taxi",
+            "nyc-taxi",
             extract(nyc_taxi(120_000, seed=3), EARTH, nyc_cleaning_rules()),
             nyc_neighborhoods(seed=3),
             (13, 15, 17),
             40.7,
         ),
         (
-            "US tweets",
+            "us-tweets",
             extract(us_tweets(80_000, seed=3), EARTH),
             us_states(seed=3),
             (9, 11, 13),
             39.0,
         ),
         (
-            "OSM Americas",
+            "osm-americas",
             extract(osm_americas(120_000, seed=3), EARTH),
             americas_countries(seed=3),
             (8, 10, 12),
@@ -51,17 +52,23 @@ def main() -> None:
         ),
     ]
 
+    service = GeoService()
     for name, base, polygons, levels, latitude in datasets:
         print(f"\n=== {name}: {len(base):,} points, {len(polygons)} query polygons ===")
         rows = []
         for level in levels:
             build_start = time.perf_counter()
-            block = GeoBlock.build(base, level)
+            dataset = service.register(f"{name}@{level}", Dataset.build(base, level))
             build_ms = (time.perf_counter() - build_start) * 1e3
 
+            # One batched COUNT pass through the serving layer.
+            requests = [
+                QueryRequest(region=polygon, count_only=True) for polygon in polygons
+            ]
             query_start = time.perf_counter()
-            approx_counts = [block.count(polygon) for polygon in polygons]
+            responses = dataset.run_batch(requests)
             query_ms = (time.perf_counter() - query_start) * 1e3
+            approx_counts = [response.count for response in responses]
 
             exact_counts = [
                 polygon.count_contained(base.table.xs, base.table.ys)
@@ -77,7 +84,7 @@ def main() -> None:
                 [
                     level,
                     f"{covering_error_bound_meters(EARTH, level, latitude) / 1000:.2f} km",
-                    block.num_cells,
+                    dataset.block.num_cells,
                     build_ms,
                     query_ms / len(polygons),
                     mean_error,
@@ -90,18 +97,23 @@ def main() -> None:
             )
         )
 
-    # One cross-dataset aggregate as a closing flourish.
-    base = datasets[0][1]
-    block = GeoBlock.build(base, 15)
+    print(f"\nService catalog now holds {len(service)} datasets: {service.names}")
+
+    # One cross-dataset aggregate as a closing flourish, via the wire
+    # format an HTTP adapter would relay.
     manhattan_ish = datasets[0][2][0]
-    result = block.select(
-        manhattan_ish,
-        [AggSpec("count"), AggSpec("avg", "fare_amount"), AggSpec("avg", "trip_distance")],
-    )
+    from repro.api import region_to_geojson
+
+    envelope = service.run_dict({
+        "dataset": "nyc-taxi@15",
+        "region": region_to_geojson(manhattan_ish),
+        "aggregates": ["count", "avg:fare_amount", "avg:trip_distance"],
+    })
+    data = envelope["data"]
     print(
-        f"\nSample neighbourhood: {result.count:,} trips, "
-        f"avg fare ${result['avg(fare_amount)']:.2f}, "
-        f"avg distance {result['avg(trip_distance)']:.1f} mi"
+        f"\nSample neighbourhood: {data['count']:,} trips, "
+        f"avg fare ${data['values']['avg(fare_amount)']:.2f}, "
+        f"avg distance {data['values']['avg(trip_distance)']:.1f} mi"
     )
 
 

@@ -1,18 +1,20 @@
-"""Quickstart: build a GeoBlock and run spatial aggregation queries.
+"""Quickstart: serve spatial aggregation queries over a GeoBlock.
 
-Walks the full pipeline on a small synthetic taxi dataset:
+Walks the serving pipeline the library is organised around:
 
-1. generate raw points,
-2. run the extract phase (clean, key, sort) once,
-3. build GeoBlocks at an error bound of your choosing,
-4. answer SELECT and COUNT queries over an arbitrary polygon,
-5. attach the query cache and watch repeated queries get cheaper.
+1. generate raw points and run the extract phase (clean, key, sort),
+2. build a named dataset and register it with a GeoService,
+3. answer fluent and JSON-dict queries (what an HTTP adapter relays),
+4. batch a whole dashboard's queries into one engine pass,
+5. attach the query cache and watch repeated queries get cheaper,
+6. (legacy) the direct block API underneath it all.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import json
 import time
 
 from repro import (
@@ -20,58 +22,86 @@ from repro import (
     AdaptiveGeoBlock,
     AggSpec,
     CachePolicy,
+    Dataset,
     GeoBlock,
+    GeoService,
     Polygon,
     extract,
     level_for_max_diagonal,
 )
+from repro.api import region_to_geojson
 from repro.data import nyc_cleaning_rules, nyc_taxi
 
 
 def main() -> None:
-    # 1. Raw data: 100k synthetic taxi trips (1% deliberately dirty).
+    # 1. Raw data: 100k synthetic taxi trips (1% deliberately dirty),
+    #    then the extract phase: clean outliers, key, sort.
     print("Generating 100,000 synthetic NYC taxi trips...")
     raw = nyc_taxi(100_000, seed=42)
-
-    # 2. Extract phase: clean outliers, map to 64-bit spatial keys, sort.
     start = time.perf_counter()
     base = extract(raw, EARTH, nyc_cleaning_rules())
     print(f"Extract: {len(raw) - len(base)} dirty rows dropped, "
           f"{len(base)} rows keyed+sorted in {time.perf_counter() - start:.2f}s")
 
-    # 3. Pick a block level from a spatial error bound (Section 3.2).
+    # 2. A named dataset behind a service: the block level comes from a
+    #    spatial error bound (Section 3.2); the service is what a web
+    #    backend would hold.
     level = level_for_max_diagonal(EARTH, max_diagonal_meters=250.0, latitude=40.7)
-    start = time.perf_counter()
-    block = GeoBlock.build(base, level)
-    print(f"GeoBlock at level {level} (error bound ~250 m): "
-          f"{block.num_cells} cell aggregates built in {time.perf_counter() - start:.3f}s "
-          f"({block.memory_bytes() / 1024:.0f} KiB)")
+    service = GeoService()
+    taxi = service.register("taxi", Dataset.build(base, level))
+    print(f"Registered dataset: {json.dumps(service.describe()['datasets'][0])}")
 
-    # 4. Query an ad-hoc polygon: a pentagon over Midtown/Chelsea.
+    # 3a. Fluent query: a pentagon over Midtown/Chelsea.
     region = Polygon.regular(-73.99, 40.74, 0.03, 5)
-    aggs = [
-        AggSpec("count"),
-        AggSpec("sum", "fare_amount"),
-        AggSpec("avg", "tip_rate"),
-        AggSpec("max", "trip_distance"),
-    ]
-    result = block.select(region, aggs)
-    print("\nSELECT over a Midtown pentagon:")
-    for key, value in result.values.items():
+    response = taxi.over(region).agg(
+        "count", "sum:fare_amount", "avg:tip_rate", "max:trip_distance"
+    ).run()
+    print("\nSELECT over a Midtown pentagon (fluent):")
+    for key, value in response.values.items():
         print(f"  {key:>22} = {value:,.2f}")
-    print(f"  COUNT query fast path  = {block.count(region):,} trips")
+    print(f"  stats: {response.stats.cells_probed} cells probed "
+          f"in {response.stats.latency_ms:.2f} ms")
 
-    # 5. Query caching: repeated analyst queries become cache hits.
+    # 3b. The same query as a plain JSON dict -- the wire format an
+    #     HTTP layer would pass straight through.
+    envelope = service.run_dict({
+        "dataset": "taxi",
+        "region": region_to_geojson(region),
+        "aggregates": ["count", "avg:fare_amount"],
+        "hints": {"count_only": False},
+    })
+    print(f"\nJSON query envelope: ok={envelope['ok']}, "
+          f"count={envelope['data']['count']:,}, "
+          f"avg fare ${envelope['data']['values']['avg(fare_amount)']:.2f}")
+    print(f"  COUNT fast path      = {taxi.over(region).count():,} trips")
+
+    # 4. Batched serving: a dashboard's polygon sweep in one engine pass.
+    sweep = [Polygon.regular(-74.0 + 0.02 * i, 40.72, 0.015, 6) for i in range(8)]
+    responses = service.run_batch(
+        [taxi.over(polygon).agg("count", "avg:fare_amount") for polygon in sweep]
+    )
+    print(f"\nBatched sweep over {len(sweep)} hexagons: "
+          f"counts {[r.count for r in responses]}")
+
+    # 5. Query caching: register the adaptive variant and let repeated
+    #    analyst queries become cache hits.
     adaptive = AdaptiveGeoBlock(GeoBlock.build(base, level), CachePolicy(threshold=0.10))
+    cached_ds = service.register("taxi-cached", adaptive)
     for _ in range(3):  # the analyst keeps returning to the same area
-        adaptive.select(region, aggs)
+        cached_ds.over(region).agg("count", "sum:fare_amount").run()
     adaptive.adapt()  # materialise the hot cells into the AggregateTrie
-    adaptive.reset_cache_counters()
-    cached = adaptive.select(region, aggs)
-    print(f"\nWith the AggregateTrie: {cached.cache_hits}/{cached.cells_probed} "
-          f"covering cells answered from cache "
-          f"(hit rate {adaptive.cache_hit_rate:.0%}); results identical: "
-          f"{cached.count == result.count}")
+    cached = cached_ds.over(region).agg("count", "sum:fare_amount").run()
+    print(f"\nWith the AggregateTrie: {cached.stats.cache_hits}/"
+          f"{cached.stats.cells_probed} covering cells answered from cache; "
+          f"results identical: {cached.count == response.count}")
+
+    # 6. Legacy path: the direct block API the service wraps (still
+    #    fully supported; the API adds naming, wire formats, stats).
+    block = taxi.block
+    result = block.select(region, [AggSpec("count"), AggSpec("sum", "fare_amount")])
+    print(f"\nDirect block API: count={result.count:,}, "
+          f"sum fare ${result['sum(fare_amount)']:,.0f} "
+          f"(same engine, no service layer)")
 
 
 if __name__ == "__main__":

@@ -8,14 +8,13 @@ query cache, every substrate it depends on (an S2-like hierarchical
 cell system with Hilbert enumeration, a region coverer, a computational
 geometry kernel, a columnar storage engine), the paper's four baselines
 (BinarySearch, B+-tree, PH-tree, aR-tree), synthetic stand-ins for its
-datasets, and an experiment harness regenerating every evaluation table
-and figure.
+datasets, an experiment harness regenerating every evaluation table
+and figure -- and a serving layer (:mod:`repro.api`) exposing it all
+behind named datasets and declarative queries.
 
-Quickstart::
+Quickstart (the service API)::
 
-    from repro import (
-        EARTH, AggSpec, GeoBlock, Polygon, Schema, PointTable, extract,
-    )
+    from repro import Dataset, EARTH, GeoService, PointTable, Schema, extract
     import numpy as np
 
     table = PointTable(
@@ -24,12 +23,42 @@ Quickstart::
         ys=np.array([40.73, 40.75]),
         columns={"fare": np.array([12.5, 9.0])},
     )
+    service = GeoService()
+    service.register("taxi", Dataset.build(extract(table, EARTH), level=17))
+
+    # Fluent:
+    taxi = service.dataset("taxi")
+    response = taxi.over({"bbox": [-74.0, 40.7, -73.9, 40.8]}).agg(
+        "count", "sum:fare"
+    ).run()
+
+    # Or as a plain JSON dict (what an HTTP adapter would relay):
+    envelope = service.run_dict({
+        "dataset": "taxi",
+        "region": {"type": "Polygon", "coordinates": [
+            [[-74.0, 40.7], [-73.9, 40.7], [-73.9, 40.8], [-74.0, 40.8], [-74.0, 40.7]]
+        ]},
+        "aggregates": ["count", "sum:fare"],
+    })
+
+Legacy quickstart (the direct block API, still fully supported)::
+
+    from repro import AggSpec, GeoBlock, Polygon
+
     base = extract(table, EARTH)
     block = GeoBlock.build(base, level=17)
     region = Polygon([(-74.0, 40.7), (-73.9, 40.7), (-73.9, 40.8), (-74.0, 40.8)])
     result = block.select(region, [AggSpec("count"), AggSpec("sum", "fare")])
 """
 
+from repro.api import (
+    ApiError,
+    Dataset,
+    GeoService,
+    QueryRequest,
+    QueryResponse,
+    QueryStats,
+)
 from repro.cells import (
     EARTH,
     MAX_LEVEL,
@@ -48,7 +77,9 @@ from repro.core import (
     QueryResult,
     build_incremental,
     build_isolated,
+    load,
     prepare_base_data,
+    save,
 )
 from repro.errors import (
     BuildError,
@@ -70,13 +101,14 @@ from repro.storage import (
     extract,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EARTH",
     "MAX_LEVEL",
     "AdaptiveGeoBlock",
     "AggSpec",
+    "ApiError",
     "BaseData",
     "BlockQC",
     "BoundingBox",
@@ -89,13 +121,18 @@ __all__ = [
     "CleaningRules",
     "ColumnKind",
     "ColumnSpec",
+    "Dataset",
     "GeoBlock",
+    "GeoService",
     "GeometryError",
     "MultiPolygon",
     "PointTable",
     "Polygon",
     "QueryError",
+    "QueryRequest",
+    "QueryResponse",
     "QueryResult",
+    "QueryStats",
     "RegionCoverer",
     "ReproError",
     "Schema",
@@ -105,5 +142,7 @@ __all__ = [
     "col",
     "extract",
     "level_for_max_diagonal",
+    "load",
     "prepare_base_data",
+    "save",
 ]

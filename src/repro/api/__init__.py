@@ -1,0 +1,73 @@
+"""The stable service API: datasets, declarative queries, GeoJSON wire.
+
+This package is the serving-oriented façade over the whole stack -- the
+layer a dashboard backend or HTTP adapter talks to instead of
+hand-assembling ``extract`` -> ``GeoBlock.build`` -> ``AggSpec`` lists:
+
+* :class:`GeoService` -- a registry of named :class:`Dataset` handles
+  plus request routing (single, batched, and wire-dict entry points
+  with the unified error envelope);
+* :class:`Dataset` -- one uniform handle over plain, sharded, and
+  adaptive blocks: ``build``/``open``/``save`` dispatch on kind, and
+  the fluent ``ds.over(region).agg("avg:fare").run()`` builder;
+* :class:`QueryRequest` / :class:`QueryResponse` -- declarative queries
+  (region as Polygon, bbox, or GeoJSON dict; aggregates as compact
+  ``"sum:fare"`` strings; planner/executor hints) that round-trip
+  to/from plain JSON dicts;
+* :class:`ApiError` -- every boundary failure, with a machine-readable
+  code and the ``{"ok": false, "error": ...}`` envelope.
+
+Quickstart::
+
+    from repro.api import Dataset, GeoService
+
+    service = GeoService()
+    service.register("taxi", Dataset.build(base, level=15))
+
+    response = service.run_dict({
+        "dataset": "taxi",
+        "region": {"type": "Polygon", "coordinates": [[...]]},
+        "aggregates": ["count", "avg:fare"],
+    })
+
+Results are identical to the equivalent direct ``select``/``count``
+calls on the underlying blocks; the API adds naming, wire formats, and
+observability, not a second query semantics.
+"""
+
+from repro.api.aggregates import format_agg, parse_agg, parse_aggs
+from repro.api.dataset import Dataset
+from repro.api.errors import ApiError, error_envelope, wrap_error
+from repro.api.fluent import QueryBuilder
+from repro.api.geojson import region_from_geojson, region_to_geojson
+from repro.api.request import (
+    QueryRequest,
+    QueryResponse,
+    QueryStats,
+    as_request,
+    parse_region,
+    requests_from_workload,
+    serialise_region,
+)
+from repro.api.service import GeoService
+
+__all__ = [
+    "ApiError",
+    "Dataset",
+    "GeoService",
+    "QueryBuilder",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryStats",
+    "as_request",
+    "error_envelope",
+    "format_agg",
+    "parse_agg",
+    "parse_aggs",
+    "parse_region",
+    "region_from_geojson",
+    "region_to_geojson",
+    "requests_from_workload",
+    "serialise_region",
+    "wrap_error",
+]

@@ -1,0 +1,73 @@
+"""Compact aggregate spec strings: the wire form of :class:`AggSpec`.
+
+Declarative requests name their output aggregates as ``"function"`` or
+``"function:column"`` strings -- ``"count"``, ``"sum:fare"``,
+``"avg:tip_rate"`` -- which keeps query dicts flat and diffable.  This
+module converts between that form and the engine's
+:class:`~repro.core.aggregates.AggSpec`, raising
+:class:`~repro.api.errors.ApiError` (code ``bad_aggregate``) for
+anything unparsable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.api.errors import BAD_AGGREGATE, ApiError
+from repro.core.aggregates import AGG_FUNCTIONS, AggSpec
+from repro.errors import QueryError
+
+
+def parse_agg(spec: object) -> AggSpec:
+    """``"sum:fare"`` -> ``AggSpec("sum", "fare")``.
+
+    Existing :class:`AggSpec` objects pass through, so callers can mix
+    wire strings and programmatic specs freely.  ``"count"`` needs no
+    column; ``"count:*"`` is accepted as its explicit spelling.
+    """
+    if isinstance(spec, AggSpec):
+        return spec
+    if not isinstance(spec, str) or not spec:
+        raise ApiError(
+            BAD_AGGREGATE,
+            f"aggregate spec must be a 'function:column' string, got {spec!r}",
+        )
+    function, _, column = spec.partition(":")
+    function = function.strip().lower()
+    column = column.strip()
+    if function == "count" and column in ("", "*"):
+        return AggSpec("count")
+    if function not in AGG_FUNCTIONS:
+        raise ApiError(
+            BAD_AGGREGATE,
+            f"unknown aggregate function {function!r} in {spec!r}; "
+            f"use one of {AGG_FUNCTIONS}",
+        )
+    if not column:
+        raise ApiError(
+            BAD_AGGREGATE, f"aggregate {function!r} needs a column, e.g. '{function}:fare'"
+        )
+    try:
+        return AggSpec(function, column)
+    except QueryError as error:  # pragma: no cover - guarded above
+        raise ApiError(BAD_AGGREGATE, str(error)) from error
+
+
+def parse_aggs(specs: object) -> tuple[AggSpec, ...]:
+    """Parse a request's aggregate list (strings and/or AggSpecs)."""
+    if isinstance(specs, (str, AggSpec)):
+        specs = [specs]
+    if not isinstance(specs, Sequence):
+        raise ApiError(
+            BAD_AGGREGATE,
+            f"'aggregates' must be a list of spec strings, got {type(specs).__name__}",
+        )
+    return tuple(parse_agg(spec) for spec in specs)
+
+
+def format_agg(spec: AggSpec) -> str:
+    """``AggSpec("sum", "fare")`` -> ``"sum:fare"`` (inverse of
+    :func:`parse_agg` up to canonical spelling)."""
+    if spec.column is None:
+        return spec.function
+    return f"{spec.function}:{spec.column}"

@@ -1,0 +1,259 @@
+"""Datasets: one uniform serving handle over every block kind.
+
+A :class:`Dataset` wraps a plain :class:`~repro.core.geoblock.GeoBlock`,
+a prefix-sharded :class:`~repro.engine.shards.ShardedGeoBlock`, or a
+query-cache accelerated
+:class:`~repro.core.adaptive.AdaptiveGeoBlock` behind one handle:
+``build`` / ``open`` / ``save`` dispatch on the block kind, and every
+query -- single, batched, declarative dict, or fluent -- executes
+through the same engine paths the blocks expose directly, so API
+results are identical to calling ``select``/``count`` on the underlying
+block yourself.
+
+Execution hints map onto the engine seam without touching shared
+state: ``mode`` threads through the blocks' per-call ``mode`` override
+(never mutating ``query_mode``, so concurrent requests cannot observe
+each other's hints), ``cache: false`` routes an adaptive dataset
+through its wrapped base block (no trie probes, no statistics
+recorded), and ``count_only`` takes the Listing 2 fast path.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from time import perf_counter
+from typing import TYPE_CHECKING, Sequence
+
+from repro.api.errors import BAD_REQUEST, UNKNOWN_COLUMN, UNKNOWN_DATASET, ApiError
+from repro.api.request import QueryRequest, QueryResponse, QueryStats, as_request
+from repro.core.adaptive import AdaptiveGeoBlock
+from repro.core.geoblock import GeoBlock
+from repro.core.policy import CachePolicy
+from repro.errors import QueryError
+from repro.storage.etl import BaseData
+from repro.storage.expr import ALWAYS_TRUE, Predicate
+from repro.workloads.workload import Query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.fluent import QueryBuilder
+
+#: Block kinds a dataset can build; mirrors the serialized ``kind``
+#: discriminator of :mod:`repro.core.serialize`.
+KINDS = ("geoblock", "sharded", "adaptive")
+
+#: A dataset handle: any of the three block kinds.
+Handle = GeoBlock | AdaptiveGeoBlock
+
+
+class Dataset:
+    """A named, queryable block of one of the three kinds."""
+
+    def __init__(self, handle: Handle, name: str | None = None) -> None:
+        if not isinstance(handle, (GeoBlock, AdaptiveGeoBlock)):
+            raise ApiError(
+                BAD_REQUEST,
+                f"a dataset wraps a GeoBlock-family block, got {type(handle).__name__}",
+            )
+        self._handle = handle
+        self.name = name
+
+    # -- construction / persistence --------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        base: BaseData,
+        level: int,
+        kind: str = "geoblock",
+        *,
+        name: str | None = None,
+        predicate: Predicate = ALWAYS_TRUE,
+        policy: CachePolicy | None = None,
+        shard_level: int | None = None,
+    ) -> "Dataset":
+        """Build a dataset of ``kind`` from extracted base data."""
+        if kind == "geoblock":
+            handle: Handle = GeoBlock.build(base, level, predicate)
+        elif kind == "sharded":
+            from repro.engine.shards import ShardedGeoBlock
+
+            handle = ShardedGeoBlock.build(base, level, predicate, shard_level=shard_level)
+        elif kind == "adaptive":
+            handle = AdaptiveGeoBlock(GeoBlock.build(base, level, predicate), policy)
+        else:
+            raise ApiError(BAD_REQUEST, f"unknown dataset kind {kind!r}; use one of {KINDS}")
+        return cls(handle, name=name)
+
+    @classmethod
+    def open(cls, path: str | pathlib.Path, name: str | None = None) -> "Dataset":
+        """Load any saved block (the serialized ``kind`` decides what
+        comes back: plain, sharded, or adaptive)."""
+        from repro.core.serialize import load
+
+        return cls(load(path), name=name)
+
+    def save(self, path: str | pathlib.Path) -> None:
+        """Persist the dataset's block, whatever its kind."""
+        from repro.core.serialize import save
+
+        save(self._handle, path)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def handle(self) -> Handle:
+        """The wrapped block exactly as constructed."""
+        return self._handle
+
+    @property
+    def block(self) -> GeoBlock:
+        """The underlying plain/sharded block (adaptive unwrapped)."""
+        if isinstance(self._handle, AdaptiveGeoBlock):
+            return self._handle.block
+        return self._handle
+
+    @property
+    def kind(self) -> str:
+        """The serialized-kind discriminator of the wrapped block."""
+        if isinstance(self._handle, AdaptiveGeoBlock):
+            return "adaptive"
+        return self._handle.kind
+
+    @property
+    def level(self) -> int:
+        return self.block.level
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return tuple(self.block.aggregates.schema.names)
+
+    def describe(self) -> dict:
+        """JSON-compatible summary (what a service catalog endpoint
+        would return per dataset)."""
+        block = self.block
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "level": block.level,
+            "cells": block.num_cells,
+            "tuples": int(block.header.total_count),
+            "columns": list(self.columns),
+            "memory_bytes": self._handle.memory_bytes(),
+        }
+
+    # -- querying ----------------------------------------------------------
+
+    def over(self, region) -> "QueryBuilder":  # noqa: ANN001 - region payload
+        """Start a fluent query: ``ds.over(region).agg("avg:fare").run()``."""
+        from repro.api.fluent import QueryBuilder
+
+        return QueryBuilder(self, region)
+
+    def _execution_handle(self, request: QueryRequest) -> Handle:
+        """The block a request executes against (``cache: false``
+        bypasses an adaptive handle's trie and statistics)."""
+        if not request.cache and isinstance(self._handle, AdaptiveGeoBlock):
+            return self._handle.block
+        return self._handle
+
+    def _validate(self, request: QueryRequest) -> None:
+        if request.dataset is not None and request.dataset != self.name:
+            # A request addressed to another dataset must not silently
+            # execute here (an HTTP adapter wiring per-dataset
+            # endpoints through query_dict would return wrong data).
+            raise ApiError(
+                UNKNOWN_DATASET,
+                f"request addresses dataset {request.dataset!r} but this "
+                f"dataset is {self.name!r}",
+            )
+        try:
+            self.block.executor.validate_aggs(request.aggregates)
+        except QueryError as error:
+            raise ApiError(UNKNOWN_COLUMN, str(error)) from error
+
+    def query(self, request) -> QueryResponse:  # noqa: ANN001 - request-shaped
+        """Answer one request; identical to the equivalent direct
+        ``select``/``count`` call on the wrapped block."""
+        request = as_request(request)
+        self._validate(request)
+        handle = self._execution_handle(request)
+        start = perf_counter()
+        if request.count_only:
+            # Plan once; executor.count is exactly what block.count runs.
+            block = self.block
+            plan = block.plan(request.target)
+            count = block.executor.count(plan)
+            result_values: dict[str, float] = {}
+            probed, hits = plan.num_cells, 0
+        else:
+            result = handle.select(request.target, list(request.aggregates), mode=request.mode)
+            count = result.count
+            result_values = result.values
+            probed, hits = result.cells_probed, result.cache_hits
+        latency_ms = (perf_counter() - start) * 1e3
+        return QueryResponse(
+            values=result_values,
+            count=count,
+            stats=QueryStats(cells_probed=probed, cache_hits=hits, latency_ms=latency_ms),
+            dataset=self.name,
+        )
+
+    def query_dict(self, payload: dict) -> dict:
+        """Wire-format single query: dict in, success envelope out.
+
+        Errors propagate as :class:`ApiError`; use
+        :meth:`GeoService.run_dict` for the never-raises envelope.
+        """
+        return self.query(QueryRequest.from_dict(payload)).to_dict()
+
+    def run_batch(self, requests: Sequence) -> list[QueryResponse]:
+        """Answer many requests in one engine pass.
+
+        Requests sharing the same execution hints are grouped into one
+        ``run_batch`` call on the block (the engine's shared binary
+        searches and record dedup); ``count_only`` requests take the
+        Listing 2 path individually, which is already a two-probe
+        operation per covering cell.  Responses come back in input
+        order, identical to answering each request alone.
+        """
+        parsed = [as_request(request) for request in requests]
+        for request in parsed:
+            self._validate(request)
+        responses: list[QueryResponse | None] = [None] * len(parsed)
+        # Group indices by execution hints; order within a group is
+        # input order.  The cache hint only changes execution on
+        # adaptive handles -- folding it into the key elsewhere would
+        # needlessly split one engine pass into several.
+        cache_matters = isinstance(self._handle, AdaptiveGeoBlock)
+        groups: dict[tuple[str | None, bool], list[int]] = {}
+        for index, request in enumerate(parsed):
+            if request.count_only:
+                responses[index] = self.query(request)
+                continue
+            cache_key = request.cache if cache_matters else True
+            groups.setdefault((request.mode, cache_key), []).append(index)
+        for (mode, cache), indices in groups.items():
+            handle = self._execution_handle(parsed[indices[0]])
+            queries = [
+                Query(region=parsed[index].target, aggs=parsed[index].aggregates)
+                for index in indices
+            ]
+            start = perf_counter()
+            results = handle.run_batch(queries, mode=mode)
+            latency_ms = (perf_counter() - start) * 1e3
+            for index, result in zip(indices, results):
+                responses[index] = QueryResponse(
+                    values=result.values,
+                    count=result.count,
+                    stats=QueryStats(
+                        cells_probed=result.cells_probed,
+                        cache_hits=result.cache_hits,
+                        latency_ms=latency_ms,
+                    ),
+                    dataset=self.name,
+                )
+        return [response for response in responses if response is not None]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = f"{self.name!r}, " if self.name else ""
+        return f"Dataset({label}kind={self.kind}, level={self.level}, cells={self.block.num_cells})"

@@ -1,0 +1,101 @@
+"""Fluent query construction: ``ds.over(region).agg("avg:fare").run()``.
+
+The builder is sugar over :class:`~repro.api.request.QueryRequest` --
+every terminal call first materialises the equivalent declarative
+request (:meth:`QueryBuilder.request`), so fluent and wire-format
+queries go down exactly the same execution path.  Builders are
+immutable: each step returns a new builder, so partial queries can be
+shared and branched safely.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.api.aggregates import parse_aggs
+from repro.api.request import (
+    DEFAULT_AGGREGATES,
+    QueryRequest,
+    QueryResponse,
+    parse_region,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.dataset import Dataset
+    from repro.core.aggregates import AggSpec
+
+
+class QueryBuilder:
+    """An immutable, chainable query under construction."""
+
+    __slots__ = ("_dataset", "_region", "_aggregates", "_mode", "_cache")
+
+    def __init__(
+        self,
+        dataset: "Dataset",
+        region,  # noqa: ANN001 - region payload (object, GeoJSON dict, bbox)
+        aggregates: tuple["AggSpec", ...] = (),
+        mode: str | None = None,
+        cache: bool = True,
+    ) -> None:
+        self._dataset = dataset
+        self._region = parse_region(region)
+        self._aggregates = aggregates
+        self._mode = mode
+        self._cache = cache
+
+    def _derive(self, **overrides) -> "QueryBuilder":  # noqa: ANN003
+        state = {
+            "aggregates": self._aggregates,
+            "mode": self._mode,
+            "cache": self._cache,
+        }
+        state.update(overrides)
+        return QueryBuilder(self._dataset, self._region, **state)
+
+    # -- chainable steps ---------------------------------------------------
+
+    def agg(self, *specs) -> "QueryBuilder":  # noqa: ANN002 - spec strings/AggSpecs
+        """Append output aggregates (``"sum:fare"`` strings or AggSpecs)."""
+        return self._derive(aggregates=self._aggregates + parse_aggs(list(specs)))
+
+    def mode(self, mode: str) -> "QueryBuilder":
+        """Pin the execution model ("vector" or "scalar") for this query."""
+        return self._derive(mode=mode)
+
+    def cache(self, enabled: bool = True) -> "QueryBuilder":
+        """Allow (default) or forbid answering from the query cache."""
+        return self._derive(cache=enabled)
+
+    # -- terminals ---------------------------------------------------------
+
+    def request(self) -> QueryRequest:
+        """The declarative request this builder denotes."""
+        return QueryRequest(
+            region=self._region,
+            aggregates=self._aggregates or DEFAULT_AGGREGATES,
+            dataset=self._dataset.name,
+            mode=self._mode,
+            cache=self._cache,
+        )
+
+    def run(self) -> QueryResponse:
+        """Execute as a SELECT and return the response."""
+        return self._dataset.query(self.request())
+
+    def count(self) -> int:
+        """Execute as a COUNT (Listing 2 fast path) and return the count."""
+        request = QueryRequest(
+            region=self._region,
+            dataset=self._dataset.name,
+            mode=self._mode,
+            cache=self._cache,
+            count_only=True,
+        )
+        return self._dataset.query(request).count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"QueryBuilder(dataset={self._dataset.name!r}, "
+            f"aggs={[spec.key for spec in self._aggregates]}, mode={self._mode!r})"
+        )

@@ -1,0 +1,334 @@
+"""Declarative queries: the request/response model of the service API.
+
+A :class:`QueryRequest` is a pure description of one spatial aggregation
+query -- region, output aggregates, execution hints, optional dataset
+name -- that round-trips to and from plain JSON dicts, so a future HTTP
+layer is a thin adapter: ``QueryRequest.from_dict(json.loads(body))``
+in, ``response.to_dict()`` out.
+
+Wire shape::
+
+    {
+      "dataset": "taxi",                      # optional (default dataset)
+      "region": {"type": "Polygon", ...}      # GeoJSON geometry/Feature
+                | {"bbox": [minx, miny, maxx, maxy]},
+      "aggregates": ["count", "sum:fare"],    # compact spec strings
+      "hints": {                              # optional, defaults below
+        "mode": "vector" | "scalar",          # executor: execution model
+        "cache": true,                        # planner: probe the trie
+        "count_only": false                   # executor: Listing 2 path
+      }
+    }
+
+Hints split cleanly across the engine seam: ``cache`` is consumed by
+the *planner* (whether plans carry AggregateTrie probe decisions),
+while ``mode`` and ``count_only`` are consumed by the *executor* (which
+fold loop carries the plan out).  Every response embeds
+:class:`QueryStats` -- cells probed, cache hits, latency -- so serving
+dashboards get observability without a side channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.api.aggregates import format_agg, parse_aggs
+from repro.api.errors import (
+    BAD_HINT,
+    BAD_REGION,
+    BAD_REQUEST,
+    ERROR_CODES,
+    INTERNAL,
+    ApiError,
+)
+from repro.api.geojson import region_from_geojson, region_to_geojson
+from repro.core.aggregates import AggSpec
+from repro.errors import GeometryError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+#: Execution models a request may pin (None = the dataset's default).
+MODES = ("vector", "scalar")
+
+#: Hint names understood by :class:`QueryRequest` (anything else is a
+#: client error -- silently ignoring typos would mask wrong results).
+HINT_KEYS = ("mode", "cache", "count_only")
+
+_REQUEST_KEYS = ("dataset", "region", "aggregates", "hints")
+
+#: Default output aggregates when a request names none.
+DEFAULT_AGGREGATES = (AggSpec("count"),)
+
+
+def parse_region(payload: object) -> Polygon | MultiPolygon | BoundingBox:
+    """Parse a request's region payload.
+
+    Region objects pass through; dicts are either a ``{"bbox": [...]}``
+    rectangle or a GeoJSON geometry/Feature.
+    """
+    if isinstance(payload, (Polygon, MultiPolygon, BoundingBox)):
+        return payload
+    if isinstance(payload, dict) and "type" not in payload and "bbox" in payload:
+        bbox = payload["bbox"]
+        if (
+            not isinstance(bbox, (list, tuple))
+            or len(bbox) != 4
+            or not all(isinstance(value, (int, float)) and not isinstance(value, bool) for value in bbox)
+        ):
+            raise ApiError(
+                BAD_REGION, "'bbox' must be [min_x, min_y, max_x, max_y] numbers"
+            )
+        try:
+            return BoundingBox(*(float(value) for value in bbox))
+        except GeometryError as error:
+            raise ApiError(BAD_REGION, str(error)) from error
+    return region_from_geojson(payload)
+
+
+def serialise_region(region: Polygon | MultiPolygon | BoundingBox) -> dict:
+    """Inverse of :func:`parse_region` (bboxes keep their compact form)."""
+    if isinstance(region, BoundingBox):
+        return {"bbox": [region.min_x, region.min_y, region.max_x, region.max_y]}
+    return region_to_geojson(region)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One declarative spatial aggregation query."""
+
+    region: Polygon | MultiPolygon | BoundingBox
+    aggregates: tuple[AggSpec, ...] = DEFAULT_AGGREGATES
+    dataset: str | None = None
+    #: Execution model override ("vector"/"scalar"); None = dataset default.
+    mode: str | None = None
+    #: Whether the planner may answer covering cells from the query cache.
+    cache: bool = True
+    #: COUNT-only fast path (Listing 2); ``aggregates`` are ignored.
+    count_only: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "region", parse_region(self.region))
+        object.__setattr__(self, "aggregates", parse_aggs(self.aggregates))
+        if self.mode is not None and self.mode not in MODES:
+            raise ApiError(
+                BAD_HINT, f"unknown execution mode {self.mode!r}; use one of {MODES}"
+            )
+        if not isinstance(self.cache, bool):
+            raise ApiError(BAD_HINT, "'cache' hint must be a boolean")
+        if not isinstance(self.count_only, bool):
+            raise ApiError(BAD_HINT, "'count_only' hint must be a boolean")
+
+    # -- execution plumbing ----------------------------------------------
+
+    @property
+    def target(self) -> Polygon | MultiPolygon:
+        """The region as an engine query target (bbox -> its polygon).
+
+        The resolved polygon is memoised: planner covering caches key on
+        region identity, so a reused request must present a stable
+        object across calls.
+        """
+        cached = self.__dict__.get("_target")
+        if cached is None:
+            region = self.region
+            cached = Polygon.from_box(region) if isinstance(region, BoundingBox) else region
+            object.__setattr__(self, "_target", cached)
+        return cached
+
+    def hints(self) -> dict:
+        """Non-default execution hints (the wire ``hints`` object)."""
+        hints: dict = {}
+        if self.mode is not None:
+            hints["mode"] = self.mode
+        if not self.cache:
+            hints["cache"] = False
+        if self.count_only:
+            hints["count_only"] = True
+        return hints
+
+    # -- wire format -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain JSON-compatible dict; defaults are omitted, so the
+        canonical form is minimal and ``from_dict`` round-trips it."""
+        payload: dict = {
+            "region": serialise_region(self.region),
+            "aggregates": [format_agg(spec) for spec in self.aggregates],
+        }
+        if self.dataset is not None:
+            payload["dataset"] = self.dataset
+        hints = self.hints()
+        if hints:
+            payload["hints"] = hints
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "QueryRequest":
+        """Parse a wire dict (strict: unknown keys are client errors)."""
+        if not isinstance(payload, Mapping):
+            raise ApiError(
+                BAD_REQUEST, f"query must be an object, got {type(payload).__name__}"
+            )
+        unknown = sorted(set(payload) - set(_REQUEST_KEYS))
+        if unknown:
+            raise ApiError(
+                BAD_REQUEST,
+                f"unknown request key(s) {unknown}; expected {list(_REQUEST_KEYS)}",
+                details={"unknown": unknown},
+            )
+        if "region" not in payload:
+            raise ApiError(BAD_REQUEST, "query needs a 'region'")
+        dataset = payload.get("dataset")
+        if dataset is not None and not isinstance(dataset, str):
+            raise ApiError(BAD_REQUEST, "'dataset' must be a string name")
+        hints = payload.get("hints", {})
+        if not isinstance(hints, Mapping):
+            raise ApiError(BAD_HINT, "'hints' must be an object")
+        unknown_hints = sorted(set(hints) - set(HINT_KEYS))
+        if unknown_hints:
+            raise ApiError(
+                BAD_HINT,
+                f"unknown hint(s) {unknown_hints}; expected {list(HINT_KEYS)}",
+                details={"unknown": unknown_hints},
+            )
+        return cls(
+            region=parse_region(payload["region"]),
+            aggregates=parse_aggs(payload.get("aggregates", DEFAULT_AGGREGATES)),
+            dataset=dataset,
+            mode=hints.get("mode"),
+            cache=hints.get("cache", True),
+            count_only=hints.get("count_only", False),
+        )
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Per-query execution statistics surfaced in every response."""
+
+    #: Covering cells probed against the block (after header pruning).
+    cells_probed: int = 0
+    #: Covering cells answered entirely from the AggregateTrie.
+    cache_hits: int = 0
+    #: Wall-clock execution latency in milliseconds.  Batched queries
+    #: report the whole batch's latency on each member (the engine
+    #: answers them in one shared pass; per-member attribution would be
+    #: fiction).
+    latency_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "cells_probed": self.cells_probed,
+            "cache_hits": self.cache_hits,
+            "latency_ms": self.latency_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "QueryStats":
+        return cls(
+            cells_probed=int(payload.get("cells_probed", 0)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            latency_ms=float(payload.get("latency_ms", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Outcome of one successful query.
+
+    The wire form is the success envelope (``{"ok": true, ...}``);
+    failures never construct a response -- they travel as the error
+    envelope (:func:`repro.api.errors.error_envelope`).
+    """
+
+    #: Aggregate values keyed like the engine keys them: ``"sum(fare)"``.
+    values: dict[str, float]
+    #: Number of tuples covered by the query (always computed).
+    count: int
+    stats: QueryStats = field(default_factory=QueryStats)
+    dataset: str | None = None
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "ok": True,
+            "data": {"values": dict(self.values), "count": self.count},
+            "stats": self.stats.to_dict(),
+        }
+        if self.dataset is not None:
+            payload["dataset"] = self.dataset
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "QueryResponse":
+        """Parse a wire envelope; error envelopes re-raise their
+        :class:`ApiError` (client-side symmetry with the server)."""
+        if not isinstance(payload, Mapping):
+            raise ApiError(
+                BAD_REQUEST, f"response must be an object, got {type(payload).__name__}"
+            )
+        if payload.get("ok") is False:
+            error = payload.get("error") or {}
+            code = error.get("code", INTERNAL)
+            details = error.get("details")
+            if code not in ERROR_CODES:
+                # A server with a newer code set must still surface as
+                # ApiError on this client, not as a ValueError.
+                details = dict(details or {}, code=code)
+                code = INTERNAL
+            raise ApiError(code, error.get("message", "unknown error"), details=details)
+        data = payload.get("data")
+        if not isinstance(data, Mapping) or "count" not in data:
+            raise ApiError(BAD_REQUEST, "response envelope needs 'data' with a 'count'")
+        values = {str(key): float(value) for key, value in dict(data.get("values", {})).items()}
+        return cls(
+            values=values,
+            count=int(data["count"]),
+            stats=QueryStats.from_dict(payload.get("stats", {})),
+            dataset=payload.get("dataset"),
+        )
+
+
+def as_request(obj: object) -> QueryRequest:
+    """Coerce any request-shaped input into a :class:`QueryRequest`:
+    a request passes through, a mapping is parsed from the wire form,
+    and a fluent builder is asked for its request."""
+    if isinstance(obj, QueryRequest):
+        return obj
+    if isinstance(obj, Mapping):
+        return QueryRequest.from_dict(obj)
+    build = getattr(obj, "request", None)
+    if callable(build):
+        built = build()
+        if isinstance(built, QueryRequest):
+            return built
+    raise ApiError(
+        BAD_REQUEST,
+        f"cannot interpret {type(obj).__name__} as a query; "
+        "pass a QueryRequest, a wire dict, or a query builder",
+    )
+
+
+def requests_from_workload(workload: Sequence, dataset: str | None = None) -> list[QueryRequest]:
+    """Convert a :class:`~repro.workloads.workload.Workload` (or any
+    sequence of objects with ``region``/``aggs``) into API requests --
+    the bridge from the paper's experiment workloads to the serving
+    layer."""
+    requests = []
+    for query in workload:
+        region = getattr(query, "region", query)
+        aggs = getattr(query, "aggs", None)
+        requests.append(
+            QueryRequest(
+                region=region,
+                aggregates=parse_aggs(aggs) if aggs is not None else DEFAULT_AGGREGATES,
+                dataset=dataset,
+            )
+        )
+    return requests

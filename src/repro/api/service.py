@@ -1,0 +1,147 @@
+"""GeoService: the registry of named datasets and the request router.
+
+This is the object a serving process holds: register datasets once,
+then feed it declarative queries -- :class:`QueryRequest` objects, wire
+dicts, or fluent builders -- singly or in batches.  ``run_dict`` is the
+transport-facing entry point: it never raises for request-shaped
+failures; every outcome is an envelope, ``{"ok": true, ...}`` or the
+unified error envelope, so an HTTP layer reduces to
+``json.dumps(service.run_dict(json.loads(body)))``.
+
+Batches are fanned out per dataset into the engine's batched executor
+(shared binary searches, dedup'd range records, per-shard thread-pool
+materialisation on sharded datasets) and stitched back into request
+order.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterator, Sequence
+
+from repro.api.dataset import Dataset, Handle
+from repro.api.errors import (
+    BAD_REQUEST,
+    UNKNOWN_DATASET,
+    ApiError,
+    error_envelope,
+)
+from repro.api.request import QueryRequest, QueryResponse, as_request
+
+
+class GeoService:
+    """A registry of named :class:`Dataset` handles plus query routing."""
+
+    def __init__(self) -> None:
+        self._datasets: dict[str, Dataset] = {}
+
+    # -- registry ----------------------------------------------------------
+
+    def register(self, name: str, dataset: Dataset | Handle) -> Dataset:
+        """Register a dataset (or bare block, which gets wrapped) under
+        ``name``; re-registering a name replaces the handle."""
+        if not isinstance(name, str) or not name:
+            raise ApiError(BAD_REQUEST, "dataset name must be a non-empty string")
+        if not isinstance(dataset, Dataset):
+            dataset = Dataset(dataset)
+        dataset.name = name
+        self._datasets[name] = dataset
+        return dataset
+
+    def open(self, name: str, path: str | pathlib.Path) -> Dataset:
+        """Load a saved block of any kind and register it."""
+        return self.register(name, Dataset.open(path))
+
+    def dataset(self, name: str | None = None) -> Dataset:
+        """Look up a dataset; ``None`` resolves to the sole registered
+        dataset (the common single-tenant case)."""
+        if name is None:
+            if len(self._datasets) == 1:
+                return next(iter(self._datasets.values()))
+            raise ApiError(
+                UNKNOWN_DATASET,
+                "query names no dataset and the service has "
+                f"{len(self._datasets)} registered; set 'dataset'",
+                details={"registered": sorted(self._datasets)},
+            )
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise ApiError(
+                UNKNOWN_DATASET,
+                f"unknown dataset {name!r}",
+                details={"registered": sorted(self._datasets)},
+            ) from None
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._datasets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._datasets
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return iter(self._datasets.values())
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def describe(self) -> dict:
+        """Catalog endpoint payload: every dataset's summary."""
+        return {"datasets": [self._datasets[name].describe() for name in self.names]}
+
+    # -- query routing -----------------------------------------------------
+
+    def run(self, request) -> QueryResponse:  # noqa: ANN001 - request-shaped
+        """Route one request to its dataset and answer it."""
+        request = as_request(request)
+        return self.dataset(request.dataset).query(request)
+
+    def run_batch(self, requests: Sequence) -> list[QueryResponse]:
+        """Answer a mixed-dataset batch through the batched executor.
+
+        Requests are grouped per dataset, each group runs as one
+        :meth:`Dataset.run_batch` (one engine pass; thread-pool fan-out
+        on sharded datasets), and responses return in input order.
+        """
+        parsed = [as_request(request) for request in requests]
+        by_dataset: dict[str | None, list[int]] = {}
+        for index, request in enumerate(parsed):
+            by_dataset.setdefault(request.dataset, []).append(index)
+        # Resolve every dataset before executing anything: a bad name
+        # must fail the batch up front, not after other members have
+        # already run (and, on adaptive datasets, recorded statistics).
+        datasets = {name: self.dataset(name) for name in by_dataset}
+        responses: list[QueryResponse | None] = [None] * len(parsed)
+        for name, indices in by_dataset.items():
+            for index, response in zip(
+                indices, datasets[name].run_batch([parsed[i] for i in indices])
+            ):
+                responses[index] = response
+        return [response for response in responses if response is not None]
+
+    # -- wire-format entry points -----------------------------------------
+
+    def run_dict(self, payload: dict) -> dict:
+        """Transport entry point: wire dict in, envelope out, never
+        raises for request-shaped failures."""
+        try:
+            return self.run(QueryRequest.from_dict(payload)).to_dict()
+        except Exception as error:  # noqa: BLE001 - envelope boundary
+            return error_envelope(error)
+
+    def run_batch_dict(self, payloads: Sequence[dict]) -> list[dict]:
+        """Batched wire entry point.
+
+        A malformed member fails the whole batch with one error envelope
+        per member (the engine pass is all-or-nothing; partial execution
+        would make retries ambiguous).
+        """
+        try:
+            requests = [QueryRequest.from_dict(payload) for payload in payloads]
+            return [response.to_dict() for response in self.run_batch(requests)]
+        except Exception as error:  # noqa: BLE001 - envelope boundary
+            return [error_envelope(error) for _ in payloads]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GeoService(datasets={self.names})"

@@ -11,8 +11,10 @@ from repro.core.builder import (
 )
 from repro.core.geoblock import GeoBlock, QueryResult, common_ancestor
 from repro.core.serialize import (
+    load,
     load_adaptive_block,
     load_block,
+    save,
     save_adaptive_block,
     save_block,
 )
@@ -42,8 +44,10 @@ __all__ = [
     "apply_batch",
     "apply_update",
     "apply_update_adaptive",
+    "load",
     "load_adaptive_block",
     "load_block",
+    "save",
     "save_adaptive_block",
     "save_block",
     "build_incremental",

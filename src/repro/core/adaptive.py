@@ -124,15 +124,17 @@ class AdaptiveGeoBlock:
         self,
         target: QueryTarget,
         aggs: Sequence[AggSpec] | None = None,
+        mode: str | None = None,
     ) -> QueryResult:
-        """Figure 8's adapted SELECT, through the shared engine."""
+        """Figure 8's adapted SELECT, through the shared engine.
+        ``mode`` overrides ``query_mode`` for this one call."""
         # Validate before recording: rejected queries must not feed the
         # adaptation statistics (they were never answered).
         if aggs is not None:
             self._block.executor.validate_aggs(list(aggs))
         plan = self.plan(target)
         self._statistics.record_covering(plan.union)
-        result = self._block.executor.select(plan, aggs, mode=self.query_mode)
+        result = self._block.executor.select(plan, aggs, mode=mode or self.query_mode)
         self._fold_counters(result)
         self._maybe_adapt(1)
         return result
@@ -141,6 +143,7 @@ class AdaptiveGeoBlock:
         self,
         queries: Sequence,  # noqa: ANN401 - Query objects or raw targets
         aggs: Sequence[AggSpec] | None = None,
+        mode: str | None = None,
     ) -> list[QueryResult]:
         """Batched Figure 8 execution (see :meth:`GeoBlock.run_batch`).
 
@@ -157,7 +160,7 @@ class AdaptiveGeoBlock:
             plan = self.plan(target)
             self._statistics.record_covering(plan.union)
             items.append((plan, query_aggs))
-        results = self._block.executor.run_batch(items, mode=self.query_mode)
+        results = self._block.executor.run_batch(items, mode=mode or self.query_mode)
         for result in results:
             self._fold_counters(result)
         self._maybe_adapt(len(results))

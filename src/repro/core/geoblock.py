@@ -106,6 +106,12 @@ class GeoBlock:
     # -- accessors ----------------------------------------------------------
 
     @property
+    def kind(self) -> str:
+        """Block-kind discriminator shared with the on-disk format and
+        the service API ("geoblock"; subclasses override)."""
+        return "geoblock"
+
+    @property
     def space(self) -> CellSpace:
         return self._space
 
@@ -182,10 +188,13 @@ class GeoBlock:
         self,
         target: QueryTarget,
         aggs: Sequence[AggSpec] | None = None,
+        mode: str | None = None,
     ) -> QueryResult:
         """Aggregate every attribute requested in ``aggs`` over the
-        covering of the query region (dispatches on ``query_mode``)."""
-        return self._executor.select(self.plan(target), aggs, mode=self.query_mode)
+        covering of the query region.  ``mode`` overrides the block's
+        ``query_mode`` for this one call (serving-layer hints thread
+        through here instead of mutating shared state)."""
+        return self._executor.select(self.plan(target), aggs, mode=mode or self.query_mode)
 
     def select_scalar(
         self,
@@ -225,6 +234,7 @@ class GeoBlock:
         self,
         queries: Sequence,  # noqa: ANN401 - Query objects or raw targets
         aggs: Sequence[AggSpec] | None = None,
+        mode: str | None = None,
     ) -> list[QueryResult]:
         """Answer a whole workload in one engine pass.
 
@@ -243,7 +253,7 @@ class GeoBlock:
             (self.plan(target), query_aggs)
             for target, query_aggs in batch_items(queries, aggs)
         ]
-        return self._executor.run_batch(items, mode=self.query_mode)
+        return self._executor.run_batch(items, mode=mode or self.query_mode)
 
     # -- helpers ----------------------------------------------------------------------
 

@@ -6,7 +6,9 @@ but persisting them avoids keeping the base data around at query time
 a single ``.npz`` file holding the aggregate arrays, the block level,
 the curve name, the domain, and the filter predicate's display string.
 
-Format version 2 adds a ``kind`` discriminator:
+The entry points are :func:`save` and :func:`load`, which dispatch on
+the block-kind discriminator (``GeoBlock.kind`` in memory, the ``kind``
+meta field on disk):
 
 * ``geoblock`` -- a plain block (version-1 files load as this kind);
 * ``sharded``  -- a :class:`~repro.engine.shards.ShardedGeoBlock`; the
@@ -14,9 +16,13 @@ Format version 2 adds a ``kind`` discriminator:
   sorted keys on load (it is pure bookkeeping);
 * ``adaptive`` -- an :class:`~repro.core.adaptive.AdaptiveGeoBlock`
   including its AggregateTrie (node + record regions, Figure 7), the
-  accumulated query statistics, and the cache policy, written by
-  :func:`save_adaptive_block` and restored by
-  :func:`load_adaptive_block`.
+  accumulated query statistics, and the cache policy.
+
+The per-kind functions (``save_block``/``save_adaptive_block`` and
+``load_block``/``load_adaptive_block``) predate the unified pair and
+are kept as thin delegating shims; they add nothing but a kind
+assertion.  Prefer :func:`save`/:func:`load` (or the service API's
+``Dataset.save``/``Dataset.open``) in new code.
 """
 
 from __future__ import annotations
@@ -61,6 +67,8 @@ def _block_meta(block: GeoBlock, kind: str) -> dict:
         "schema": [[spec.name, spec.kind.value] for spec in aggregates.schema],
         "predicate": repr(block.predicate),
     }
+    if block.kind == "sharded":
+        meta["shard_level"] = block.shard_level  # type: ignore[attr-defined]
     return meta
 
 
@@ -86,54 +94,37 @@ def _write(path: str | pathlib.Path, meta: dict, arrays: dict[str, np.ndarray]) 
     )
 
 
-def save_block(block: GeoBlock, path: str | pathlib.Path) -> None:
-    """Persist ``block`` to ``path`` (``.npz``).
+def save(block: GeoBlock | AdaptiveGeoBlock, path: str | pathlib.Path) -> None:
+    """Persist any block to ``path`` (``.npz``), dispatching on kind.
 
-    Sharded blocks round-trip automatically (their kind and shard level
-    are recorded); adaptive blocks need :func:`save_adaptive_block` --
-    passing one here raises, as silently dropping the cache would be a
-    data-loss surprise.
+    Plain and sharded blocks record their kind (and shard level);
+    adaptive blocks additionally persist the AggregateTrie, the
+    accumulated query statistics, and the cache policy, so a later
+    :func:`load` restores the cache exactly.
     """
     if isinstance(block, AdaptiveGeoBlock):
-        raise BuildError("use save_adaptive_block for AdaptiveGeoBlock instances")
-    from repro.engine.shards import ShardedGeoBlock
-
-    if isinstance(block, ShardedGeoBlock):
-        meta = _block_meta(block, "sharded")
-        meta["shard_level"] = block.shard_level
-    else:
-        meta = _block_meta(block, "geoblock")
-    _write(path, meta, _block_arrays(block))
-
-
-def save_adaptive_block(adaptive: AdaptiveGeoBlock, path: str | pathlib.Path) -> None:
-    """Persist an adaptive block: base block + trie + statistics + policy."""
-    block = adaptive.block
-    from repro.engine.shards import ShardedGeoBlock
-
-    meta = _block_meta(block, "adaptive")
-    if isinstance(block, ShardedGeoBlock):
-        meta["base_kind"] = "sharded"
-        meta["shard_level"] = block.shard_level
-    else:
-        meta["base_kind"] = "geoblock"
-    meta["policy"] = {
-        "threshold": adaptive.policy.threshold,
-        "rebuild_every": adaptive.policy.rebuild_every,
-    }
-    meta["queries_recorded"] = adaptive.statistics.queries_recorded
-    arrays = _block_arrays(block)
-    cells, hits = adaptive.statistics.export_counts()
-    arrays["stat_cells"] = cells
-    arrays["stat_hits"] = hits
-    trie = adaptive.trie
-    meta["has_trie"] = trie is not None
-    if trie is not None:
-        meta["trie_root_cell"] = trie.root_cell
-        meta["trie_record_width"] = trie.record_width
-        arrays["trie_nodes"] = trie.nodes
-        arrays["trie_records"] = trie.records
-    _write(path, meta, arrays)
+        inner = block.block
+        meta = _block_meta(inner, "adaptive")
+        meta["base_kind"] = inner.kind
+        meta["policy"] = {
+            "threshold": block.policy.threshold,
+            "rebuild_every": block.policy.rebuild_every,
+        }
+        meta["queries_recorded"] = block.statistics.queries_recorded
+        arrays = _block_arrays(inner)
+        cells, hits = block.statistics.export_counts()
+        arrays["stat_cells"] = cells
+        arrays["stat_hits"] = hits
+        trie = block.trie
+        meta["has_trie"] = trie is not None
+        if trie is not None:
+            meta["trie_root_cell"] = trie.root_cell
+            meta["trie_record_width"] = trie.record_width
+            arrays["trie_nodes"] = trie.nodes
+            arrays["trie_records"] = trie.records
+        _write(path, meta, arrays)
+        return
+    _write(path, _block_meta(block, block.kind), _block_arrays(block))
 
 
 def _read_meta(archive) -> dict:  # noqa: ANN001 - NpzFile
@@ -172,12 +163,74 @@ def _read_block(archive, meta: dict, kind: str) -> GeoBlock:  # noqa: ANN001
     return GeoBlock(space, int(meta["level"]), aggregates)
 
 
-def load_block(path: str | pathlib.Path) -> GeoBlock:
-    """Load a plain or sharded GeoBlock saved by :func:`save_block`.
+def _read_adaptive(archive, meta: dict) -> AdaptiveGeoBlock:  # noqa: ANN001
+    block = _read_block(archive, meta, meta.get("base_kind", "geoblock"))
+    policy_meta = meta.get("policy", {})
+    policy = CachePolicy(
+        threshold=float(policy_meta.get("threshold", 0.05)),
+        rebuild_every=policy_meta.get("rebuild_every"),
+    )
+    adaptive = AdaptiveGeoBlock(block, policy)
+    adaptive._statistics = QueryStatistics.from_counts(
+        archive["stat_cells"],
+        archive["stat_hits"],
+        int(meta.get("queries_recorded", 0)),
+    )
+    if meta.get("has_trie"):
+        adaptive._trie = AggregateTrie(
+            int(meta["trie_root_cell"]),
+            archive["trie_nodes"],
+            archive["trie_records"],
+            int(meta["trie_record_width"]),
+        )
+    return adaptive
 
-    The filter predicate is restored as its display string only (it is
-    metadata; the aggregates already reflect it).
+
+def load(path: str | pathlib.Path) -> GeoBlock | AdaptiveGeoBlock:
+    """Load any block saved by :func:`save`, whatever its kind.
+
+    Plain and sharded blocks restore their aggregates (the filter
+    predicate comes back as its display string only -- it is metadata;
+    the aggregates already reflect it).  Adaptive blocks restore the
+    trie, statistics, and policy exactly: queries answered after the
+    round-trip hit the same cache entries, and a later ``adapt()``
+    continues from the persisted statistics.
     """
+    with np.load(path) as archive:
+        meta = _read_meta(archive)
+        kind = meta.get("kind", "geoblock")
+        if kind == "adaptive":
+            return _read_adaptive(archive, meta)
+        return _read_block(archive, meta, kind)
+
+
+# -- per-kind delegating shims (deprecated; prefer save/load) -------------
+
+
+def save_block(block: GeoBlock, path: str | pathlib.Path) -> None:
+    """Persist a plain or sharded block (shim over :func:`save`).
+
+    Passing an adaptive block raises, as the historical contract did:
+    callers of this function expect a cache-free file, and silently
+    including the cache (or dropping it) would surprise either way.
+    """
+    if isinstance(block, AdaptiveGeoBlock):
+        raise BuildError("use save_adaptive_block for AdaptiveGeoBlock instances")
+    save(block, path)
+
+
+def save_adaptive_block(adaptive: AdaptiveGeoBlock, path: str | pathlib.Path) -> None:
+    """Persist an adaptive block (shim over :func:`save`)."""
+    if not isinstance(adaptive, AdaptiveGeoBlock):
+        raise BuildError("save_adaptive_block needs an AdaptiveGeoBlock; use save")
+    save(adaptive, path)
+
+
+def load_block(path: str | pathlib.Path) -> GeoBlock:
+    """Load a plain or sharded block (shim over the :func:`load`
+    internals).  The kind is checked on the metadata alone, so an
+    adaptive file is rejected before its trie/statistics arrays are
+    ever materialised."""
     with np.load(path) as archive:
         meta = _read_meta(archive)
         kind = meta.get("kind", "geoblock")
@@ -187,33 +240,10 @@ def load_block(path: str | pathlib.Path) -> GeoBlock:
 
 
 def load_adaptive_block(path: str | pathlib.Path) -> AdaptiveGeoBlock:
-    """Load an adaptive block saved by :func:`save_adaptive_block`.
-
-    The trie, statistics, and policy are restored exactly: queries
-    answered after the round-trip hit the same cache entries, and a
-    later ``adapt()`` continues from the persisted statistics.
-    """
+    """Load an adaptive block (shim over the :func:`load` internals;
+    non-adaptive files are rejected on the metadata alone)."""
     with np.load(path) as archive:
         meta = _read_meta(archive)
         if meta.get("kind") != "adaptive":
             raise BuildError("not an adaptive GeoBlock file; use load_block")
-        block = _read_block(archive, meta, meta.get("base_kind", "geoblock"))
-        policy_meta = meta.get("policy", {})
-        policy = CachePolicy(
-            threshold=float(policy_meta.get("threshold", 0.05)),
-            rebuild_every=policy_meta.get("rebuild_every"),
-        )
-        adaptive = AdaptiveGeoBlock(block, policy)
-        adaptive._statistics = QueryStatistics.from_counts(
-            archive["stat_cells"],
-            archive["stat_hits"],
-            int(meta.get("queries_recorded", 0)),
-        )
-        if meta.get("has_trie"):
-            adaptive._trie = AggregateTrie(
-                int(meta["trie_root_cell"]),
-                archive["trie_nodes"],
-                archive["trie_records"],
-                int(meta["trie_record_width"]),
-            )
-        return adaptive
+        return _read_adaptive(archive, meta)

@@ -247,6 +247,11 @@ class ShardedGeoBlock(GeoBlock):
     # -- accessors -------------------------------------------------------
 
     @property
+    def kind(self) -> str:
+        """Block-kind discriminator ("sharded"); see :class:`GeoBlock`."""
+        return "sharded"
+
+    @property
     def shard_level(self) -> int:
         return self._shard_level
 

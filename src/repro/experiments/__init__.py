@@ -13,6 +13,7 @@ from repro.experiments.common import (
     nyc_base,
     osm_base,
     run_workload,
+    run_workload_api,
     run_workload_batched,
     run_workload_counts,
     total_relative_error,
@@ -31,6 +32,7 @@ __all__ = [
     "osm_base",
     "run_experiment",
     "run_workload",
+    "run_workload_api",
     "run_workload_batched",
     "run_workload_counts",
     "total_relative_error",

@@ -275,6 +275,46 @@ def run_workload_batched(
     return watch.seconds("workload"), results
 
 
+def run_workload_api(
+    dataset,  # noqa: ANN001 - repro.api.Dataset or a bare block
+    workload: Workload,
+    batch_size: int | None = None,
+) -> tuple[float, list[QueryResult]]:
+    """Execute the workload through the serving layer (:mod:`repro.api`).
+
+    The workload is converted to declarative :class:`QueryRequest`s and
+    answered by ``Dataset.run_batch`` -- the exact path an HTTP adapter
+    exercises -- so comparing against :func:`run_workload` /
+    :func:`run_workload_batched` measures the façade's overhead on top
+    of the engine's batched executor.  Responses are adapted back to
+    engine :class:`QueryResult`s, keeping the measurement helpers
+    result-shape compatible.
+    """
+    from repro.api import Dataset, requests_from_workload
+
+    if not isinstance(dataset, Dataset):
+        dataset = Dataset(dataset)
+    requests = requests_from_workload(workload)
+    watch = Stopwatch()
+    responses = []
+    with watch.phase("workload"):
+        if batch_size is None:
+            responses = dataset.run_batch(requests)
+        else:
+            for start in range(0, len(requests), batch_size):
+                responses.extend(dataset.run_batch(requests[start : start + batch_size]))
+    results = [
+        QueryResult(
+            values=response.values,
+            count=response.count,
+            cells_probed=response.stats.cells_probed,
+            cache_hits=response.stats.cache_hits,
+        )
+        for response in responses
+    ]
+    return watch.seconds("workload"), results
+
+
 def run_workload_counts(aggregator, workload: Workload) -> tuple[float, list[int]]:  # noqa: ANN001
     """Execute the workload as COUNT queries."""
     watch = Stopwatch()

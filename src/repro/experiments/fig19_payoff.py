@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.core.builder import build_incremental, build_isolated, payoff_point
 from repro.data.nyc import nyc_cleaning_rules
 from repro.experiments.common import ExperimentConfig, ExperimentResult, nyc_base, nyc_raw
-from repro.storage.etl import PHASE_SORTING, extract
+from repro.storage.etl import extract
 from repro.storage.expr import col
 from repro.util.timing import Stopwatch
 

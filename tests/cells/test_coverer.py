@@ -11,7 +11,6 @@ from repro.cells.coverer import CovererOptions, RegionCoverer, covering_error_bo
 from repro.cells.space import EARTH
 from repro.cells.stats import level_stats
 from repro.errors import CellError
-from repro.geometry.bbox import BoundingBox
 from repro.geometry.polygon import MultiPolygon, Polygon
 
 

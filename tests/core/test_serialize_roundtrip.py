@@ -183,3 +183,68 @@ class TestKindGuards:
         save_block(GeoBlock.build(small_base, LEVEL), path)
         with pytest.raises(BuildError):
             load_adaptive_block(path)
+
+
+class TestUnifiedSaveLoad:
+    """The kind-dispatching save()/load() pair and its delegating shims."""
+
+    def _handles(self, small_base, small_polygons):
+        plain = GeoBlock.build(small_base, LEVEL)
+        sharded = ShardedGeoBlock.build(small_base, LEVEL, shard_level=11)
+        adaptive = AdaptiveGeoBlock(
+            GeoBlock.build(small_base, LEVEL), CachePolicy(threshold=0.5)
+        )
+        for polygon in small_polygons:
+            adaptive.select(polygon, AGGS)
+        adaptive.adapt()
+        return {"geoblock": plain, "sharded": sharded, "adaptive": adaptive}
+
+    def test_load_restores_each_kind(self, small_base, small_polygons, tmp_path):
+        from repro.core import load, save
+
+        for kind, block in self._handles(small_base, small_polygons).items():
+            path = tmp_path / f"{kind}.npz"
+            save(block, path)
+            loaded = load(path)
+            assert type(loaded) is type(block)
+            assert_same_answers(block, loaded, small_polygons)
+
+    def test_kind_property_matches_serialized_kind(self, small_base):
+        assert GeoBlock.build(small_base, LEVEL).kind == "geoblock"
+        assert ShardedGeoBlock.build(small_base, LEVEL).kind == "sharded"
+
+    def test_shims_delegate_bit_identically(self, small_base, small_polygons, tmp_path):
+        """save_block/save_adaptive_block write byte-for-byte what the
+        unified save() writes; load_block/load_adaptive_block return
+        blocks with identical aggregate arrays."""
+        import numpy as np
+
+        from repro.core import load, save
+
+        block = ShardedGeoBlock.build(small_base, LEVEL, shard_level=11)
+        adaptive = AdaptiveGeoBlock(
+            GeoBlock.build(small_base, LEVEL), CachePolicy(threshold=0.5)
+        )
+        for polygon in small_polygons:
+            adaptive.select(polygon, AGGS)
+        adaptive.adapt()
+        for handle, legacy_save, legacy_load in (
+            (block, save_block, load_block),
+            (adaptive, save_adaptive_block, load_adaptive_block),
+        ):
+            new_path = tmp_path / "new.npz"
+            old_path = tmp_path / "old.npz"
+            save(handle, new_path)
+            legacy_save(handle, old_path)
+            with np.load(new_path) as new_archive, np.load(old_path) as old_archive:
+                assert sorted(new_archive.files) == sorted(old_archive.files)
+                for name in new_archive.files:
+                    assert np.array_equal(new_archive[name], old_archive[name]), name
+            via_new = load(old_path)
+            via_old = legacy_load(new_path)
+            assert type(via_new) is type(via_old)
+            assert_same_answers(via_new, via_old, small_polygons)
+
+    def test_save_adaptive_shim_rejects_plain_blocks(self, small_base, tmp_path):
+        with pytest.raises(BuildError):
+            save_adaptive_block(GeoBlock.build(small_base, LEVEL), tmp_path / "x.npz")

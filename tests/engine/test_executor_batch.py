@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import AdaptiveGeoBlock, AggSpec, CachePolicy, GeoBlock
-from repro.workloads.workload import Query, Workload, base_workload
+from repro.workloads.workload import Query, base_workload
 
 AGGS = [
     AggSpec("count"),
