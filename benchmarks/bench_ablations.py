@@ -13,6 +13,9 @@ from repro.core import GeoBlock
 from repro.storage import extract
 from repro.workloads import default_aggregates
 
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def region(polygons):

@@ -7,17 +7,16 @@ across the whole batch and materialises each distinct aggregate range
 once, so the skew repetitions are nearly free; results are asserted
 identical to the sequential answers.
 
-The report benchmark records the measured speedup and the planner's
-covering-cache hit rate to ``benchmarks/results/engine_batch.txt``, and
-additionally times the sharded block's fanned-out batch plus the same
-workload through the serving layer (``repro.api``), which bounds the
-façade's overhead over the raw engine.
+The report benchmark delegates to the ``engine_batch_parity`` scenario
+of :mod:`repro.bench`: one run measures sequential vs batched vs
+sharded vs serving-layer execution, asserts identical answers, and
+records the JSON result plus its text view under
+``benchmarks/results/``.
 """
 
-import numpy as np
 import pytest
 
-from benchmarks.conftest import RESULTS_DIR
+from benchmarks.conftest import run_scenario_and_record
 from repro.api import Dataset
 from repro.core import GeoBlock
 from repro.engine.shards import ShardedGeoBlock
@@ -33,6 +32,9 @@ from repro.workloads import (
     default_aggregates,
     skewed_workload,
 )
+
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
 
 
 @pytest.fixture(scope="module")
@@ -76,80 +78,14 @@ def test_batched_workload_service(benchmark, vector_block, workload):
     benchmark(lambda: run_workload_api(dataset, workload))
 
 
-def test_report_engine_batch(benchmark, vector_block, sharded_block, workload):
-    def measure():
-        seq_seconds, seq_results = run_workload(vector_block, workload)
-        cache = vector_block.planner.cache
-        hits_before, misses_before = cache.hits, cache.misses
-        batch_seconds, batch_results = run_workload_batched(vector_block, workload)
-        hit_rate = (cache.hits - hits_before) / max(
-            1, cache.hits - hits_before + cache.misses - misses_before
-        )
-        sharded_seconds, sharded_results = run_workload_batched(sharded_block, workload)
-        api_seconds, api_results = run_workload_api(
-            Dataset(vector_block, name="bench"), workload
-        )
-        return (
-            seq_seconds,
-            batch_seconds,
-            sharded_seconds,
-            api_seconds,
-            hit_rate,
-            seq_results,
-            batch_results,
-            sharded_results,
-            api_results,
-        )
-
-    (
-        seq_seconds,
-        batch_seconds,
-        sharded_seconds,
-        api_seconds,
-        hit_rate,
-        seq_results,
-        batch_results,
-        sharded_results,
-        api_results,
-    ) = benchmark.pedantic(measure, rounds=1, iterations=1)
-
+def test_report_engine_batch(benchmark, report_config):
+    payload = benchmark.pedantic(
+        lambda: run_scenario_and_record("engine_batch_parity", report_config),
+        rounds=1,
+        iterations=1,
+    )
+    metrics = payload["metrics"]
     # Identical results are a hard requirement of the batched path.
-    assert len(batch_results) == len(seq_results)
-    for want, got in zip(seq_results, batch_results):
-        assert got.count == want.count
-        for key, value in want.values.items():
-            if not np.isnan(value):
-                assert got.values[key] == value
-    for want, got in zip(seq_results, sharded_results):
-        assert got.count == want.count
-    # The serving layer answers through the same batched executor, so
-    # its results are bit-identical to the raw batched path.
-    for want, got in zip(batch_results, api_results):
-        assert got.count == want.count
-        for key, value in want.values.items():
-            if not np.isnan(value):
-                assert got.values[key] == value
-
-    speedup = seq_seconds / max(batch_seconds, 1e-12)
-    sharded_speedup = seq_seconds / max(sharded_seconds, 1e-12)
-    api_overhead = api_seconds / max(batch_seconds, 1e-12)
-    lines = [
-        "[engine_batch] run_batch vs sequential (fig10 base + 4x skewed workload)",
-        f"  queries                 : {len(workload)}",
-        f"  sequential_seconds      : {seq_seconds:.4f}",
-        f"  batched_seconds         : {batch_seconds:.4f}",
-        f"  batched_sharded_seconds : {sharded_seconds:.4f}",
-        f"  batched_api_seconds     : {api_seconds:.4f}",
-        f"  speedup                 : {speedup:.2f}x",
-        f"  sharded_speedup         : {sharded_speedup:.2f}x",
-        f"  api_overhead            : {api_overhead:.2f}x of raw batched",
-        f"  covering_cache_hit_rate : {hit_rate:.3f}",
-        f"  shards                  : {sharded_block.num_shards}",
-    ]
-    text = "\n".join(lines)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "engine_batch.txt").write_text(text + "\n")
-    print()
-    print(text)
+    assert metrics["identical"] == 1.0
     # The batched path must be measurably faster on this skewed shape.
-    assert speedup > 1.0
+    assert metrics["speedup"] > 1.0

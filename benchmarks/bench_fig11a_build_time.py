@@ -9,6 +9,9 @@ from repro.core import GeoBlock
 from repro.data import nyc_cleaning_rules, nyc_taxi
 from repro.storage import extract
 
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def raw(config):

@@ -2,7 +2,12 @@
 sizes themselves are deterministic, so the benchmark times the
 measurement pipeline end to end)."""
 
+import pytest
+
 from benchmarks.conftest import run_and_record
+
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
 
 
 def test_report_fig11b(benchmark, report_config):

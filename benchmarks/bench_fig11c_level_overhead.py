@@ -1,6 +1,11 @@
 """Figure 11c: level influence on preparation time and overhead."""
 
+import pytest
+
 from benchmarks.conftest import run_and_record
+
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
 
 
 def test_report_fig11c(benchmark, report_config):

@@ -10,6 +10,9 @@ from benchmarks.conftest import run_and_record
 from repro.data import selectivity_polygon
 from repro.workloads import default_aggregates
 
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def half_polygon(base):

@@ -1,18 +1,20 @@
 """Figure 13: scaling with increasing input sizes."""
 
-from benchmarks.conftest import RESULTS_DIR
-from repro.experiments import fig13_scalability
+import pytest
+
+from benchmarks.conftest import run_and_record
+
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
 
 
 def test_report_fig13(benchmark, report_config):
+    # The "fig13" scenario runs both of the figure's tables (overhead
+    # and runtime) in one replay.
     overhead, runtime = benchmark.pedantic(
-        lambda: fig13_scalability.run(report_config), rounds=1, iterations=1
+        lambda: run_and_record("fig13", report_config), rounds=1, iterations=1
     )
-    RESULTS_DIR.mkdir(exist_ok=True)
-    text = overhead.render() + "\n\n" + runtime.render()
-    (RESULTS_DIR / "fig13.txt").write_text(text + "\n")
-    print()
-    print(text)
+    assert overhead.rows
     by_algo = {}
     for row in runtime.rows:
         by_algo[row[1]] = float(row[3])

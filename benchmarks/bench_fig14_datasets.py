@@ -1,6 +1,11 @@
 """Figure 14: whole-area query runtime and error per dataset."""
 
+import pytest
+
 from benchmarks.conftest import run_and_record
+
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
 
 
 def test_report_fig14(benchmark, report_config):

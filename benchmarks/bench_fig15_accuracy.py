@@ -1,6 +1,11 @@
 """Figure 15: US states vs generated rectangles on the tweets data."""
 
+import pytest
+
 from benchmarks.conftest import run_and_record
+
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
 
 
 def test_report_fig15(benchmark, report_config):

@@ -10,6 +10,9 @@ from repro.core import GeoBlock
 from repro.experiments.common import make_scalar
 from repro.workloads import default_aggregates
 
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def region(polygons):

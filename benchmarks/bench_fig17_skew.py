@@ -5,6 +5,9 @@ import pytest
 from benchmarks.conftest import run_and_record
 from repro.workloads import skewed_workload
 
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def skew_queries(polygons, aggs, config):

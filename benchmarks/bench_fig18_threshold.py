@@ -1,6 +1,11 @@
 """Figure 18: aggregate threshold vs runtime and cache hit rate."""
 
+import pytest
+
 from benchmarks.conftest import run_and_record
+
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
 
 
 def test_report_fig18(benchmark, report_config):

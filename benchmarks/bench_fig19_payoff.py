@@ -12,6 +12,9 @@ from repro.core import build_incremental, build_isolated
 from repro.data import nyc_cleaning_rules, nyc_taxi
 from repro.storage import col
 
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def raw(config):

@@ -1,6 +1,11 @@
 """Table 2: sorting vs building milliseconds at levels 13-21."""
 
+import pytest
+
 from benchmarks.conftest import run_and_record
+
+#: Everything here is a timing benchmark; `-m "not bench"` deselects.
+pytestmark = pytest.mark.bench
 
 
 def test_report_table2(benchmark, report_config):

@@ -5,8 +5,10 @@ Two kinds of benchmarks appear:
 
 * micro-benchmarks timing the figure's key operation per competitor
   (pytest-benchmark's comparison table mirrors the figure's series);
-* one ``report`` benchmark per module that executes the corresponding
-  experiment harness end-to-end and writes the paper-style rows to
+* one ``report`` benchmark per module that runs the corresponding
+  scenario of the :mod:`repro.bench` registry end-to-end, writes the
+  machine-readable ``BENCH_<scenario>.json`` result to
+  ``benchmarks/results/``, and renders the paper-style text view to
   ``benchmarks/results/<id>.txt`` (and stdout with ``-s``).
 
 Dataset sizes follow ``ExperimentConfig`` scaled down for benchmark
@@ -20,11 +22,13 @@ import pathlib
 import pytest
 
 from repro.baselines import ARTree, BinarySearchIndex, BTreeIndex, PHTree
+from repro.bench import render_result_text, run_scenario, write_result
+from repro.bench.scenario import Scale
+from repro.bench.scenarios import result_from_dict
 from repro.core import AdaptiveGeoBlock, CachePolicy, GeoBlock
 from repro.data import nyc_neighborhoods
 from repro.experiments import ExperimentConfig, nyc_base
 from repro.experiments.common import make_scalar
-from repro.experiments.registry import run_experiment
 from repro.workloads import default_aggregates
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -101,12 +105,28 @@ def report_config() -> ExperimentConfig:
     return ExperimentConfig(nyc_points=15_000, tweets_points=10_000, osm_points=12_000)
 
 
-def run_and_record(experiment_id: str, config: ExperimentConfig):
-    """Run one experiment and persist its rendered table."""
-    result = run_experiment(experiment_id, config)
+def bench_scale(config: ExperimentConfig) -> Scale:
+    """The pytest-driven scale: the suite's own sizing, one repeat (the
+    report benchmarks are timed by pytest-benchmark around the call)."""
+    return Scale("bench", config, repeats=1, warmup=0)
+
+
+def run_scenario_and_record(scenario_name: str, config: ExperimentConfig) -> dict:
+    """Run one registered scenario and persist both artifacts: the JSON
+    result and the text view rendered from it."""
+    payload = run_scenario(scenario_name, scale=bench_scale(config))
     RESULTS_DIR.mkdir(exist_ok=True)
-    text = result.render()
-    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+    write_result(payload, RESULTS_DIR)
+    text = render_result_text(payload)
+    (RESULTS_DIR / f"{scenario_name}.txt").write_text(text + "\n")
     print()
     print(text)
-    return result
+    return payload
+
+
+def run_and_record(experiment_id: str, config: ExperimentConfig):
+    """Run one experiment scenario; return its table(s) rebuilt from the
+    recorded JSON (proving the ``.txt`` is a pure view over it)."""
+    payload = run_scenario_and_record(experiment_id, config)
+    tables = [result_from_dict(table) for table in payload["artifacts"]["tables"]]
+    return tables[0] if len(tables) == 1 else tuple(tables)

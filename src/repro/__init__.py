@@ -101,7 +101,7 @@ from repro.storage import (
     extract,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "EARTH",

@@ -1,0 +1,143 @@
+"""``python -m repro.bench``: run, compare, report, list.
+
+* ``run [names...] [--group g] [--scale smoke|paper] [--out DIR]`` --
+  execute scenarios and write one ``BENCH_<scenario>.json`` each
+  (default output: the current directory, i.e. the repo root, where the
+  files are version-controlled as the performance trajectory);
+* ``compare <baseline...> [--candidate DIR]`` -- gate a candidate run
+  against checked-in baselines; exits 1 when any scenario regresses
+  past its threshold, changes a strict metric, or breaks a bound;
+* ``report [DIR]`` -- markdown table over a directory of results;
+* ``list`` -- the registered scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.bench.compare import compare_results, has_failures, render_findings
+from repro.bench.registry import all_scenarios, get_scenario, run_scenario
+from repro.bench.report import render_markdown
+from repro.bench.results import load_results, write_result
+from repro.bench.scenario import BenchError
+
+
+def _select_scenarios(names: list[str], groups: list[str]):
+    scenarios = all_scenarios()
+    if groups:
+        scenarios = [scenario for scenario in scenarios if scenario.group in groups]
+    if names:
+        picked = []
+        for name in names:
+            scenario = get_scenario(name)  # raises on unknown names
+            if groups and scenario.group not in groups:
+                raise BenchError(
+                    f"scenario {name!r} is in group {scenario.group!r}, "
+                    f"excluded by --group {' '.join(groups)}"
+                )
+            picked.append(scenario)
+        scenarios = picked
+    if not scenarios:
+        raise BenchError("no scenarios selected")
+    return scenarios
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenarios = _select_scenarios(args.scenarios, args.group)
+    out_dir = pathlib.Path(args.out)
+    print(
+        f"repro.bench run: {len(scenarios)} scenario(s) at scale {args.scale!r} "
+        f"-> {out_dir}/BENCH_<scenario>.json"
+    )
+    for scenario in scenarios:
+        payload = run_scenario(scenario, scale=args.scale)
+        path = write_result(payload, out_dir)
+        stats = payload["stats"]
+        print(
+            f"  {scenario.name:<24} median={stats['median_s'] * 1e3:9.2f} ms  "
+            f"min={stats['min_s'] * 1e3:9.2f} ms  -> {path.name}"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    baselines = load_results(args.baseline)
+    candidates = load_results([args.candidate])
+    findings = compare_results(baselines, candidates)
+    print(render_findings(findings))
+    return 1 if has_failures(findings) else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    results = load_results([args.dir])
+    text = render_markdown(results)
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for scenario in all_scenarios():
+        print(f"{scenario.name:<24} [{scenario.group:<10}] {scenario.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Continuous benchmarking: run scenarios, gate regressions.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run scenarios and write BENCH_*.json")
+    run.add_argument("scenarios", nargs="*", help="scenario names (default: all)")
+    run.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    run.add_argument(
+        "--group",
+        action="append",
+        default=[],
+        choices=("experiment", "engine", "serving"),
+        help="restrict to one or more scenario groups",
+    )
+    run.add_argument("--out", default=".", help="output directory (default: repo root)")
+    run.set_defaults(func=_cmd_run)
+
+    compare = commands.add_parser(
+        "compare", help="gate candidate results against baseline results"
+    )
+    compare.add_argument(
+        "baseline",
+        nargs="+",
+        help="baseline BENCH_*.json files and/or directories containing them",
+    )
+    compare.add_argument(
+        "--candidate",
+        default=".",
+        help="candidate results: a file or directory (default: current directory)",
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    report = commands.add_parser("report", help="markdown table over results")
+    report.add_argument("dir", nargs="?", default=".", help="results directory")
+    report.add_argument("--out", default=None, help="write the table to a file")
+    report.set_defaults(func=_cmd_report)
+
+    lister = commands.add_parser("list", help="list registered scenarios")
+    lister.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    try:
+        return arguments.func(arguments)
+    except BenchError as error:
+        print(f"repro.bench: error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `... report | head`
+        return 0

@@ -1,0 +1,204 @@
+"""Baseline comparison: the perf-regression gate behind ``repro.bench
+compare``.
+
+Timing is compared on *normalised* medians: each result carries a
+calibration measurement (a fixed mixed numpy/Python kernel timed on the
+machine that produced it), and when both sides have one the medians are
+divided by it first.  That removes absolute machine speed from the
+ratio, so a checked-in baseline from one box gates CI runners of a
+different speed; the per-scenario thresholds then only need to absorb
+scheduling noise, not hardware deltas.
+
+Verdicts per scenario:
+
+* ``pass``  -- ratio <= warn_ratio, strict metrics equal, bounds hold;
+* ``warn``  -- warn_ratio < ratio <= fail_ratio, or coverage drift
+  (scenario only on one side, scale mismatch);
+* ``fail``  -- ratio > fail_ratio, a strict metric changed or vanished
+  from one side, or a declared metric bound is broken or its metric
+  missing.  Any ``fail`` exits non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+#: Strict-metric equality tolerance (metrics are exact counts, but they
+#: travel through JSON as floats).
+_STRICT_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison verdict."""
+
+    scenario: str
+    status: str  # "pass" | "warn" | "fail"
+    kind: str  # "runtime" | "metric" | "bounds" | "coverage"
+    detail: str
+    ratio: float | None = None
+
+
+def _normalised_median(payload: Mapping, other: Mapping) -> float:
+    median = float(payload["stats"]["median_s"])
+    own_cal = payload.get("env", {}).get("calibration_s")
+    other_cal = other.get("env", {}).get("calibration_s")
+    if (
+        isinstance(own_cal, (int, float))
+        and isinstance(other_cal, (int, float))
+        and own_cal > 0
+        and other_cal > 0
+    ):
+        return median / float(own_cal)
+    return median
+
+
+def compare_pair(baseline: Mapping, candidate: Mapping) -> list[Finding]:
+    """Compare one candidate result against its baseline."""
+    name = candidate["scenario"]
+    findings: list[Finding] = []
+
+    if baseline.get("scale") != candidate.get("scale"):
+        findings.append(
+            Finding(
+                name,
+                "warn",
+                "coverage",
+                f"scale mismatch: baseline {baseline.get('scale')!r} vs "
+                f"candidate {candidate.get('scale')!r}; runtime not compared",
+            )
+        )
+    else:
+        thresholds = baseline.get("thresholds") or candidate["thresholds"]
+        warn_ratio = float(thresholds["warn_ratio"])
+        fail_ratio = float(thresholds["fail_ratio"])
+        base_median = _normalised_median(baseline, candidate)
+        cand_median = _normalised_median(candidate, baseline)
+        ratio = cand_median / base_median if base_median > 0 else float("inf")
+        if ratio > fail_ratio:
+            status = "fail"
+        elif ratio > warn_ratio:
+            status = "warn"
+        else:
+            status = "pass"
+        findings.append(
+            Finding(
+                name,
+                status,
+                "runtime",
+                f"normalised median ratio {ratio:.2f}x "
+                f"(warn > {warn_ratio:.2f}x, fail > {fail_ratio:.2f}x)",
+                ratio=ratio,
+            )
+        )
+
+    # Result integrity: strict metrics must match the baseline exactly.
+    strict = set(baseline.get("strict_metrics", [])) | set(
+        candidate.get("strict_metrics", [])
+    )
+    for metric in sorted(strict):
+        base_value = baseline.get("metrics", {}).get(metric)
+        cand_value = candidate.get("metrics", {}).get(metric)
+        if base_value is None or cand_value is None:
+            # A strict metric that vanished from either side means the
+            # determinism gate no longer covers it -- that is a
+            # failure, not noise (regenerate the baselines to evolve
+            # the metric set deliberately).
+            findings.append(
+                Finding(
+                    name,
+                    "fail",
+                    "metric",
+                    f"strict metric {metric!r} present on only one side",
+                )
+            )
+        elif abs(float(base_value) - float(cand_value)) > _STRICT_EPS:
+            findings.append(
+                Finding(
+                    name,
+                    "fail",
+                    "metric",
+                    f"strict metric {metric!r} changed: {base_value} -> {cand_value}",
+                )
+            )
+
+    findings.extend(check_bounds(candidate))
+    return findings
+
+
+def check_bounds(candidate: Mapping) -> list[Finding]:
+    """Check a result's metrics against its own declared bounds."""
+    findings: list[Finding] = []
+    name = candidate["scenario"]
+    for metric, bounds in (candidate.get("metric_bounds") or {}).items():
+        value = candidate.get("metrics", {}).get(metric)
+        if value is None:
+            findings.append(
+                Finding(name, "fail", "bounds", f"bounded metric {metric!r} missing")
+            )
+            continue
+        low, high = bounds
+        if low is not None and float(value) < float(low) - _STRICT_EPS:
+            findings.append(
+                Finding(
+                    name, "fail", "bounds", f"metric {metric!r} = {value} below minimum {low}"
+                )
+            )
+        if high is not None and float(value) > float(high) + _STRICT_EPS:
+            findings.append(
+                Finding(
+                    name, "fail", "bounds", f"metric {metric!r} = {value} above maximum {high}"
+                )
+            )
+    return findings
+
+
+def compare_results(
+    baselines: Mapping[str, Mapping], candidates: Mapping[str, Mapping]
+) -> list[Finding]:
+    """Compare every candidate against its baseline by scenario name."""
+    findings: list[Finding] = []
+    for name in sorted(candidates):
+        baseline = baselines.get(name)
+        if baseline is None:
+            findings.append(
+                Finding(
+                    name,
+                    "warn",
+                    "coverage",
+                    "no baseline for this scenario (new scenario?)",
+                )
+            )
+            findings.extend(check_bounds(candidates[name]))
+        else:
+            findings.extend(compare_pair(baseline, candidates[name]))
+    for name in sorted(set(baselines) - set(candidates)):
+        findings.append(
+            Finding(name, "warn", "coverage", "baseline scenario missing from candidate run")
+        )
+    return findings
+
+
+def has_failures(findings: list[Finding]) -> bool:
+    return any(finding.status == "fail" for finding in findings)
+
+
+def render_findings(findings: list[Finding]) -> str:
+    """Human-readable comparison summary (one line per finding)."""
+    if not findings:
+        return "compare: nothing to compare (no candidate results)"
+    lines = []
+    width = max(len(finding.scenario) for finding in findings)
+    for finding in findings:
+        lines.append(
+            f"[{finding.status.upper():4}] {finding.scenario:<{width}}  "
+            f"{finding.kind}: {finding.detail}"
+        )
+    counts = {"pass": 0, "warn": 0, "fail": 0}
+    for finding in findings:
+        counts[finding.status] = counts.get(finding.status, 0) + 1
+    lines.append(
+        f"compare: {counts['pass']} pass, {counts['warn']} warn, {counts['fail']} fail"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Scenario registry and the runner that turns a scenario into a
+schema-valid result payload."""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.bench import results as results_mod
+from repro.bench.scenario import GROUPS, BenchError, Scale, Scenario, get_scale
+from repro.bench.stats import fingerprint, measure, summarize
+from repro.experiments.common import ExperimentConfig
+
+_REGISTRY: dict[str, Scenario] = {}
+_BUILTINS_LOADED = False
+
+
+def register(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry (name must be unique)."""
+    if not replace and scenario.name in _REGISTRY:
+        raise BenchError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        # Importing the module registers every built-in scenario.
+        import repro.bench.scenarios  # noqa: F401
+
+
+def get_scenario(name: str) -> Scenario:
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise BenchError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> list[Scenario]:
+    """Every registered scenario, in (group, name) reporting order."""
+    _ensure_builtins()
+    order = {group: index for index, group in enumerate(GROUPS)}
+    return sorted(_REGISTRY.values(), key=lambda s: (order[s.group], s.name))
+
+
+def run_scenario(
+    scenario: Scenario | str,
+    scale: Scale | str = "smoke",
+    config: ExperimentConfig | None = None,
+) -> dict:
+    """Run one scenario at ``scale`` and return its result payload.
+
+    ``config`` overrides the scale's dataset sizing (the pytest
+    benchmark suite runs the experiment scenarios at its own report
+    sizes through this hook).  The payload is schema-validated before
+    being returned; persist it with :func:`repro.bench.write_result`.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if isinstance(scale, str):
+        scale = get_scale(scale)
+    if config is not None:
+        scale = scale.with_config(config)
+
+    prepared = scenario.build(scale)
+    repeats = scenario.repeats if scenario.repeats is not None else scale.repeats
+    warmup = scenario.warmup if scenario.warmup is not None else scale.warmup
+    samples, last = measure(prepared.thunk, repeats=repeats, warmup=warmup)
+    extra = prepared.finalize(last) if prepared.finalize is not None else {}
+    metrics = dict(extra.get("metrics", {}))
+    # A declared strict/bounded metric the run failed to produce is a
+    # scenario bug; dropping it silently would disable the gate.
+    missing = [name for name in scenario.strict_metrics if name not in metrics]
+    missing += [name for name in scenario.metric_bounds if name not in metrics]
+    if missing:
+        raise BenchError(
+            f"scenario {scenario.name!r} declares metrics it did not emit: {missing}"
+        )
+
+    payload: dict = {
+        "schema_version": results_mod.SCHEMA_VERSION,
+        "scenario": scenario.name,
+        "group": scenario.group,
+        "description": scenario.description,
+        "scale": scale.name,
+        "seed": scale.config.seed,
+        "repeats": repeats,
+        "warmup": warmup,
+        "samples_s": [float(sample) for sample in samples],
+        "stats": summarize(samples),
+        "thresholds": {
+            "warn_ratio": scenario.warn_ratio,
+            "fail_ratio": scenario.fail_ratio,
+        },
+        "metrics": metrics,
+        "strict_metrics": list(scenario.strict_metrics),
+        "metric_bounds": {
+            name: [low, high] for name, (low, high) in scenario.metric_bounds.items()
+        },
+        "env": fingerprint(),
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+    if "artifacts" in extra:
+        payload["artifacts"] = extra["artifacts"]
+    results_mod.validate_result(payload)
+    return payload

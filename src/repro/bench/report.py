@@ -1,0 +1,76 @@
+"""Renderers over result payloads: the markdown report of ``repro.bench
+report`` and the paper-style ``.txt`` views the benchmark suite writes
+next to its JSON results."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.bench.scenario import GROUPS
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def render_markdown(results: Mapping[str, Mapping]) -> str:
+    """One markdown table over all results, in (group, name) order."""
+    if not results:
+        return "_no bench results found_"
+    header = (
+        "| scenario | group | scale | median | IQR | min | repeats | key metrics |\n"
+        "|---|---|---|---:|---:|---:|---:|---|"
+    )
+    order = {group: index for index, group in enumerate(GROUPS)}
+    lines = [header]
+    for payload in sorted(
+        results.values(), key=lambda p: (order.get(p["group"], 99), p["scenario"])
+    ):
+        stats = payload["stats"]
+        metrics = payload.get("metrics", {})
+        shown = []
+        for key in ("queries", "rows", "speedup", "api_overhead", "identical"):
+            if key in metrics:
+                value = metrics[key]
+                text = f"{value:g}" if key != "speedup" else f"{value:.2f}x"
+                shown.append(f"{key}={text}")
+        lines.append(
+            f"| {payload['scenario']} | {payload['group']} | {payload['scale']} "
+            f"| {_format_seconds(stats['median_s'])} "
+            f"| {_format_seconds(stats['iqr_s'])} "
+            f"| {_format_seconds(stats['min_s'])} "
+            f"| {payload['repeats']} "
+            f"| {', '.join(shown)} |"
+        )
+    return "\n".join(lines)
+
+
+def render_result_text(payload: Mapping) -> str:
+    """The paper-style text view of one result.
+
+    Experiment results re-render their recorded tables (this is what the
+    legacy ``benchmarks/results/<id>.txt`` files now contain -- a pure
+    view over the JSON artifact); serving/engine results render a
+    summary of the timing stats and metrics.
+    """
+    tables = payload.get("artifacts", {}).get("tables")
+    if tables:
+        from repro.bench.scenarios import result_from_dict
+
+        return "\n\n".join(result_from_dict(table).render() for table in tables)
+    stats = payload["stats"]
+    lines = [
+        f"[{payload['scenario']}] {payload.get('description', '')}".rstrip(),
+        f"  scale   : {payload['scale']} (repeats={payload['repeats']}, "
+        f"warmup={payload['warmup']})",
+        f"  median  : {_format_seconds(stats['median_s'])}",
+        f"  iqr     : {_format_seconds(stats['iqr_s'])}",
+        f"  min     : {_format_seconds(stats['min_s'])}",
+    ]
+    for name, value in sorted(payload.get("metrics", {}).items()):
+        lines.append(f"  {name:<14}: {value:g}")
+    return "\n".join(lines)

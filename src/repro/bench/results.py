@@ -1,0 +1,133 @@
+"""The versioned on-disk result format: ``BENCH_<scenario>.json``.
+
+One file per scenario, written to the repo root by ``python -m
+repro.bench run`` so the performance trajectory accumulates in version
+control.  The schema is deliberately self-contained: thresholds and
+strict metrics travel with the result, so ``compare`` works on any two
+files without importing the registry that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, Mapping
+
+from repro.bench.scenario import GROUPS, BenchError
+
+#: Bump when the result layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Result file name pattern.
+FILE_PREFIX = "BENCH_"
+FILE_GLOB = "BENCH_*.json"
+
+_REQUIRED_STATS = ("median_s", "iqr_s", "min_s", "max_s", "mean_s")
+
+
+def result_filename(scenario: str) -> str:
+    return f"{FILE_PREFIX}{scenario}.json"
+
+
+def _require(payload: Mapping, key: str, kinds, what: str) -> object:
+    if key not in payload:
+        raise BenchError(f"{what}: missing required key {key!r}")
+    value = payload[key]
+    if not isinstance(value, kinds):
+        raise BenchError(
+            f"{what}: key {key!r} must be {kinds}, got {type(value).__name__}"
+        )
+    return value
+
+
+def validate_result(payload: Mapping, what: str = "bench result") -> None:
+    """Check a result payload against schema v1; raise BenchError."""
+    version = _require(payload, "schema_version", int, what)
+    if version != SCHEMA_VERSION:
+        raise BenchError(
+            f"{what}: schema_version {version} is not the supported {SCHEMA_VERSION}"
+        )
+    scenario = _require(payload, "scenario", str, what)
+    if not scenario:
+        raise BenchError(f"{what}: scenario name must be non-empty")
+    group = _require(payload, "group", str, what)
+    if group not in GROUPS:
+        raise BenchError(f"{what}: group {group!r} not in {GROUPS}")
+    _require(payload, "scale", str, what)
+    _require(payload, "seed", int, what)
+    repeats = _require(payload, "repeats", int, what)
+    warmup = _require(payload, "warmup", int, what)
+    if repeats < 1 or warmup < 0:
+        raise BenchError(f"{what}: repeats must be >= 1 and warmup >= 0")
+    samples = _require(payload, "samples_s", list, what)
+    if len(samples) != repeats or not all(
+        isinstance(sample, (int, float)) and sample >= 0 for sample in samples
+    ):
+        raise BenchError(f"{what}: samples_s must hold {repeats} non-negative numbers")
+    stats = _require(payload, "stats", dict, what)
+    for key in _REQUIRED_STATS:
+        if not isinstance(stats.get(key), (int, float)):
+            raise BenchError(f"{what}: stats.{key} must be a number")
+    thresholds = _require(payload, "thresholds", dict, what)
+    warn = thresholds.get("warn_ratio")
+    fail = thresholds.get("fail_ratio")
+    if not (
+        isinstance(warn, (int, float))
+        and isinstance(fail, (int, float))
+        and 0 < warn <= fail
+    ):
+        raise BenchError(f"{what}: thresholds need 0 < warn_ratio <= fail_ratio")
+    metrics = _require(payload, "metrics", dict, what)
+    for name, value in metrics.items():
+        if not isinstance(value, (int, float)):
+            raise BenchError(f"{what}: metric {name!r} must be a number")
+    strict = _require(payload, "strict_metrics", list, what)
+    for name in strict:
+        if name not in metrics:
+            raise BenchError(f"{what}: strict metric {name!r} has no value in metrics")
+    _require(payload, "env", dict, what)
+    _require(payload, "created", str, what)
+    if "artifacts" in payload and not isinstance(payload["artifacts"], dict):
+        raise BenchError(f"{what}: artifacts must be a dict when present")
+
+
+def write_result(payload: Mapping, directory: str | pathlib.Path) -> pathlib.Path:
+    """Validate and persist one result as ``BENCH_<scenario>.json``."""
+    validate_result(payload)
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / result_filename(payload["scenario"])
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_result(path: str | pathlib.Path) -> dict:
+    """Load and validate one result file."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise BenchError(f"cannot read bench result {path}: {error}") from error
+    if not isinstance(payload, dict):
+        raise BenchError(f"bench result {path} is not a JSON object")
+    validate_result(payload, what=str(path))
+    return payload
+
+
+def load_results(paths: Iterable[str | pathlib.Path]) -> dict[str, dict]:
+    """Load results from files and/or directories (directories expand to
+    their ``BENCH_*.json`` members); returns scenario -> payload."""
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob(FILE_GLOB)))
+        elif path.exists():
+            files.append(path)
+        else:
+            raise BenchError(f"bench result path does not exist: {path}")
+    results: dict[str, dict] = {}
+    for path in files:
+        payload = load_result(path)
+        results[payload["scenario"]] = payload
+    return results

@@ -1,0 +1,94 @@
+"""The `Scenario` protocol of the continuous benchmarking harness.
+
+A scenario is one named, repeatable measurement: untimed setup (dataset
+construction, block builds, cache warming) followed by a timed thunk.
+Scenarios declare their regression thresholds and the metrics that must
+stay bit-identical across runs, so a result file carries everything
+``repro.bench compare`` needs without consulting the registry.
+
+Scales pick the dataset sizing and repeat counts: ``smoke`` is the CI
+gate (small inputs, a couple of repeats), ``paper`` the laptop-scale
+configuration the experiment suite reports with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentConfig
+
+#: Scenario groups, in reporting order.
+GROUPS = ("experiment", "engine", "serving")
+
+
+class BenchError(ReproError):
+    """Any failure of the benchmarking harness (unknown scenario,
+    malformed result file, bad CLI arguments)."""
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Sizing and repetition knobs of one benchmark run."""
+
+    name: str
+    config: ExperimentConfig
+    repeats: int
+    warmup: int
+
+    def with_config(self, config: ExperimentConfig) -> "Scale":
+        return replace(self, config=config)
+
+
+def get_scale(name: str) -> Scale:
+    """Resolve a scale by name (constructed lazily: ``ExperimentConfig``
+    reads ``REPRO_SCALE`` from the environment at build time)."""
+    if name == "smoke":
+        return Scale("smoke", ExperimentConfig.smoke(), repeats=5, warmup=2)
+    if name == "paper":
+        return Scale("paper", ExperimentConfig(), repeats=5, warmup=2)
+    raise BenchError(f"unknown scale {name!r}; use one of ('smoke', 'paper')")
+
+
+@dataclass(frozen=True)
+class Prepared:
+    """What a scenario's ``build`` returns: the timed thunk plus an
+    optional finalizer mapping the last thunk result to
+    ``{"metrics": ..., "artifacts": ...}``."""
+
+    thunk: Callable[[], object]
+    finalize: Callable[[object], dict] | None = None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered benchmark scenario.
+
+    ``build(scale)`` performs all untimed setup and returns a
+    :class:`Prepared`; the runner times ``prepared.thunk`` ``warmup +
+    repeats`` times.  ``warn_ratio`` / ``fail_ratio`` bound the allowed
+    slowdown of the (calibration-normalised) median against a baseline;
+    ``strict_metrics`` names the metrics that must match a baseline
+    exactly (workload shape and result determinism, not timing).
+    """
+
+    name: str
+    group: str
+    description: str
+    build: Callable[[Scale], Prepared]
+    warn_ratio: float = 2.0
+    fail_ratio: float = 4.0
+    repeats: int | None = None  # None = the scale's default
+    warmup: int | None = None
+    strict_metrics: tuple[str, ...] = ()
+    metric_bounds: dict[str, tuple[float | None, float | None]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.group not in GROUPS:
+            raise BenchError(f"scenario group must be one of {GROUPS}, got {self.group!r}")
+        if not (0 < self.warn_ratio <= self.fail_ratio):
+            raise BenchError(
+                f"scenario {self.name!r} needs 0 < warn_ratio <= fail_ratio "
+                f"(got {self.warn_ratio} / {self.fail_ratio})"
+            )

@@ -1,0 +1,98 @@
+"""The statistics core: timing loops, summaries, and the environment
+fingerprint (with a calibration measurement that lets ``compare``
+normalise away absolute machine speed)."""
+
+from __future__ import annotations
+
+import os
+import platform
+import statistics
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.bench.scenario import BenchError
+
+
+def measure(
+    thunk: Callable[[], Any], repeats: int, warmup: int = 0
+) -> tuple[list[float], Any]:
+    """Time ``thunk``: ``warmup`` untimed runs, then ``repeats`` timed
+    samples.  Returns (samples in seconds, last thunk result)."""
+    if repeats < 1:
+        raise BenchError("repeats must be >= 1")
+    if warmup < 0:
+        raise BenchError("warmup must be >= 0")
+    last: Any = None
+    for _ in range(warmup):
+        last = thunk()
+    samples: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        last = thunk()
+        samples.append(time.perf_counter() - start)
+    return samples, last
+
+
+def summarize(samples: list[float]) -> dict[str, float]:
+    """Median/IQR/min/max/mean of the timing samples (seconds)."""
+    if not samples:
+        raise BenchError("cannot summarize an empty sample list")
+    ordered = sorted(samples)
+    if len(ordered) >= 2:
+        quartiles = np.percentile(ordered, [25.0, 75.0])
+        iqr = float(quartiles[1] - quartiles[0])
+    else:
+        iqr = 0.0
+    return {
+        "median_s": float(statistics.median(ordered)),
+        "iqr_s": iqr,
+        "min_s": float(ordered[0]),
+        "max_s": float(ordered[-1]),
+        "mean_s": float(statistics.fmean(ordered)),
+    }
+
+
+# -- calibration --------------------------------------------------------------------
+
+_CALIBRATION: float | None = None
+
+
+def _calibration_kernel() -> float:
+    """A fixed mixed numpy/Python workload shaped like the engine's hot
+    paths: vector sorts and reductions plus per-item Python work."""
+    rng = np.random.default_rng(20_21)
+    values = rng.random(200_000)
+    keys = np.sort(values)
+    running = float(np.cumsum(keys)[-1])
+    total = 0
+    for index in range(50_000):
+        total += index ^ (index >> 3)
+    return running + total
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Best-of-``repeats`` seconds of the calibration kernel, cached per
+    process.  Stored in every result's environment fingerprint so
+    ``compare`` can divide out absolute machine speed."""
+    global _CALIBRATION
+    if _CALIBRATION is None:
+        samples, _ = measure(_calibration_kernel, repeats=repeats, warmup=1)
+        _CALIBRATION = min(samples)
+    return _CALIBRATION
+
+
+def fingerprint() -> dict[str, Any]:
+    """Where this result was measured (versions, hardware shape, and the
+    calibration time)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "repro_scale": os.environ.get("REPRO_SCALE", "1.0"),
+        "calibration_s": calibrate(),
+    }

@@ -81,6 +81,13 @@ class ExperimentConfig:
         """A reduced configuration for CI / benchmark smoke runs."""
         return cls(nyc_points=40_000, tweets_points=30_000, osm_points=50_000)
 
+    @classmethod
+    def smoke(cls) -> "ExperimentConfig":
+        """The smallest meaningful configuration: the ``--scale smoke``
+        setting of :mod:`repro.bench`, sized so the full scenario
+        registry finishes within a CI job."""
+        return cls(nyc_points=8_000, tweets_points=6_000, osm_points=8_000)
+
     # -- density-equivalent levels ------------------------------------
 
     #: Dataset sizes of the paper's testbed; the level mapping keeps the

@@ -1,0 +1,75 @@
+"""CLI behaviour on synthetic results (no timing involved)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.cli import main
+from repro.bench import render_markdown, write_result
+from tests.bench.test_compare import result
+
+
+def test_compare_passes_and_exits_zero(tmp_path, capsys):
+    baseline_dir = tmp_path / "baseline"
+    candidate_dir = tmp_path / "candidate"
+    write_result(result(0.010), baseline_dir)
+    write_result(result(0.011), candidate_dir)
+    code = main(["compare", str(baseline_dir), "--candidate", str(candidate_dir)])
+    assert code == 0
+    assert "[PASS]" in capsys.readouterr().out
+
+
+def test_compare_exits_nonzero_on_regression(tmp_path, capsys):
+    baseline_dir = tmp_path / "baseline"
+    candidate_dir = tmp_path / "candidate"
+    write_result(result(0.010), baseline_dir)
+    write_result(result(0.050), candidate_dir)  # 5x > fail_ratio 3.5
+    code = main(["compare", str(baseline_dir), "--candidate", str(candidate_dir)])
+    assert code == 1
+    assert "[FAIL]" in capsys.readouterr().out
+
+
+def test_compare_rejects_missing_baseline_path(tmp_path, capsys):
+    code = main(["compare", str(tmp_path / "nope"), "--candidate", str(tmp_path)])
+    assert code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_report_renders_markdown_table(tmp_path, capsys):
+    write_result(result(0.010), tmp_path)
+    assert main(["report", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "| scenario |" in out
+    assert "unit_test" in out
+
+    out_file = tmp_path / "report.md"
+    assert main(["report", str(tmp_path), "--out", str(out_file)]) == 0
+    assert "unit_test" in out_file.read_text()
+
+
+def test_report_markdown_orders_by_group(tmp_path):
+    write_result(result(0.010, scenario="zz_experiment", group="experiment"), tmp_path)
+    write_result(result(0.010, scenario="aa_serving", group="serving"), tmp_path)
+    text = render_markdown(
+        {
+            "zz_experiment": json.loads((tmp_path / "BENCH_zz_experiment.json").read_text()),
+            "aa_serving": json.loads((tmp_path / "BENCH_aa_serving.json").read_text()),
+        }
+    )
+    lines = [line for line in text.splitlines() if line.startswith("| ")][1:]
+    assert lines[0].startswith("| zz_experiment")  # experiment group first
+
+
+def test_run_rejects_name_excluded_by_group_filter(capsys):
+    # An explicitly named scenario conflicting with --group must error,
+    # not silently drop from the run.
+    code = main(["run", "fig10", "--group", "engine"])
+    assert code == 2
+    assert "excluded by --group" in capsys.readouterr().err
+
+
+def test_list_names_every_group(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for needle in ("fig10", "engine_batch_parity", "api_batch_sharded"):
+        assert needle in out

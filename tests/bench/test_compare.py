@@ -1,0 +1,119 @@
+"""Threshold logic of the perf-regression gate (pass / warn / fail)."""
+
+from __future__ import annotations
+
+from repro.bench import compare_results, has_failures, render_findings
+from tests.bench.test_results_schema import make_payload
+
+
+def result(median_s: float, calibration_s: float = 0.02, **overrides) -> dict:
+    stats = {
+        "median_s": median_s,
+        "iqr_s": 0.0,
+        "min_s": median_s,
+        "max_s": median_s,
+        "mean_s": median_s,
+    }
+    return make_payload(
+        stats=stats,
+        samples_s=[median_s] * 3,
+        env={"calibration_s": calibration_s},
+        **overrides,
+    )
+
+
+def statuses(findings, kind=None):
+    return [f.status for f in findings if kind is None or f.kind == kind]
+
+
+def test_equal_results_pass():
+    findings = compare_results({"unit_test": result(0.010)}, {"unit_test": result(0.010)})
+    assert statuses(findings, "runtime") == ["pass"]
+    assert not has_failures(findings)
+
+
+def test_ratio_between_warn_and_fail_warns():
+    findings = compare_results({"unit_test": result(0.010)}, {"unit_test": result(0.020)})
+    # 2.0x is past warn_ratio (1.75) but inside fail_ratio (3.5).
+    assert statuses(findings, "runtime") == ["warn"]
+    assert not has_failures(findings)
+
+
+def test_ratio_past_fail_threshold_fails():
+    findings = compare_results({"unit_test": result(0.010)}, {"unit_test": result(0.040)})
+    assert statuses(findings, "runtime") == ["fail"]
+    assert has_failures(findings)
+
+
+def test_calibration_normalises_machine_speed():
+    # Candidate is 2x slower in absolute time, but its machine's
+    # calibration kernel is also 2x slower: normalised ratio is 1.0.
+    baseline = result(0.010, calibration_s=0.02)
+    candidate = result(0.020, calibration_s=0.04)
+    findings = compare_results({"unit_test": baseline}, {"unit_test": candidate})
+    assert statuses(findings, "runtime") == ["pass"]
+
+
+def test_missing_calibration_falls_back_to_absolute():
+    baseline = result(0.010)
+    baseline["env"] = {}
+    candidate = result(0.040, calibration_s=0.04)
+    findings = compare_results({"unit_test": baseline}, {"unit_test": candidate})
+    assert statuses(findings, "runtime") == ["fail"]
+
+
+def test_strict_metric_change_fails():
+    baseline = result(0.010)
+    candidate = result(0.010, metrics={"queries": 58.0, "total_count": 1.0})
+    findings = compare_results({"unit_test": baseline}, {"unit_test": candidate})
+    assert "fail" in statuses(findings, "metric")
+    assert has_failures(findings)
+
+
+def test_strict_metric_missing_on_one_side_fails():
+    # A vanished strict metric means the determinism gate no longer
+    # covers it; that must fail, not degrade to a warning.
+    baseline = result(0.010)
+    candidate = result(0.010, metrics={"queries": 58.0}, strict_metrics=["queries"])
+    findings = compare_results({"unit_test": baseline}, {"unit_test": candidate})
+    assert "fail" in statuses(findings, "metric")
+
+
+def test_bounded_metric_missing_fails():
+    candidate = result(0.010, metric_bounds={"speedup": [1.0, None]})
+    findings = compare_results({"unit_test": result(0.010)}, {"unit_test": candidate})
+    assert "fail" in statuses(findings, "bounds")
+
+
+def test_metric_bounds_enforced():
+    candidate = result(
+        0.010,
+        metrics={"queries": 58.0, "total_count": 32349.0, "speedup": 0.5},
+        metric_bounds={"speedup": [0.75, None]},
+    )
+    findings = compare_results({"unit_test": result(0.010)}, {"unit_test": candidate})
+    assert "fail" in statuses(findings, "bounds")
+
+
+def test_coverage_drift_warns_but_does_not_fail():
+    findings = compare_results(
+        {"only_baseline": result(0.010)}, {"only_candidate": result(0.010)}
+    )
+    assert statuses(findings, "coverage") == ["warn", "warn"]
+    assert not has_failures(findings)
+
+
+def test_scale_mismatch_skips_runtime_comparison():
+    findings = compare_results(
+        {"unit_test": result(0.010, scale="paper")},
+        {"unit_test": result(0.100, scale="smoke")},
+    )
+    assert statuses(findings, "runtime") == []
+    assert statuses(findings, "coverage") == ["warn"]
+
+
+def test_render_findings_summarises_counts():
+    findings = compare_results({"unit_test": result(0.010)}, {"unit_test": result(0.020)})
+    text = render_findings(findings)
+    assert "[WARN]" in text
+    assert text.splitlines()[-1].startswith("compare:")

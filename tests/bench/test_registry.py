@@ -1,0 +1,85 @@
+"""Registry contents and scenario invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchError,
+    Prepared,
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    register,
+    run_scenario,
+)
+from repro.bench.scenarios import BLOCK_KINDS, EXPERIMENT_IDS
+
+
+def test_every_experiment_is_registered():
+    names = {scenario.name for scenario in all_scenarios()}
+    assert set(EXPERIMENT_IDS) <= names
+
+
+def test_serving_matrix_covers_every_path_and_kind():
+    names = {scenario.name for scenario in all_scenarios()}
+    for prefix in ("engine_select", "engine_batch", "api_single", "api_batch"):
+        for kind in BLOCK_KINDS:
+            assert f"{prefix}_{kind}" in names
+    assert "engine_batch_parity" in names
+
+
+def test_groups_cover_raw_engine_and_serving():
+    groups = {scenario.group for scenario in all_scenarios()}
+    assert groups == {"experiment", "engine", "serving"}
+
+
+def test_at_least_eight_scenarios_beyond_experiments():
+    serving = [s for s in all_scenarios() if s.group in ("engine", "serving")]
+    assert len(serving) >= 8
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(BenchError):
+        get_scenario("no_such_scenario")
+
+
+def test_duplicate_registration_raises():
+    scenario = get_scenario("engine_select_plain")
+    with pytest.raises(BenchError):
+        register(scenario)
+    # ... unless explicitly replacing (used by downstream extensions).
+    assert register(scenario, replace=True) is scenario
+
+
+def test_scenario_threshold_invariants():
+    for scenario in all_scenarios():
+        assert 0 < scenario.warn_ratio <= scenario.fail_ratio
+
+
+def test_declared_but_unemitted_metric_raises():
+    # Silently dropping a declared strict/bounded metric would disable
+    # the compare gate; the runner refuses to produce such a result.
+    silent = Scenario(
+        name="drops_its_metric",
+        group="engine",
+        description="synthetic",
+        build=lambda scale: Prepared(lambda: None, lambda last: {"metrics": {}}),
+        strict_metrics=("gone",),
+    )
+    with pytest.raises(BenchError, match="gone"):
+        run_scenario(silent, scale="smoke")
+
+
+def test_bad_scenario_definitions_rejected():
+    with pytest.raises(BenchError):
+        Scenario(name="x", group="bogus", description="", build=lambda scale: None)
+    with pytest.raises(BenchError):
+        Scenario(
+            name="x",
+            group="engine",
+            description="",
+            build=lambda scale: None,
+            warn_ratio=3.0,
+            fail_ratio=2.0,
+        )

@@ -1,0 +1,103 @@
+"""Schema round-trip and validation of the BENCH_*.json result format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BenchError,
+    load_result,
+    load_results,
+    result_filename,
+    validate_result,
+    write_result,
+)
+
+
+def make_payload(**overrides) -> dict:
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": "unit_test",
+        "group": "engine",
+        "description": "synthetic payload",
+        "scale": "smoke",
+        "seed": 7,
+        "repeats": 3,
+        "warmup": 1,
+        "samples_s": [0.011, 0.010, 0.012],
+        "stats": {
+            "median_s": 0.011,
+            "iqr_s": 0.001,
+            "min_s": 0.010,
+            "max_s": 0.012,
+            "mean_s": 0.011,
+        },
+        "thresholds": {"warn_ratio": 1.75, "fail_ratio": 3.5},
+        "metrics": {"queries": 58.0, "total_count": 32349.0},
+        "strict_metrics": ["queries", "total_count"],
+        "metric_bounds": {},
+        "env": {"calibration_s": 0.02},
+        "created": "2026-07-30T00:00:00+00:00",
+    }
+    payload.update(overrides)
+    return payload
+
+
+def test_valid_payload_passes():
+    validate_result(make_payload())
+
+
+def test_write_load_roundtrip(tmp_path):
+    payload = make_payload()
+    path = write_result(payload, tmp_path)
+    assert path.name == result_filename("unit_test") == "BENCH_unit_test.json"
+    assert load_result(path) == payload
+    # The file is plain, stable JSON (sorted keys, trailing newline).
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == payload
+
+
+def test_load_results_from_directory_and_files(tmp_path):
+    write_result(make_payload(scenario="one"), tmp_path)
+    write_result(make_payload(scenario="two"), tmp_path)
+    by_name = load_results([tmp_path])
+    assert sorted(by_name) == ["one", "two"]
+    single = load_results([tmp_path / "BENCH_one.json"])
+    assert list(single) == ["one"]
+    with pytest.raises(BenchError):
+        load_results([tmp_path / "does_not_exist.json"])
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"schema_version": 99},
+        {"scenario": ""},
+        {"group": "nope"},
+        {"repeats": 0},
+        {"samples_s": [0.01]},  # length must equal repeats
+        {"samples_s": [0.01, -1.0, 0.01]},
+        {"stats": {"median_s": 0.01}},  # missing summary keys
+        {"thresholds": {"warn_ratio": 2.0, "fail_ratio": 1.0}},  # warn > fail
+        {"metrics": {"queries": "58"}},  # non-numeric metric
+        {"strict_metrics": ["missing_metric"]},
+        {"artifacts": []},  # must be a dict when present
+    ],
+)
+def test_invalid_payloads_raise(overrides):
+    with pytest.raises(BenchError):
+        validate_result(make_payload(**overrides))
+
+
+def test_load_rejects_malformed_json(tmp_path):
+    path = tmp_path / "BENCH_broken.json"
+    path.write_text("{not json")
+    with pytest.raises(BenchError):
+        load_result(path)
+    path.write_text("[1, 2, 3]\n")
+    with pytest.raises(BenchError):
+        load_result(path)

@@ -1,0 +1,74 @@
+"""Smoke runs of registered scenarios: one per block kind, schema-valid
+results, and determinism of the strict metrics under the pinned seed.
+
+These execute real (tiny) workloads, so they carry the ``bench``
+marker; ``-m "not bench"`` deselects them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import get_scale, run_scenario, validate_result, write_result
+from repro.bench.cli import main
+from repro.bench.scenarios import clear_context_cache
+from repro.experiments.common import ExperimentConfig
+
+pytestmark = pytest.mark.bench
+
+#: The floor sizing (``scaled`` clamps at 1000 points) keeps these runs
+#: in the low seconds while exercising the full build+measure path.
+TINY = ExperimentConfig(nyc_points=1_000, tweets_points=1_000, osm_points=1_000)
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return get_scale("smoke").with_config(TINY)
+
+
+@pytest.mark.parametrize(
+    "scenario_name",
+    ["engine_select_plain", "engine_batch_sharded", "api_batch_adaptive"],
+)
+def test_one_scenario_per_block_kind(tiny_scale, scenario_name, tmp_path):
+    payload = run_scenario(scenario_name, scale=tiny_scale)
+    validate_result(payload)
+    assert payload["scenario"] == scenario_name
+    assert payload["metrics"]["queries"] > 0
+    assert payload["metrics"]["total_count"] >= 0
+    assert payload["env"]["calibration_s"] > 0
+    # Round-trips through the on-disk format.
+    path = write_result(payload, tmp_path)
+    assert path.exists()
+
+
+def test_strict_metrics_deterministic_under_pinned_seed(tiny_scale):
+    first = run_scenario("engine_select_plain", scale=tiny_scale)
+    clear_context_cache()  # force a fresh block build from the same seed
+    second = run_scenario("engine_select_plain", scale=tiny_scale)
+    for metric in first["strict_metrics"]:
+        assert first["metrics"][metric] == second["metrics"][metric]
+    # The float checksum is seed-deterministic too on a plain block.
+    assert first["metrics"]["value_checksum"] == pytest.approx(
+        second["metrics"]["value_checksum"], rel=0, abs=1e-6
+    )
+
+
+def test_experiment_scenario_records_tables(tiny_scale):
+    payload = run_scenario("fig11c", scale=tiny_scale)
+    validate_result(payload)
+    tables = payload["artifacts"]["tables"]
+    assert len(tables) == 1
+    assert tables[0]["rows"]
+    assert payload["metrics"]["rows"] == float(len(tables[0]["rows"]))
+
+
+def test_cli_run_writes_schema_valid_results(tmp_path, capsys, monkeypatch):
+    # The CLI always runs the registered scales; point it at the
+    # cheapest experiment scenario to keep this a smoke test.
+    monkeypatch.setenv("REPRO_SCALE", "0.01")
+    code = main(["run", "table2", "--out", str(tmp_path)])
+    assert code == 0
+    files = list(tmp_path.glob("BENCH_*.json"))
+    assert [path.name for path in files] == ["BENCH_table2.json"]
+    assert "BENCH_table2.json" in capsys.readouterr().out
