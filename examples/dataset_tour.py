@@ -105,6 +105,7 @@ def main() -> None:
     from repro.api import region_to_geojson
 
     envelope = service.run_dict({
+        "v": 2,
         "dataset": "nyc-taxi@15",
         "region": region_to_geojson(manhattan_ish),
         "aggregates": ["count", "avg:fare_amount", "avg:trip_distance"],

@@ -83,6 +83,25 @@ def main() -> None:
         "(two GeoBlocks, one sort, one batch)"
     )
 
+    # Query v2 filtered views: the serving-side spelling of the same
+    # design.  One dataset retains the base data and builds/caches the
+    # per-predicate block on first use -- the analyst's next dashboard
+    # filter is a `where` away, no manual build step.
+    from repro import Dataset
+
+    taxi = service.register("taxi", Dataset.build(base, LEVEL))
+    start = time.perf_counter()
+    cold = taxi.over(region).where(col("trip_distance") >= 4).agg("avg:fare_amount").run()
+    cold_ms = (time.perf_counter() - start) * 1e3
+    start = time.perf_counter()
+    taxi.over(region).where(col("trip_distance") >= 4).agg("avg:fare_amount").run()
+    hot_ms = (time.perf_counter() - start) * 1e3
+    print(
+        f"\nv2 'where' view: first query builds the filtered block ({cold_ms:.1f} ms), "
+        f"repeats hit the cached view ({hot_ms:.1f} ms); "
+        f"avg long-trip fare ${cold['avg(fare_amount)']:.2f}"
+    )
+
     # Granularity adaptation without re-scanning base data (Section 3.4).
     start = time.perf_counter()
     coarse = everything.coarsened(12)

@@ -65,6 +65,7 @@ def main() -> None:
     # 3b. The same query as a plain JSON dict -- the wire format an
     #     HTTP layer would pass straight through.
     envelope = service.run_dict({
+        "v": 2,
         "dataset": "taxi",
         "region": region_to_geojson(region),
         "aggregates": ["count", "avg:fare_amount"],

@@ -34,12 +34,16 @@ Quickstart (the service API)::
 
     # Or as a plain JSON dict (what an HTTP adapter would relay):
     envelope = service.run_dict({
+        "v": 2,
         "dataset": "taxi",
         "region": {"type": "Polygon", "coordinates": [
             [[-74.0, 40.7], [-73.9, 40.7], [-73.9, 40.8], [-74.0, 40.8], [-74.0, 40.7]]
         ]},
         "aggregates": ["count", "sum:fare"],
     })
+
+    # Query v2: filtered views ("where"), FeatureCollection group-by
+    # ("group_by"), and appends ("op": "append") -- see repro.api.
 
 Legacy quickstart (the direct block API, still fully supported)::
 
@@ -53,8 +57,11 @@ Legacy quickstart (the direct block API, still fully supported)::
 
 from repro.api import (
     ApiError,
+    AppendRequest,
+    AppendResponse,
     Dataset,
     GeoService,
+    GroupRow,
     QueryRequest,
     QueryResponse,
     QueryStats,
@@ -101,7 +108,7 @@ from repro.storage import (
     extract,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "EARTH",
@@ -109,6 +116,8 @@ __all__ = [
     "AdaptiveGeoBlock",
     "AggSpec",
     "ApiError",
+    "AppendRequest",
+    "AppendResponse",
     "BaseData",
     "BlockQC",
     "BoundingBox",
@@ -125,6 +134,7 @@ __all__ = [
     "GeoBlock",
     "GeoService",
     "GeometryError",
+    "GroupRow",
     "MultiPolygon",
     "PointTable",
     "Polygon",

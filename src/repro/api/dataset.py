@@ -5,10 +5,27 @@ a prefix-sharded :class:`~repro.engine.shards.ShardedGeoBlock`, or a
 query-cache accelerated
 :class:`~repro.core.adaptive.AdaptiveGeoBlock` behind one handle:
 ``build`` / ``open`` / ``save`` dispatch on the block kind, and every
-query -- single, batched, declarative dict, or fluent -- executes
-through the same engine paths the blocks expose directly, so API
-results are identical to calling ``select``/``count`` on the underlying
-block yourself.
+query -- single, batched, grouped, declarative dict, or fluent --
+executes through the same engine paths the blocks expose directly, so
+API results are identical to calling ``select``/``count`` on the
+underlying block yourself.
+
+Query v2 adds three serving surfaces on top:
+
+* **filtered views** (:meth:`Dataset.view`): the paper builds GeoBlocks
+  per filter-predicate combination (Section 3.3); a view is exactly
+  that -- a per-predicate block of the same kind/level, built from the
+  retained base data and cached under the predicate's stable render
+  string, so repeated ``where`` queries hit a ready block;
+* **multi-region group-by** (requests with ``group_by``): every feature
+  of a FeatureCollection answers in one grouped engine pass
+  (:meth:`~repro.core.geoblock.GeoBlock.run_grouped` -- shared binary
+  searches, record dedup, covering-cache reuse) plus a combined rollup;
+* **appends** (:meth:`Dataset.append`): new rows fold into the block in
+  place through :mod:`repro.core.updates` (trie refresh on adaptive,
+  dirty-shard bookkeeping on sharded), bump the dataset's
+  monotonically increasing :attr:`version` -- stamped into every
+  response -- and propagate to cached views whose predicate matches.
 
 Execution hints map onto the engine seam without touching shared
 state: ``mode`` threads through the blocks' per-call ``mode`` override
@@ -21,17 +38,36 @@ recorded), and ``count_only`` takes the Listing 2 fast path.
 from __future__ import annotations
 
 import pathlib
+import threading
+from collections import OrderedDict
 from time import perf_counter
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
-from repro.api.errors import BAD_REQUEST, UNKNOWN_COLUMN, UNKNOWN_DATASET, ApiError
-from repro.api.request import QueryRequest, QueryResponse, QueryStats, as_request
+import numpy as np
+
+from repro.api.errors import (
+    BAD_REQUEST,
+    UNKNOWN_COLUMN,
+    UNKNOWN_DATASET,
+    UNSUPPORTED_OP,
+    ApiError,
+)
+from repro.api.request import (
+    AppendResponse,
+    GroupRow,
+    QueryRequest,
+    QueryResponse,
+    QueryStats,
+    as_request,
+    parse_where,
+)
 from repro.core.adaptive import AdaptiveGeoBlock
 from repro.core.geoblock import GeoBlock
 from repro.core.policy import CachePolicy
 from repro.errors import QueryError
 from repro.storage.etl import BaseData
 from repro.storage.expr import ALWAYS_TRUE, Predicate
+from repro.storage.table import PointTable
 from repro.workloads.workload import Query
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -44,11 +80,23 @@ KINDS = ("geoblock", "sharded", "adaptive")
 #: A dataset handle: any of the three block kinds.
 Handle = GeoBlock | AdaptiveGeoBlock
 
+#: Most-recently-used filtered views kept per dataset.  Each view is a
+#: full per-predicate block, so the cache is bounded the way the
+#: planner's covering LRU is; beyond this, least-recently-used views
+#: are dropped and rebuild on demand.
+MAX_VIEWS = 16
+
 
 class Dataset:
     """A named, queryable block of one of the three kinds."""
 
-    def __init__(self, handle: Handle, name: str | None = None) -> None:
+    def __init__(
+        self,
+        handle: Handle,
+        name: str | None = None,
+        base: BaseData | None = None,
+        parent: "Dataset | None" = None,
+    ) -> None:
         if not isinstance(handle, (GeoBlock, AdaptiveGeoBlock)):
             raise ApiError(
                 BAD_REQUEST,
@@ -56,6 +104,26 @@ class Dataset:
             )
         self._handle = handle
         self.name = name
+        self._base = base
+        self._parent = parent
+        self._views: OrderedDict[str, Dataset] = OrderedDict()
+        # Serialises view-cache mutation: 'where' reads mutate the LRU
+        # (move_to_end / insert / evict), which must stay safe under a
+        # threaded serving adapter.  Appends are NOT covered -- the
+        # write path mutates aggregate arrays in place and follows the
+        # paper's single-writer, no-concurrent-reader contract.
+        self._views_lock = threading.Lock()
+        #: The view's filter relative to the root dataset (None on the
+        #: root itself); cache keys derive from it so every route to
+        #: the same logical filter shares one view.
+        self._relative: Predicate | None = None
+        self._version = 1 if parent is None else parent.version
+        # Rows folded in since construction: the retained base data does
+        # not contain them, so views built later replay the matching
+        # ones to stay consistent with the parent block.  Grows with
+        # write volume (a WAL-like retention, rows only -- not blocks);
+        # rebuilding the base folds it away.
+        self._appended: list[Mapping] = []
 
     # -- construction / persistence --------------------------------------
 
@@ -71,7 +139,11 @@ class Dataset:
         policy: CachePolicy | None = None,
         shard_level: int | None = None,
     ) -> "Dataset":
-        """Build a dataset of ``kind`` from extracted base data."""
+        """Build a dataset of ``kind`` from extracted base data.
+
+        The base data is retained on the dataset: filtered views
+        (:meth:`view`) rebuild per-predicate blocks from it on demand.
+        """
         if kind == "geoblock":
             handle: Handle = GeoBlock.build(base, level, predicate)
         elif kind == "sharded":
@@ -82,7 +154,7 @@ class Dataset:
             handle = AdaptiveGeoBlock(GeoBlock.build(base, level, predicate), policy)
         else:
             raise ApiError(BAD_REQUEST, f"unknown dataset kind {kind!r}; use one of {KINDS}")
-        return cls(handle, name=name)
+        return cls(handle, name=name, base=base)
 
     @classmethod
     def open(cls, path: str | pathlib.Path, name: str | None = None) -> "Dataset":
@@ -127,11 +199,29 @@ class Dataset:
     def columns(self) -> tuple[str, ...]:
         return tuple(self.block.aggregates.schema.names)
 
+    @property
+    def version(self) -> int:
+        """Monotonically increasing data version (appends bump it);
+        stamped into every response so readers can detect staleness."""
+        return self._version
+
+    @property
+    def base(self) -> BaseData | None:
+        """The retained base data (None when opened from disk)."""
+        return self._base
+
+    @property
+    def is_view(self) -> bool:
+        """Whether this dataset is a filtered view of another."""
+        return self._parent is not None
+
     def describe(self) -> dict:
         """JSON-compatible summary (what a service catalog endpoint
         would return per dataset)."""
         block = self.block
-        return {
+        with self._views_lock:
+            views = sorted(self._views)
+        summary = {
             "name": self.name,
             "kind": self.kind,
             "level": block.level,
@@ -139,7 +229,213 @@ class Dataset:
             "tuples": int(block.header.total_count),
             "columns": list(self.columns),
             "memory_bytes": self._handle.memory_bytes(),
+            "version": self._version,
+            "views": views,
         }
+        if self.is_view:
+            summary["filter"] = self.block.predicate.key
+        return summary
+
+    # -- filtered views ----------------------------------------------------
+
+    def view(self, where) -> "Dataset":  # noqa: ANN001 - Predicate or wire dict
+        """The per-predicate filtered view of this dataset.
+
+        ``where`` is a :class:`~repro.storage.expr.Predicate` or its
+        wire dict.  The first call for a predicate builds a block of the
+        same kind and level over the retained base data (the paper's
+        GeoBlock-per-filter design) and caches it under the predicate's
+        stable render string; later calls return the ready view.
+        Views of views compose conjunctively through the parent.
+        """
+        relative = parse_where(where)
+        if self._parent is not None:
+            # Delegate to the root so all views share one cache; only
+            # the filter *relative to the root* composes, so a nested
+            # view and the equivalent direct view share one cache key
+            # (the root's own build predicate must not compose twice).
+            assert self._relative is not None
+            return self._parent.view(self._relative & relative)
+        key = relative.key
+        with self._views_lock:
+            cached = self._views.get(key)
+            if cached is not None:
+                self._views.move_to_end(key)
+                return cached
+        predicate = relative
+        if not isinstance(self.block.predicate, type(ALWAYS_TRUE)):
+            # A dataset built with its own filter composes it in: the
+            # view must answer a *subset* of this dataset, never rows
+            # its own predicate excludes.
+            predicate = self.block.predicate & relative
+        if self._base is None:
+            raise ApiError(
+                UNSUPPORTED_OP,
+                f"dataset {self.name!r} was opened without base data; filtered "
+                "views rebuild per-predicate blocks from the base table -- "
+                "use Dataset.build(...) (or re-extract) to enable 'where'",
+            )
+        unknown = sorted(
+            column for column in relative.columns() if column not in self.columns
+        )
+        if unknown:
+            raise ApiError(
+                UNKNOWN_COLUMN,
+                f"filter references unknown column(s) {unknown}; "
+                f"dataset columns are {list(self.columns)}",
+                details={"unknown": unknown},
+            )
+        if isinstance(self._handle, AdaptiveGeoBlock):
+            handle: Handle = AdaptiveGeoBlock(
+                GeoBlock.build(self._base, self.level, predicate),
+                self._handle.policy,
+            )
+        elif self._handle.kind == "sharded":
+            from repro.engine.shards import ShardedGeoBlock
+
+            handle = ShardedGeoBlock.build(
+                self._base,
+                self.level,
+                predicate,
+                shard_level=self._handle.shard_level,
+            )
+        else:
+            handle = GeoBlock.build(self._base, self.level, predicate)
+        view = Dataset(handle, name=self.name, base=self._base, parent=self)
+        view._relative = relative
+        if self._appended:
+            # The base predates earlier appends; replay the qualifying
+            # rows so the new view agrees with the parent block.
+            from repro.core.updates import append_rows
+
+            matching = self._matching_rows(predicate, self._appended)
+            if matching:
+                append_rows(handle, matching)
+        with self._views_lock:
+            racing = self._views.get(key)
+            if racing is not None:
+                # Another thread built the same view first; keep one.
+                self._views.move_to_end(key)
+                return racing
+            self._views[key] = view
+            # Bounded like the planner's covering LRU: a wire client
+            # cycling through distinct predicates must not accumulate
+            # one full block per predicate string forever.  An evicted
+            # view rebuilds on demand (base + appended-row replay);
+            # handles callers still hold stay queryable but stop
+            # tracking parent appends -- their stale version is exactly
+            # what response stamping exposes.
+            while len(self._views) > MAX_VIEWS:
+                self._views.popitem(last=False)
+        return view
+
+    def where(self, predicate) -> "Dataset":  # noqa: ANN001 - Predicate or wire dict
+        """Fluent alias of :meth:`view`:
+        ``ds.where(col("fare") > 20).over(region).run()``."""
+        return self.view(predicate)
+
+    # -- the write path ----------------------------------------------------
+
+    def append(self, rows: Sequence[Mapping]) -> AppendResponse:
+        """Fold new rows into the block in place (Section 5's update
+        sketch via :mod:`repro.core.updates`) and bump :attr:`version`.
+
+        Each row is ``{"x": ..., "y": ..., <column>: ...}`` with every
+        schema column present.  On adaptive handles cached trie
+        ancestors refresh; on sharded handles the touched shards turn
+        dirty.  Cached filtered views receive the rows matching their
+        predicate, and every view's version advances in lockstep with
+        the parent, so responses from any view reflect the append.
+        """
+        if self._parent is not None:
+            raise ApiError(
+                UNSUPPORTED_OP,
+                "cannot append to a filtered view; append to dataset "
+                f"{self._parent.name!r} and matching rows propagate to its views",
+            )
+        if self.kind not in KINDS:  # pragma: no cover - future block kinds
+            raise ApiError(
+                UNSUPPORTED_OP,
+                f"block kind {self.kind!r} does not support in-place updates",
+            )
+        from repro.core.updates import append_rows
+
+        rows = list(rows)
+        if not rows:
+            raise ApiError(BAD_REQUEST, "append needs at least one row")
+        # At most one columnar table over the batch: the dataset's own
+        # filter and every view's predicate evaluate as masks on it
+        # (per-view rebuilds would make the write path O(views x rows));
+        # with no filter and no views it is never built at all.
+        table: PointTable | None = None
+
+        def qualifying(predicate: Predicate) -> list[Mapping]:
+            nonlocal table
+            if isinstance(predicate, type(ALWAYS_TRUE)):
+                return rows
+            if table is None:
+                table = self._rows_table(rows)
+            return [row for row, keep in zip(rows, predicate.mask(table)) if keep]
+
+        # A dataset built with its own filter keeps only qualifying
+        # rows, exactly like a rebuild would.
+        applied = qualifying(self.block.predicate)
+        try:
+            appended, in_place = (
+                append_rows(self._handle, applied) if applied else (0, 0)
+            )
+        except QueryError as error:
+            raise ApiError(BAD_REQUEST, str(error)) from error
+        self._version += 1
+        if self._base is not None:
+            # Snapshots, not references: a caller mutating its row
+            # dicts after the append must not corrupt later view
+            # replays.  Without base data no view can ever be built,
+            # so there is nothing to retain the rows for.
+            self._appended.extend(dict(row) for row in applied)
+        with self._views_lock:
+            views = list(self._views.values())
+        for view in views:
+            matching = qualifying(view.block.predicate)
+            if matching:
+                try:
+                    append_rows(view._handle, matching)
+                except QueryError as error:  # pragma: no cover - parent validated
+                    raise ApiError(BAD_REQUEST, str(error)) from error
+            view._version = self._version
+        return AppendResponse(
+            appended=appended,
+            in_place=in_place,
+            version=self._version,
+            dataset=self.name,
+        )
+
+    def _rows_table(self, rows: list[Mapping]) -> PointTable:
+        """The batch as a columnar table (the form every predicate mask
+        -- the build pipeline's included -- evaluates against)."""
+        schema = self.block.aggregates.schema
+        try:
+            return PointTable(
+                schema,
+                np.asarray([float(row["x"]) for row in rows]),
+                np.asarray([float(row["y"]) for row in rows]),
+                {
+                    name: np.asarray([float(row[name]) for row in rows])
+                    for name in schema.names
+                },
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ApiError(
+                BAD_REQUEST,
+                f"append rows must carry numeric 'x', 'y', and {list(schema.names)}: "
+                f"{error}",
+            ) from error
+
+    def _matching_rows(self, predicate: Predicate, rows: list[Mapping]) -> list[Mapping]:
+        """Rows qualifying under ``predicate`` (evaluated batched, the
+        same mask the build pipeline applies)."""
+        mask = predicate.mask(self._rows_table(rows))
+        return [row for row, keep in zip(rows, mask) if keep]
 
     # -- querying ----------------------------------------------------------
 
@@ -148,6 +444,13 @@ class Dataset:
         from repro.api.fluent import QueryBuilder
 
         return QueryBuilder(self, region)
+
+    def group_by(self, features) -> "QueryBuilder":  # noqa: ANN001 - features payload
+        """Start a fluent grouped query over a FeatureCollection (or
+        named-region list): ``ds.group_by(fc).agg("sum:fare").run()``."""
+        from repro.api.fluent import QueryBuilder
+
+        return QueryBuilder(self, None, features=features)
 
     def _execution_handle(self, request: QueryRequest) -> Handle:
         """The block a request executes against (``cache: false``
@@ -173,11 +476,27 @@ class Dataset:
 
     def query(self, request) -> QueryResponse:  # noqa: ANN001 - request-shaped
         """Answer one request; identical to the equivalent direct
-        ``select``/``count`` call on the wrapped block."""
+        ``select``/``count`` call on the wrapped block.
+
+        Requests with ``where`` route through the per-predicate view,
+        grouped requests through the engine's grouped batch; both stamp
+        the answering dataset's :attr:`version`.
+        """
         request = as_request(request)
         self._validate(request)
+        if request.where is not None:
+            view = self.view(request.where)
+            return view._execute(request)
+        return self._execute(request)
+
+    def _execute(self, request: QueryRequest) -> QueryResponse:
+        """Carry out a validated request against this dataset's block
+        (``where`` already resolved to a view by :meth:`query`)."""
+        if request.grouped:
+            return self._execute_grouped(request)
         handle = self._execution_handle(request)
         start = perf_counter()
+        covering_cached = 0
         if request.count_only:
             # Plan once; executor.count is exactly what block.count runs.
             block = self.block
@@ -185,17 +504,75 @@ class Dataset:
             count = block.executor.count(plan)
             result_values: dict[str, float] = {}
             probed, hits = plan.num_cells, 0
+            covering_cached = int(plan.from_cache)
         else:
             result = handle.select(request.target, list(request.aggregates), mode=request.mode)
             count = result.count
             result_values = result.values
             probed, hits = result.cells_probed, result.cache_hits
+            covering_cached = int(result.covering_cached)
         latency_ms = (perf_counter() - start) * 1e3
         return QueryResponse(
             values=result_values,
             count=count,
-            stats=QueryStats(cells_probed=probed, cache_hits=hits, latency_ms=latency_ms),
+            stats=QueryStats(
+                cells_probed=probed,
+                cache_hits=hits,
+                latency_ms=latency_ms,
+                covering_cached=covering_cached,
+            ),
             dataset=self.name,
+            version=self._version,
+        )
+
+    def _execute_grouped(self, request: QueryRequest) -> QueryResponse:
+        """Answer every feature in one grouped engine pass plus the
+        combined rollup (bit-identical per feature to answering each
+        region alone -- shared binary searches and record dedup are
+        value-preserving by construction)."""
+        features = request.feature_targets
+        names = [name for name, _ in features]
+        targets = [target for _, target in features]
+        start = perf_counter()
+        if request.count_only:
+            block = self.block
+            plans = [block.plan(target) for target in targets]
+            counts = [block.executor.count(plan) for plan in plans]
+            groups = tuple(
+                GroupRow(name, {}, count) for name, count in zip(names, counts)
+            )
+            values: dict[str, float] = {}
+            total = sum(counts)
+            probed = sum(plan.num_cells for plan in plans)
+            hits = 0
+            covering_cached = sum(int(plan.from_cache) for plan in plans)
+        else:
+            handle = self._execution_handle(request)
+            results, rollup = handle.run_grouped(
+                targets, list(request.aggregates), mode=request.mode
+            )
+            groups = tuple(
+                GroupRow(name, result.values, result.count)
+                for name, result in zip(names, results)
+            )
+            values = rollup.values
+            total = rollup.count
+            probed = rollup.cells_probed
+            hits = rollup.cache_hits
+            covering_cached = sum(int(result.covering_cached) for result in results)
+        latency_ms = (perf_counter() - start) * 1e3
+        return QueryResponse(
+            values=values,
+            count=total,
+            stats=QueryStats(
+                cells_probed=probed,
+                cache_hits=hits,
+                latency_ms=latency_ms,
+                covering_cached=covering_cached,
+            ),
+            dataset=self.name,
+            groups=groups,
+            version=self._version,
         )
 
     def query_dict(self, payload: dict) -> dict:
@@ -204,7 +581,14 @@ class Dataset:
         Errors propagate as :class:`ApiError`; use
         :meth:`GeoService.run_dict` for the never-raises envelope.
         """
-        return self.query(QueryRequest.from_dict(payload)).to_dict()
+        from repro.api.request import warn_v1_payload
+
+        request = QueryRequest.from_dict(payload)
+        if "v" not in payload:
+            # After parsing: malformed dicts must not consume the
+            # once-per-process warning (see GeoService.run_dict).
+            warn_v1_payload()
+        return self.query(request).to_dict()
 
     def run_batch(self, requests: Sequence) -> list[QueryResponse]:
         """Answer many requests in one engine pass.
@@ -223,11 +607,14 @@ class Dataset:
         # Group indices by execution hints; order within a group is
         # input order.  The cache hint only changes execution on
         # adaptive handles -- folding it into the key elsewhere would
-        # needlessly split one engine pass into several.
+        # needlessly split one engine pass into several.  Members that
+        # are themselves multi-part (grouped requests, filtered views,
+        # count_only) run through ``query`` -- each is already its own
+        # engine pass.
         cache_matters = isinstance(self._handle, AdaptiveGeoBlock)
         groups: dict[tuple[str | None, bool], list[int]] = {}
         for index, request in enumerate(parsed):
-            if request.count_only:
+            if request.count_only or request.grouped or request.where is not None:
                 responses[index] = self.query(request)
                 continue
             cache_key = request.cache if cache_matters else True
@@ -249,8 +636,10 @@ class Dataset:
                         cells_probed=result.cells_probed,
                         cache_hits=result.cache_hits,
                         latency_ms=latency_ms,
+                        covering_cached=int(result.covering_cached),
                     ),
                     dataset=self.name,
+                    version=self._version,
                 )
         return [response for response in responses if response is not None]
 

@@ -25,8 +25,10 @@ BAD_REQUEST = "bad_request"  #: malformed request dict / unknown keys
 BAD_REGION = "bad_region"  #: unparsable or unsupported region payload
 BAD_AGGREGATE = "bad_aggregate"  #: unparsable aggregate spec string
 BAD_HINT = "bad_hint"  #: unknown hint name or invalid hint value
+BAD_PREDICATE = "bad_predicate"  #: unparsable 'where' filter expression
 UNKNOWN_DATASET = "unknown_dataset"  #: dataset name not in the registry
 UNKNOWN_COLUMN = "unknown_column"  #: aggregate references a missing column
+UNSUPPORTED_OP = "unsupported_op"  #: operation the target cannot perform
 INTERNAL = "internal"  #: wrapped non-API library error
 
 ERROR_CODES = (
@@ -34,8 +36,10 @@ ERROR_CODES = (
     BAD_REGION,
     BAD_AGGREGATE,
     BAD_HINT,
+    BAD_PREDICATE,
     UNKNOWN_DATASET,
     UNKNOWN_COLUMN,
+    UNSUPPORTED_OP,
     INTERNAL,
 )
 

@@ -6,18 +6,29 @@ request (:meth:`QueryBuilder.request`), so fluent and wire-format
 queries go down exactly the same execution path.  Builders are
 immutable: each step returns a new builder, so partial queries can be
 shared and branched safely.
+
+Query v2 steps: ``.where(...)`` filters through a per-predicate view,
+``.group_by(features)`` answers a FeatureCollection per feature plus a
+rollup (started via ``ds.group_by(...)`` or chained onto a filter), and
+``.append(rows)`` is the write terminal::
+
+    ds.where(col("distance") >= 4).group_by(fc).agg("sum:fare").run()
+    ds.append([{"x": -73.98, "y": 40.75, "fare": 12.5, ...}])
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.api.aggregates import parse_aggs
 from repro.api.request import (
     DEFAULT_AGGREGATES,
+    AppendResponse,
     QueryRequest,
     QueryResponse,
+    parse_features,
     parse_region,
+    parse_where,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -28,30 +39,36 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class QueryBuilder:
     """An immutable, chainable query under construction."""
 
-    __slots__ = ("_dataset", "_region", "_aggregates", "_mode", "_cache")
+    __slots__ = ("_dataset", "_region", "_features", "_aggregates", "_mode", "_cache", "_where")
 
     def __init__(
         self,
         dataset: "Dataset",
-        region,  # noqa: ANN001 - region payload (object, GeoJSON dict, bbox)
+        region,  # noqa: ANN001 - region payload (object, GeoJSON dict, bbox) or None
+        features=None,  # noqa: ANN001 - FeatureCollection / named regions or None
         aggregates: tuple["AggSpec", ...] = (),
         mode: str | None = None,
         cache: bool = True,
+        where=None,  # noqa: ANN001 - Predicate or wire dict or None
     ) -> None:
         self._dataset = dataset
-        self._region = parse_region(region)
+        self._region = parse_region(region) if region is not None else None
+        self._features = parse_features(features) if features is not None else None
         self._aggregates = aggregates
         self._mode = mode
         self._cache = cache
+        self._where = parse_where(where) if where is not None else None
 
     def _derive(self, **overrides) -> "QueryBuilder":  # noqa: ANN003
         state = {
+            "features": self._features,
             "aggregates": self._aggregates,
             "mode": self._mode,
             "cache": self._cache,
+            "where": self._where,
         }
         state.update(overrides)
-        return QueryBuilder(self._dataset, self._region, **state)
+        return QueryBuilder(self._dataset, state.pop("region", self._region), **state)
 
     # -- chainable steps ---------------------------------------------------
 
@@ -67,6 +84,19 @@ class QueryBuilder:
         """Allow (default) or forbid answering from the query cache."""
         return self._derive(cache=enabled)
 
+    def where(self, predicate) -> "QueryBuilder":  # noqa: ANN001 - Predicate or wire dict
+        """Filter through the dataset's per-predicate view; repeated
+        calls compose conjunctively."""
+        parsed = parse_where(predicate)
+        if self._where is not None:
+            parsed = self._where & parsed
+        return self._derive(where=parsed)
+
+    def group_by(self, features) -> "QueryBuilder":  # noqa: ANN001 - features payload
+        """Answer per feature of a FeatureCollection (or named-region
+        list) plus a combined rollup, replacing any single region."""
+        return self._derive(region=None, features=parse_features(features))
+
     # -- terminals ---------------------------------------------------------
 
     def request(self) -> QueryRequest:
@@ -77,6 +107,8 @@ class QueryBuilder:
             dataset=self._dataset.name,
             mode=self._mode,
             cache=self._cache,
+            where=self._where,
+            group_by=self._features,
         )
 
     def run(self) -> QueryResponse:
@@ -91,11 +123,38 @@ class QueryBuilder:
             mode=self._mode,
             cache=self._cache,
             count_only=True,
+            where=self._where,
+            group_by=self._features,
         )
         return self._dataset.query(request).count
 
+    def append(self, rows: Sequence[Mapping]) -> AppendResponse:
+        """The write terminal: fold ``rows`` into the dataset's block.
+
+        Rejected with ``unsupported_op`` on a filtered or grouped
+        builder (without building the view a read would): an append is
+        never scoped by query state -- silently writing the whole
+        dataset would be worse than refusing -- so it goes through the
+        dataset itself (``Dataset.append``), and matching rows
+        propagate to views.
+        """
+        if self._where is not None or self._features is not None:
+            from repro.api.errors import UNSUPPORTED_OP, ApiError
+
+            scope = "filtered" if self._where is not None else "grouped"
+            raise ApiError(
+                UNSUPPORTED_OP,
+                f"cannot append through a {scope} query; append to dataset "
+                f"{self._dataset.name!r} itself (matching rows propagate to its views)",
+            )
+        return self._dataset.append(rows)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        shape = (
+            f"features={len(self._features)}" if self._features is not None else "region"
+        )
         return (
-            f"QueryBuilder(dataset={self._dataset.name!r}, "
-            f"aggs={[spec.key for spec in self._aggregates]}, mode={self._mode!r})"
+            f"QueryBuilder(dataset={self._dataset.name!r}, {shape}, "
+            f"aggs={[spec.key for spec in self._aggregates]}, mode={self._mode!r}, "
+            f"where={self._where!r})"
         )

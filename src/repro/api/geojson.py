@@ -108,6 +108,57 @@ def region_from_geojson(obj: object) -> Polygon | MultiPolygon:
         raise _bad(f"MultiPolygon: {error}") from error
 
 
+def feature_name(feature: object, index: int) -> str:
+    """Display name of one FeatureCollection member.
+
+    Precedence: ``properties.name``, then the RFC's optional ``id``,
+    then a positional ``feature_<index>`` fallback -- always a string,
+    so group-by rows are addressable even for anonymous features.
+    """
+    if isinstance(feature, dict):
+        properties = feature.get("properties")
+        if isinstance(properties, dict):
+            name = properties.get("name")
+            if isinstance(name, str) and name:
+                return name
+        identifier = feature.get("id")
+        if isinstance(identifier, (str, int)) and not isinstance(identifier, bool):
+            return str(identifier)
+    return f"feature_{index}"
+
+
+def features_from_geojson(obj: object) -> list[tuple[str, Polygon | MultiPolygon]]:
+    """Parse a GeoJSON ``FeatureCollection`` into named query regions.
+
+    Each member may be a ``Feature`` (name resolved by
+    :func:`feature_name`) or a bare geometry; geometry types may mix
+    (``Polygon`` and ``MultiPolygon``).  An empty collection is a
+    client error -- a group-by over nothing has no meaning.
+    """
+    if not isinstance(obj, dict) or obj.get("type") != "FeatureCollection":
+        raise _bad(
+            "group-by payload must be a GeoJSON FeatureCollection "
+            "(or a list of named regions)"
+        )
+    features = obj.get("features")
+    if not isinstance(features, (list, tuple)):
+        raise _bad("FeatureCollection needs a 'features' array")
+    if not features:
+        raise _bad("FeatureCollection is empty; group-by needs at least one feature")
+    named: list[tuple[str, Polygon | MultiPolygon]] = []
+    for index, feature in enumerate(features):
+        try:
+            region = region_from_geojson(feature)
+        except ApiError as error:
+            raise ApiError(
+                BAD_REGION,
+                f"feature {index}: {error.message}",
+                details=dict(error.details, feature=index),
+            ) from error
+        named.append((feature_name(feature, index), region))
+    return named
+
+
 def _ring_coordinates(polygon: Polygon) -> list[list[float]]:
     """Closed CCW exterior ring (the Polygon class already normalises
     orientation; the closing position is re-added per the RFC)."""

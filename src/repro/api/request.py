@@ -1,17 +1,22 @@
 """Declarative queries: the request/response model of the service API.
 
 A :class:`QueryRequest` is a pure description of one spatial aggregation
-query -- region, output aggregates, execution hints, optional dataset
-name -- that round-trips to and from plain JSON dicts, so a future HTTP
-layer is a thin adapter: ``QueryRequest.from_dict(json.loads(body))``
-in, ``response.to_dict()`` out.
+query -- region (or grouped features), filter, output aggregates,
+execution hints, optional dataset name -- that round-trips to and from
+plain JSON dicts, so a future HTTP layer is a thin adapter:
+``QueryRequest.from_dict(json.loads(body))`` in, ``response.to_dict()``
+out.
 
-Wire shape::
+Query v2 wire shape::
 
     {
+      "v": 2,                                 # envelope version
       "dataset": "taxi",                      # optional (default dataset)
       "region": {"type": "Polygon", ...}      # GeoJSON geometry/Feature
                 | {"bbox": [minx, miny, maxx, maxy]},
+      "group_by": {"type": "FeatureCollection", ...}   # instead of
+                | [{"name": "soho", "region": ...}],   # "region"
+      "where": {"col": "distance", "op": ">=", "value": 4},
       "aggregates": ["count", "sum:fare"],    # compact spec strings
       "hints": {                              # optional, defaults below
         "mode": "vector" | "scalar",          # executor: execution model
@@ -20,33 +25,53 @@ Wire shape::
       }
     }
 
+``region`` and ``group_by`` are mutually exclusive: the former answers
+one region, the latter answers every feature of a FeatureCollection (or
+named-region list) in one grouped engine pass plus a combined rollup.
+``where`` routes the query through a per-predicate filtered view (the
+paper's GeoBlock-per-filter design, Section 3.3).  The write path has
+its own shape -- ``{"v": 2, "op": "append", "rows": [...]}`` -- parsed
+by :class:`AppendRequest`.
+
+v1 dicts (no ``"v"`` key, no v2-only keys) are still accepted and
+up-converted; the wire entry points of :mod:`repro.api.service` emit a
+``DeprecationWarning`` once per process for them.
+
 Hints split cleanly across the engine seam: ``cache`` is consumed by
 the *planner* (whether plans carry AggregateTrie probe decisions),
 while ``mode`` and ``count_only`` are consumed by the *executor* (which
 fold loop carries the plan out).  Every response embeds
-:class:`QueryStats` -- cells probed, cache hits, latency -- so serving
-dashboards get observability without a side channel.
+:class:`QueryStats` -- cells probed, cache hits, covering-cache reuse,
+latency -- so serving dashboards get observability without a side
+channel.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.api.aggregates import format_agg, parse_aggs
 from repro.api.errors import (
     BAD_HINT,
+    BAD_PREDICATE,
     BAD_REGION,
     BAD_REQUEST,
     ERROR_CODES,
     INTERNAL,
     ApiError,
 )
-from repro.api.geojson import region_from_geojson, region_to_geojson
+from repro.api.geojson import (
+    features_from_geojson,
+    region_from_geojson,
+    region_to_geojson,
+)
 from repro.core.aggregates import AggSpec
-from repro.errors import GeometryError
+from repro.errors import GeometryError, QueryError
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.storage.expr import Predicate, predicate_from_wire, predicate_to_wire
 
 #: Execution models a request may pin (None = the dataset's default).
 MODES = ("vector", "scalar")
@@ -55,10 +80,120 @@ MODES = ("vector", "scalar")
 #: client error -- silently ignoring typos would mask wrong results).
 HINT_KEYS = ("mode", "cache", "count_only")
 
-_REQUEST_KEYS = ("dataset", "region", "aggregates", "hints")
+#: The envelope version this module speaks (and emits).
+WIRE_VERSION = 2
+
+_REQUEST_KEYS = ("v", "op", "dataset", "region", "group_by", "where", "aggregates", "hints")
+_V2_ONLY_KEYS = ("v", "op", "group_by", "where")
 
 #: Default output aggregates when a request names none.
 DEFAULT_AGGREGATES = (AggSpec("count"),)
+
+# One DeprecationWarning per process for versionless v1 wire payloads
+# (the service entry points call warn_v1_payload; programmatic
+# construction never warns).
+_v1_warned = False
+
+
+def warn_v1_payload() -> None:
+    """Emit the once-per-process v1 wire-format deprecation warning."""
+    global _v1_warned
+    if _v1_warned:
+        return
+    _v1_warned = True
+    warnings.warn(
+        'versionless query dicts are deprecated; add \'"v": 2\' to the payload '
+        "(v1 requests are up-converted and keep answering identically)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def parse_where(payload: object) -> Predicate:
+    """Parse a request's ``where`` payload into a predicate.
+
+    Predicate objects pass through; dicts use the wire syntax of
+    :func:`repro.storage.expr.predicate_from_wire`.  Malformed payloads
+    raise :class:`ApiError` with code ``bad_predicate``.
+    """
+    if isinstance(payload, Predicate):
+        return payload
+    try:
+        return predicate_from_wire(payload)
+    except QueryError as error:
+        raise ApiError(BAD_PREDICATE, str(error)) from error
+
+
+def parse_features(payload: object) -> tuple[tuple[str, Polygon | MultiPolygon], ...]:
+    """Parse a ``group_by`` payload into named query regions.
+
+    Accepts a GeoJSON ``FeatureCollection`` or a list of
+    ``{"name": ..., "region": ...}`` objects (regions in any form
+    :func:`parse_region` takes, including bboxes); pre-compiled
+    ``(name, region)`` pairs pass through.  The compiled regions are
+    stable objects: re-running the same request replans against the
+    planner's covering cache by identity.
+    """
+    if isinstance(payload, dict):
+        features = features_from_geojson(payload)
+    elif isinstance(payload, (list, tuple)):
+        if not payload:
+            raise ApiError(BAD_REGION, "group_by list is empty; name at least one region")
+        features = []
+        for index, member in enumerate(payload):
+            if (
+                isinstance(member, (list, tuple))
+                and len(member) == 2
+                and isinstance(member[0], str)
+            ):
+                name, region_payload = member
+            elif isinstance(member, Mapping):
+                unknown = sorted(set(member) - {"name", "region"})
+                if unknown:
+                    raise ApiError(
+                        BAD_REGION,
+                        f"group_by member {index}: unknown key(s) {unknown}; "
+                        "expected 'name' and 'region'",
+                    )
+                if "region" not in member:
+                    raise ApiError(BAD_REGION, f"group_by member {index} needs a 'region'")
+                name = member.get("name")
+                if name is None:
+                    name = f"feature_{index}"
+                if not isinstance(name, str) or not name:
+                    raise ApiError(
+                        BAD_REGION, f"group_by member {index}: 'name' must be a string"
+                    )
+                region_payload = member["region"]
+            else:
+                raise ApiError(
+                    BAD_REGION,
+                    f"group_by member {index} must be a named-region object, "
+                    f"got {type(member).__name__}",
+                )
+            try:
+                features.append((name, parse_region(region_payload)))
+            except ApiError as error:
+                raise ApiError(
+                    error.code,
+                    f"group_by member {index} ({name!r}): {error.message}",
+                    details=error.details or None,
+                ) from error
+    else:
+        raise ApiError(
+            BAD_REGION,
+            "group_by must be a GeoJSON FeatureCollection or a list of named regions, "
+            f"got {type(payload).__name__}",
+        )
+    seen: set[str] = set()
+    for name, _ in features:
+        if name in seen:
+            raise ApiError(
+                BAD_REGION,
+                f"group_by names feature {name!r} twice; feature names must be unique",
+            )
+        seen.add(name)
+    return tuple(features)
 
 
 def parse_region(payload: object) -> Polygon | MultiPolygon | BoundingBox:
@@ -95,9 +230,13 @@ def serialise_region(region: Polygon | MultiPolygon | BoundingBox) -> dict:
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """One declarative spatial aggregation query."""
+    """One declarative spatial aggregation query.
 
-    region: Polygon | MultiPolygon | BoundingBox
+    Exactly one of ``region`` (single-region answer) and ``group_by``
+    (per-feature rows plus a combined rollup) must be set.
+    """
+
+    region: Polygon | MultiPolygon | BoundingBox | None = None
     aggregates: tuple[AggSpec, ...] = DEFAULT_AGGREGATES
     dataset: str | None = None
     #: Execution model override ("vector"/"scalar"); None = dataset default.
@@ -106,10 +245,25 @@ class QueryRequest:
     cache: bool = True
     #: COUNT-only fast path (Listing 2); ``aggregates`` are ignored.
     count_only: bool = False
+    #: Filter predicate: the query answers against the dataset's
+    #: per-predicate filtered view (built and cached on first use).
+    where: Predicate | None = None
+    #: Named features of a grouped request, mutually exclusive with
+    #: ``region``.
+    group_by: tuple[tuple[str, Polygon | MultiPolygon | BoundingBox], ...] | None = None
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "region", parse_region(self.region))
+        if (self.region is None) == (self.group_by is None):
+            raise ApiError(
+                BAD_REQUEST, "query needs exactly one of 'region' and 'group_by'"
+            )
+        if self.region is not None:
+            object.__setattr__(self, "region", parse_region(self.region))
+        else:
+            object.__setattr__(self, "group_by", parse_features(self.group_by))
         object.__setattr__(self, "aggregates", parse_aggs(self.aggregates))
+        if self.where is not None:
+            object.__setattr__(self, "where", parse_where(self.where))
         if self.mode is not None and self.mode not in MODES:
             raise ApiError(
                 BAD_HINT, f"unknown execution mode {self.mode!r}; use one of {MODES}"
@@ -122,6 +276,10 @@ class QueryRequest:
     # -- execution plumbing ----------------------------------------------
 
     @property
+    def grouped(self) -> bool:
+        return self.group_by is not None
+
+    @property
     def target(self) -> Polygon | MultiPolygon:
         """The region as an engine query target (bbox -> its polygon).
 
@@ -132,8 +290,31 @@ class QueryRequest:
         cached = self.__dict__.get("_target")
         if cached is None:
             region = self.region
+            if region is None:
+                raise ApiError(
+                    BAD_REQUEST, "grouped query has no single target; use feature_targets"
+                )
             cached = Polygon.from_box(region) if isinstance(region, BoundingBox) else region
             object.__setattr__(self, "_target", cached)
+        return cached
+
+    @property
+    def feature_targets(self) -> tuple[tuple[str, Polygon | MultiPolygon], ...]:
+        """Named engine targets of a grouped request (memoised, so
+        repeated execution reuses the planner's covering cache by
+        region identity -- see :attr:`target`)."""
+        cached = self.__dict__.get("_feature_targets")
+        if cached is None:
+            if self.group_by is None:
+                raise ApiError(BAD_REQUEST, "query has no 'group_by'")
+            cached = tuple(
+                (
+                    name,
+                    Polygon.from_box(region) if isinstance(region, BoundingBox) else region,
+                )
+                for name, region in self.group_by
+            )
+            object.__setattr__(self, "_feature_targets", cached)
         return cached
 
     def hints(self) -> dict:
@@ -151,11 +332,19 @@ class QueryRequest:
 
     def to_dict(self) -> dict:
         """Plain JSON-compatible dict; defaults are omitted, so the
-        canonical form is minimal and ``from_dict`` round-trips it."""
-        payload: dict = {
-            "region": serialise_region(self.region),
-            "aggregates": [format_agg(spec) for spec in self.aggregates],
-        }
+        canonical (v2) form is minimal and ``from_dict`` round-trips
+        it."""
+        payload: dict = {"v": WIRE_VERSION}
+        if self.region is not None:
+            payload["region"] = serialise_region(self.region)
+        else:
+            payload["group_by"] = [
+                {"name": name, "region": serialise_region(region)}
+                for name, region in self.group_by or ()
+            ]
+        if self.where is not None:
+            payload["where"] = predicate_to_wire(self.where)
+        payload["aggregates"] = [format_agg(spec) for spec in self.aggregates]
         if self.dataset is not None:
             payload["dataset"] = self.dataset
         hints = self.hints()
@@ -165,7 +354,13 @@ class QueryRequest:
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "QueryRequest":
-        """Parse a wire dict (strict: unknown keys are client errors)."""
+        """Parse a wire dict (strict: unknown keys are client errors).
+
+        Accepts both envelopes: v2 (``"v": 2``) and versionless v1,
+        which is up-converted -- v2-only keys on a versionless payload
+        are rejected so that a typo'd ``"v"`` can never silently change
+        query semantics.
+        """
         if not isinstance(payload, Mapping):
             raise ApiError(
                 BAD_REQUEST, f"query must be an object, got {type(payload).__name__}"
@@ -177,8 +372,38 @@ class QueryRequest:
                 f"unknown request key(s) {unknown}; expected {list(_REQUEST_KEYS)}",
                 details={"unknown": unknown},
             )
-        if "region" not in payload:
-            raise ApiError(BAD_REQUEST, "query needs a 'region'")
+        version = payload.get("v")
+        if version is None:
+            v2_keys = sorted(set(payload) & set(_V2_ONLY_KEYS))
+            if v2_keys:
+                raise ApiError(
+                    BAD_REQUEST,
+                    f"key(s) {v2_keys} need the v2 envelope; add '\"v\": 2'",
+                    details={"v2_only": v2_keys},
+                )
+        elif version not in (1, WIRE_VERSION):
+            raise ApiError(
+                BAD_REQUEST,
+                f"unsupported envelope version {version!r}; this server speaks "
+                f"v1 and v{WIRE_VERSION}",
+            )
+        elif version == 1 and (set(payload) & set(_V2_ONLY_KEYS)) - {"v"}:
+            raise ApiError(
+                BAD_REQUEST,
+                "v1 requests cannot carry v2 keys "
+                f"{sorted((set(payload) & set(_V2_ONLY_KEYS)) - {'v'})}",
+            )
+        op = payload.get("op", "query")
+        if op != "query":
+            raise ApiError(
+                BAD_REQUEST,
+                f"request op {op!r} is not a query; "
+                "append payloads are parsed by AppendRequest",
+            )
+        if "region" not in payload and "group_by" not in payload:
+            raise ApiError(BAD_REQUEST, "query needs a 'region' (or v2 'group_by')")
+        if "region" in payload and "group_by" in payload:
+            raise ApiError(BAD_REQUEST, "'region' and 'group_by' are mutually exclusive")
         dataset = payload.get("dataset")
         if dataset is not None and not isinstance(dataset, str):
             raise ApiError(BAD_REQUEST, "'dataset' must be a string name")
@@ -193,12 +418,14 @@ class QueryRequest:
                 details={"unknown": unknown_hints},
             )
         return cls(
-            region=parse_region(payload["region"]),
+            region=parse_region(payload["region"]) if "region" in payload else None,
             aggregates=parse_aggs(payload.get("aggregates", DEFAULT_AGGREGATES)),
             dataset=dataset,
             mode=hints.get("mode"),
             cache=hints.get("cache", True),
             count_only=hints.get("count_only", False),
+            where=parse_where(payload["where"]) if "where" in payload else None,
+            group_by=parse_features(payload["group_by"]) if "group_by" in payload else None,
         )
 
 
@@ -215,12 +442,17 @@ class QueryStats:
     #: answers them in one shared pass; per-member attribution would be
     #: fiction).
     latency_ms: float = 0.0
+    #: Coverings served from the planner's LRU instead of re-covering
+    #: the polygon: 0/1 for single-region queries, the number of reused
+    #: features for grouped requests.
+    covering_cached: int = 0
 
     def to_dict(self) -> dict:
         return {
             "cells_probed": self.cells_probed,
             "cache_hits": self.cache_hits,
             "latency_ms": self.latency_ms,
+            "covering_cached": self.covering_cached,
         }
 
     @classmethod
@@ -229,16 +461,44 @@ class QueryStats:
             cells_probed=int(payload.get("cells_probed", 0)),
             cache_hits=int(payload.get("cache_hits", 0)),
             latency_ms=float(payload.get("latency_ms", 0.0)),
+            covering_cached=int(payload.get("covering_cached", 0)),
         )
+
+
+@dataclass(frozen=True)
+class GroupRow:
+    """One feature's answer inside a grouped response."""
+
+    #: The feature's name (FeatureCollection ``properties.name`` / ``id``
+    #: or the positional fallback).
+    name: str
+    #: Aggregate values keyed like the engine keys them: ``"sum(fare)"``.
+    values: dict[str, float]
+    #: Number of tuples covered by this feature.
+    count: int
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "values": dict(self.values), "count": self.count}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "GroupRow":
+        if not isinstance(payload, Mapping) or "name" not in payload or "count" not in payload:
+            raise ApiError(BAD_REQUEST, "group row needs 'name' and 'count'")
+        values = {
+            str(key): float(value) for key, value in dict(payload.get("values", {})).items()
+        }
+        return cls(name=str(payload["name"]), values=values, count=int(payload["count"]))
 
 
 @dataclass(frozen=True)
 class QueryResponse:
     """Outcome of one successful query.
 
-    The wire form is the success envelope (``{"ok": true, ...}``);
-    failures never construct a response -- they travel as the error
-    envelope (:func:`repro.api.errors.error_envelope`).
+    The wire form is the success envelope (``{"ok": true, "v": 2,
+    ...}``); failures never construct a response -- they travel as the
+    error envelope (:func:`repro.api.errors.error_envelope`).  For
+    grouped requests, ``values``/``count`` hold the combined rollup and
+    ``groups`` the per-feature rows in feature order.
     """
 
     #: Aggregate values keyed like the engine keys them: ``"sum(fare)"``.
@@ -247,6 +507,12 @@ class QueryResponse:
     count: int
     stats: QueryStats = field(default_factory=QueryStats)
     dataset: str | None = None
+    #: Per-feature rows of a grouped request (None for single-region).
+    groups: tuple[GroupRow, ...] | None = None
+    #: The answering dataset's monotonically bumped version (appends
+    #: advance it), so readers can detect staleness.  None only when a
+    #: response is rebuilt from a v1 wire dict that lacks it.
+    version: int | None = None
 
     def __getitem__(self, key: str) -> float:
         return self.values[key]
@@ -255,14 +521,27 @@ class QueryResponse:
     def ok(self) -> bool:
         return True
 
+    def group(self, name: str) -> GroupRow:
+        """Look up one feature's row by name."""
+        for row in self.groups or ():
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
     def to_dict(self) -> dict:
+        data: dict = {"values": dict(self.values), "count": self.count}
+        if self.groups is not None:
+            data["groups"] = [row.to_dict() for row in self.groups]
         payload: dict = {
             "ok": True,
-            "data": {"values": dict(self.values), "count": self.count},
+            "v": WIRE_VERSION,
+            "data": data,
             "stats": self.stats.to_dict(),
         }
         if self.dataset is not None:
             payload["dataset"] = self.dataset
+        if self.version is not None:
+            payload["version"] = self.version
         return payload
 
     @classmethod
@@ -287,10 +566,131 @@ class QueryResponse:
         if not isinstance(data, Mapping) or "count" not in data:
             raise ApiError(BAD_REQUEST, "response envelope needs 'data' with a 'count'")
         values = {str(key): float(value) for key, value in dict(data.get("values", {})).items()}
+        groups = None
+        if "groups" in data:
+            groups = tuple(GroupRow.from_dict(row) for row in data["groups"])
+        version = payload.get("version")
         return cls(
             values=values,
             count=int(data["count"]),
             stats=QueryStats.from_dict(payload.get("stats", {})),
+            dataset=payload.get("dataset"),
+            groups=groups,
+            version=int(version) if version is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class AppendRequest:
+    """The write path: fold new rows into a dataset's block in place.
+
+    Wire shape (v2 only -- the write path has no v1 form)::
+
+        {"v": 2, "op": "append", "dataset": "taxi",
+         "rows": [{"x": -73.98, "y": 40.75, "fare": 12.5, ...}, ...]}
+    """
+
+    rows: tuple[Mapping, ...]
+    dataset: str | None = None
+
+    _KEYS = ("v", "op", "dataset", "rows")
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rows, (list, tuple)) or not self.rows:
+            raise ApiError(BAD_REQUEST, "'rows' must be a non-empty list of row objects")
+        for index, row in enumerate(self.rows):
+            if not isinstance(row, Mapping):
+                raise ApiError(
+                    BAD_REQUEST,
+                    f"row {index} must be an object, got {type(row).__name__}",
+                )
+        object.__setattr__(self, "rows", tuple(dict(row) for row in self.rows))
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "v": WIRE_VERSION,
+            "op": "append",
+            "rows": [dict(row) for row in self.rows],
+        }
+        if self.dataset is not None:
+            payload["dataset"] = self.dataset
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "AppendRequest":
+        if not isinstance(payload, Mapping):
+            raise ApiError(
+                BAD_REQUEST, f"append must be an object, got {type(payload).__name__}"
+            )
+        if payload.get("op") != "append":
+            raise ApiError(BAD_REQUEST, "append payload needs '\"op\": \"append\"'")
+        if payload.get("v") != WIRE_VERSION:
+            raise ApiError(
+                BAD_REQUEST,
+                f"append needs the v{WIRE_VERSION} envelope ('\"v\": {WIRE_VERSION}'); "
+                "the write path has no v1 form",
+            )
+        unknown = sorted(set(payload) - set(cls._KEYS))
+        if unknown:
+            raise ApiError(
+                BAD_REQUEST,
+                f"unknown append key(s) {unknown}; expected {list(cls._KEYS)}",
+                details={"unknown": unknown},
+            )
+        dataset = payload.get("dataset")
+        if dataset is not None and not isinstance(dataset, str):
+            raise ApiError(BAD_REQUEST, "'dataset' must be a string name")
+        if "rows" not in payload:
+            raise ApiError(BAD_REQUEST, "append needs 'rows'")
+        return cls(rows=payload["rows"], dataset=dataset)
+
+
+@dataclass(frozen=True)
+class AppendResponse:
+    """Outcome of one successful append."""
+
+    #: Rows folded into the block.
+    appended: int
+    #: How many landed in an existing cell aggregate (the cheap
+    #: in-place path; the rest spliced new cells into the arrays).
+    in_place: int
+    #: The dataset's version *after* this append.
+    version: int
+    dataset: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "ok": True,
+            "v": WIRE_VERSION,
+            "data": {"appended": self.appended, "in_place": self.in_place},
+            "version": self.version,
+        }
+        if self.dataset is not None:
+            payload["dataset"] = self.dataset
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "AppendResponse":
+        if not isinstance(payload, Mapping):
+            raise ApiError(
+                BAD_REQUEST, f"response must be an object, got {type(payload).__name__}"
+            )
+        if payload.get("ok") is False:
+            raise ApiError(
+                payload.get("error", {}).get("code", INTERNAL),
+                payload.get("error", {}).get("message", "unknown error"),
+            )
+        data = payload.get("data")
+        if not isinstance(data, Mapping) or "appended" not in data:
+            raise ApiError(BAD_REQUEST, "append envelope needs 'data' with 'appended'")
+        return cls(
+            appended=int(data["appended"]),
+            in_place=int(data.get("in_place", 0)),
+            version=int(payload.get("version", 0)),
             dataset=payload.get("dataset"),
         )
 

@@ -17,7 +17,7 @@ order.
 from __future__ import annotations
 
 import pathlib
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from repro.api.dataset import Dataset, Handle
 from repro.api.errors import (
@@ -26,7 +26,14 @@ from repro.api.errors import (
     ApiError,
     error_envelope,
 )
-from repro.api.request import QueryRequest, QueryResponse, as_request
+from repro.api.request import (
+    AppendRequest,
+    AppendResponse,
+    QueryRequest,
+    QueryResponse,
+    as_request,
+    warn_v1_payload,
+)
 
 
 class GeoService:
@@ -120,18 +127,62 @@ class GeoService:
                 responses[index] = response
         return [response for response in responses if response is not None]
 
+    # -- the write path ----------------------------------------------------
+
+    def append(self, request, rows: Sequence | None = None) -> AppendResponse:  # noqa: ANN001
+        """Route an append to its dataset.
+
+        Accepts an :class:`AppendRequest` (or its wire dict), or a
+        dataset name plus ``rows``: ``service.append("taxi", rows)``.
+
+        Concurrency contract: reads may run concurrently with each
+        other (the view cache is internally synchronised), but appends
+        mutate aggregate arrays in place and follow the paper's
+        single-writer, no-concurrent-reader model -- a threaded adapter
+        must serialise writes against reads per dataset.
+        """
+        if isinstance(request, str) or (request is None and rows is not None):
+            request = AppendRequest(rows=rows, dataset=request)
+        elif isinstance(request, Mapping):
+            request = AppendRequest.from_dict(request)
+        elif not isinstance(request, AppendRequest):
+            raise ApiError(
+                BAD_REQUEST,
+                f"cannot interpret {type(request).__name__} as an append; "
+                "pass an AppendRequest, a wire dict, or (name, rows)",
+            )
+        return self.dataset(request.dataset).append(request.rows)
+
     # -- wire-format entry points -----------------------------------------
 
     def run_dict(self, payload: dict) -> dict:
         """Transport entry point: wire dict in, envelope out, never
-        raises for request-shaped failures."""
+        raises for request-shaped failures.
+
+        Dispatches on ``"op"``: queries (the default) and appends share
+        the one entry point, so an HTTP adapter stays a single route.
+        Versionless v1 payloads are up-converted and answered
+        identically, with a ``DeprecationWarning`` once per process.
+        """
         try:
-            return self.run(QueryRequest.from_dict(payload)).to_dict()
+            if isinstance(payload, Mapping) and payload.get("op") == "append":
+                # No v1 form exists for appends: a versionless append is
+                # a plain client error, not a deprecated query -- it
+                # must not consume the once-per-process warning.
+                return self.append(AppendRequest.from_dict(payload)).to_dict()
+            request = QueryRequest.from_dict(payload)
+            if "v" not in payload:
+                # Warn only after the payload parsed as a real v1 query;
+                # malformed dicts must not consume the one-shot warning.
+                warn_v1_payload()
+            return self.run(request).to_dict()
         except Exception as error:  # noqa: BLE001 - envelope boundary
             return error_envelope(error)
 
     def run_batch_dict(self, payloads: Sequence[dict]) -> list[dict]:
-        """Batched wire entry point.
+        """Batched wire entry point (queries only; appends go through
+        :meth:`run_dict` one at a time -- batching writes with reads
+        would make the version stamped on sibling responses ambiguous).
 
         A malformed member fails the whole batch with one error envelope
         per member (the engine pass is all-or-nothing; partial execution
@@ -139,6 +190,12 @@ class GeoService:
         """
         try:
             requests = [QueryRequest.from_dict(payload) for payload in payloads]
+            # Warn only once every member parsed: a malformed batch must
+            # not consume the one-shot warning (see run_dict).
+            for payload in payloads:
+                if isinstance(payload, Mapping) and "v" not in payload:
+                    warn_v1_payload()
+                    break
             return [response.to_dict() for response in self.run_batch(requests)]
         except Exception as error:  # noqa: BLE001 - envelope boundary
             return [error_envelope(error) for _ in payloads]

@@ -206,7 +206,8 @@ def _service(scale: Scale, kind: str):
     key = ("service", scale.config.nyc_size, scale.config.seed, kind)
     if key not in _CONTEXT_CACHE:
         service = GeoService()
-        service.register("bench", Dataset(_block(scale, kind)))
+        # Base data retained so v2 filtered views can build on demand.
+        service.register("bench", Dataset(_block(scale, kind), base=nyc_base(scale.config)))
         requests = requests_from_workload(_workload(scale), dataset="bench")
         _CONTEXT_CACHE[key] = (service, requests)
     return _CONTEXT_CACHE[key]
@@ -321,13 +322,15 @@ def _parity_build(scale: Scale) -> Prepared:
             for key, value in want.values.items():
                 if value == value and got.values[key] != value:
                     identical = False
-        # Sharded cross-boundary float sums may drift in the last ulp,
-        # so only counts are compared there; the serving layer answers
-        # through the same batched executor, so its values must be
-        # bit-identical to the raw batched path.
+        # Sharded execution is bit-identical too (boundary-spanning
+        # ranges materialise over the full shared arrays), so values
+        # are compared exactly, same as the plain batched path.
         for want, got in zip(seq_results, sharded_results):
             if got.count != want.count:
                 identical = False
+            for key, value in want.values.items():
+                if value == value and got.values[key] != value:
+                    identical = False
         for want, got in zip(batch_results, api_results):
             if got.count != want.count:
                 identical = False
@@ -359,6 +362,144 @@ def _parity_build(scale: Scale) -> Prepared:
         }
 
     return Prepared(thunk, finalize)
+
+
+# -- Query v2 serving scenarios -----------------------------------------------------
+
+
+def _groupby_build(scale: Scale) -> Prepared:
+    """One grouped request over every distinct workload polygon vs the
+    equivalent sequential per-feature requests -- the choropleth serving
+    pattern, with its own parity gate."""
+    from repro.api import QueryRequest
+
+    service, _ = _service(scale, "plain")
+    workload = _workload(scale)
+    regions = workload.distinct_regions()
+    aggs = ["count", "sum:fare_amount", "avg:trip_distance"]
+    grouped_request = QueryRequest(
+        group_by=[(f"zone_{index}", region) for index, region in enumerate(regions)],
+        aggregates=aggs,
+        dataset="bench",
+    )
+    sequential_requests = [
+        QueryRequest(region=target, aggregates=aggs, dataset="bench")
+        for _, target in grouped_request.feature_targets
+    ]
+
+    def thunk() -> dict:
+        grouped = service.run(grouped_request)
+        sequential = [service.run(request) for request in sequential_requests]
+        identical = len(grouped.groups) == len(sequential)
+        for row, want in zip(grouped.groups, sequential):
+            if row.count != want.count:
+                identical = False
+            for key, value in want.values.items():
+                if value == value and row.values[key] != value:
+                    identical = False
+        return {
+            "features": float(len(grouped.groups)),
+            "total_count": float(grouped.count),
+            "covering_cached": float(grouped.stats.covering_cached),
+            "identical": 1.0 if identical else 0.0,
+        }
+
+    return Prepared(thunk, lambda last: {"metrics": dict(last, queries=float(len(regions)))})
+
+
+def _filtered_view_build(scale: Scale) -> Prepared:
+    """The per-predicate view serving path: the view is built once in
+    setup (untimed, like any block build); the timed pass answers the
+    workload through ``where`` requests against the ready view."""
+    from repro.api import QueryRequest
+
+    service, _ = _service(scale, "plain")
+    workload = _workload(scale)
+    where = {"col": "fare_amount", "op": ">=", "value": 10}
+    dataset = service.dataset("bench")
+    dataset.view(where)  # build + cache the per-predicate block
+    requests = [
+        QueryRequest(region=query.region, aggregates=query.aggs, dataset="bench", where=where)
+        for query in workload
+    ]
+
+    def thunk():  # noqa: ANN202
+        return [service.run(request) for request in requests]
+
+    def finalize(responses) -> dict:  # noqa: ANN001
+        return _result_metrics(workload, responses)
+
+    return Prepared(thunk, finalize)
+
+
+def _append_build(scale: Scale) -> Prepared:
+    """The write path: build a fresh block and fold a batch of new rows
+    through ``Dataset.append`` (trie/dirty-shard bookkeeping included);
+    a fresh build per sample keeps repeats independent."""
+    import numpy as np
+
+    from repro.api import Dataset
+
+    base = nyc_base(scale.config)
+    level = scale.config.nyc_level(scale.config.block_level)
+    rng = np.random.default_rng(scale.config.seed)
+    names = base.table.schema.names
+    batch = 200
+    xs = rng.normal(-73.93, 0.05, batch)
+    ys = rng.normal(40.74, 0.04, batch)
+    columns = {name: rng.gamma(3.0, 4.0, batch) for name in names}
+    rows = [
+        {"x": float(xs[index]), "y": float(ys[index])}
+        | {name: float(columns[name][index]) for name in names}
+        for index in range(batch)
+    ]
+
+    def thunk() -> dict:
+        dataset = Dataset.build(base, level, name="bench")
+        response = dataset.append(rows)
+        return {
+            "appended": float(response.appended),
+            "in_place": float(response.in_place),
+            "version": float(response.version),
+            "tuples": float(dataset.block.header.total_count),
+        }
+
+    return Prepared(thunk, lambda last: {"metrics": dict(last, queries=1.0)})
+
+
+register(
+    Scenario(
+        name="api_groupby",
+        group="serving",
+        description=(
+            "one v2 group-by request over every distinct workload polygon vs "
+            "sequential per-feature requests; asserts identical answers"
+        ),
+        build=_groupby_build,
+        strict_metrics=("queries", "features", "total_count", "identical"),
+        metric_bounds={"identical": (1.0, 1.0)},
+    )
+)
+
+register(
+    Scenario(
+        name="api_filtered_view",
+        group="serving",
+        description="the workload through 'where' requests against a cached filtered view",
+        build=_filtered_view_build,
+        strict_metrics=("queries", "total_count"),
+    )
+)
+
+register(
+    Scenario(
+        name="api_append",
+        group="serving",
+        description="Dataset.build + a 200-row append batch (the v2 write path)",
+        build=_append_build,
+        strict_metrics=("queries", "appended", "tuples"),
+    )
+)
 
 
 register(

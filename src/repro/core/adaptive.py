@@ -166,6 +166,35 @@ class AdaptiveGeoBlock:
         self._maybe_adapt(len(results))
         return results
 
+    def run_grouped(
+        self,
+        targets: Sequence,  # noqa: ANN401 - regions / cell unions
+        aggs: Sequence[AggSpec] | None = None,
+        mode: str | None = None,
+    ) -> tuple[list[QueryResult], QueryResult]:
+        """Grouped Figure 8 execution (see :meth:`GeoBlock.run_grouped`).
+
+        Each feature is planned with cache-probe decisions and recorded
+        in the adaptation statistics individually -- a grouped request
+        trains the cache exactly like the equivalent sequential
+        requests; the rollup itself records nothing (it answers from the
+        per-feature results, not the block).
+        """
+        if aggs is not None:
+            self._block.executor.validate_aggs(list(aggs))
+        items = []
+        for target in targets:
+            plan = self.plan(target)
+            self._statistics.record_covering(plan.union)
+            items.append((plan, aggs))
+        results, rollup = self._block.executor.run_grouped(
+            items, mode=mode or self.query_mode
+        )
+        for result in results:
+            self._fold_counters(result)
+        self._maybe_adapt(len(results))
+        return results, rollup
+
     def _fold_counters(self, result: QueryResult) -> None:
         """Fold one result into the cache-effectiveness counters."""
         self._cells_probed += result.cells_probed

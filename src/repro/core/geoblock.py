@@ -245,15 +245,33 @@ class GeoBlock:
         issuing the queries sequentially under the block's
         ``query_mode``; in vector mode overlapping coverings are
         materialised only once, which is where batching wins on skewed
-        workloads.  (Exception: on sharded blocks a range spanning a
-        shard boundary merges per-shard float partials, so sums may
-        drift in the last ulp -- see :mod:`repro.engine.shards`.)
+        workloads.  Sharded blocks fan the materialisation out per
+        shard and stay bit-identical too (boundary-spanning ranges are
+        computed over the full shared arrays -- see
+        :mod:`repro.engine.shards`).
         """
         items = [
             (self.plan(target), query_aggs)
             for target, query_aggs in batch_items(queries, aggs)
         ]
         return self._executor.run_batch(items, mode=mode or self.query_mode)
+
+    def run_grouped(
+        self,
+        targets: Sequence,  # noqa: ANN401 - regions / cell unions
+        aggs: Sequence[AggSpec] | None = None,
+        mode: str | None = None,
+    ) -> tuple[list[QueryResult], QueryResult]:
+        """Answer ``targets`` as one grouped batch plus a rollup.
+
+        The multi-region group-by of the service API: every target
+        shares the ``aggs`` list, planning reuses the planner's covering
+        cache, execution is one batched engine pass, and the combined
+        rollup is folded from the per-target results
+        (:func:`~repro.engine.executor.merge_results`).
+        """
+        items = [(self.plan(target), aggs) for target in targets]
+        return self._executor.run_grouped(items, mode=mode or self.query_mode)
 
     # -- helpers ----------------------------------------------------------------------
 

@@ -23,7 +23,7 @@ never a full re-partition.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -33,12 +33,22 @@ from repro.core.geoblock import GeoBlock
 from repro.errors import QueryError
 
 
-def apply_update(block: GeoBlock, x: float, y: float, values: Mapping[str, float]) -> bool:
+def apply_update(
+    block: GeoBlock,
+    x: float,
+    y: float,
+    values: Mapping[str, float],
+    refresh: bool = True,
+) -> bool:
     """Fold one new tuple into the block's aggregates.
 
     Returns True when the tuple landed in an existing cell aggregate
     (the cheap in-place path) and False when a new cell had to be
-    spliced into the aggregate arrays.
+    spliced into the aggregate arrays.  Batch callers pass
+    ``refresh=False`` and call :func:`refresh_header` once at the end
+    -- the header rebuild scans every cell aggregate, so doing it per
+    row would make a batch O(rows x cells); nothing inside the update
+    loop reads the header.
     """
     aggregates = block.aggregates
     missing = [spec.name for spec in aggregates.schema if spec.name not in values]
@@ -56,21 +66,31 @@ def apply_update(block: GeoBlock, x: float, y: float, values: Mapping[str, float
         _splice_row(aggregates, row, cell, leaf, values)
     # Later cells start one tuple further into the base data.
     aggregates.offsets[row + 1 :] += 1
-    # Refresh the global header (block-wide aggregate + pruning range).
-    from repro.core.header import GlobalHeader
-
-    block._header = GlobalHeader.from_aggregates(aggregates, block.level)
+    if refresh:
+        refresh_header(block)
     # Sharded blocks adjust only the dirty shard's bounds here.
     block._note_update(cell, row, in_place)
     return in_place
 
 
+def refresh_header(block: GeoBlock) -> None:
+    """Rebuild the global header (block-wide aggregate + pruning range)
+    from the current cell aggregates."""
+    from repro.core.header import GlobalHeader
+
+    block._header = GlobalHeader.from_aggregates(block.aggregates, block.level)
+
+
 def apply_update_adaptive(
-    adaptive: AdaptiveGeoBlock, x: float, y: float, values: Mapping[str, float]
+    adaptive: AdaptiveGeoBlock,
+    x: float,
+    y: float,
+    values: Mapping[str, float],
+    refresh: bool = True,
 ) -> bool:
     """Update an adaptive block: the base aggregates plus every cached
     ancestor of the tuple's grid cell (one depth-first trie walk)."""
-    in_place = apply_update(adaptive.block, x, y, values)
+    in_place = apply_update(adaptive.block, x, y, values, refresh=refresh)
     trie = adaptive.trie
     if trie is None:
         return in_place
@@ -94,14 +114,66 @@ def apply_update_adaptive(
 
 
 def apply_batch(block: GeoBlock, xs, ys, columns: Mapping[str, np.ndarray]) -> int:  # noqa: ANN001
-    """Apply a batch of updates; returns how many hit existing cells."""
+    """Apply a batch of updates; returns how many hit existing cells.
+
+    The header refresh is amortised over the whole batch (the paper's
+    recommended batched usage)."""
     xs = np.asarray(xs, dtype=np.float64)
     ys = np.asarray(ys, dtype=np.float64)
     hits = 0
     for index in range(xs.size):
         row_values = {name: float(arr[index]) for name, arr in columns.items()}
-        hits += int(apply_update(block, float(xs[index]), float(ys[index]), row_values))
+        hits += int(
+            apply_update(
+                block, float(xs[index]), float(ys[index]), row_values, refresh=False
+            )
+        )
+    if xs.size:
+        refresh_header(block)
     return hits
+
+
+def append_rows(handle, rows: "Sequence[Mapping[str, float]]") -> tuple[int, int]:  # noqa: ANN001
+    """Fold row dicts (``{"x": ..., "y": ..., <column>: ...}``) into a
+    block of any kind -- the write path of the service API.
+
+    Dispatches per row: adaptive handles additionally refresh every
+    cached trie ancestor (:func:`apply_update_adaptive`); sharded
+    blocks mark dirty shards through their ``_note_update`` hook.
+    Rows are validated *before* anything is applied, so a malformed row
+    never leaves the block half-updated.  Returns ``(appended,
+    in_place)`` -- how many rows were folded, and how many landed in an
+    existing cell aggregate (the cheap path).
+    """
+    adaptive = isinstance(handle, AdaptiveGeoBlock)
+    block = handle.block if adaptive else handle
+    names = block.aggregates.schema.names
+    parsed: list[tuple[float, float, dict[str, float]]] = []
+    for index, row in enumerate(rows):
+        if not isinstance(row, Mapping):
+            raise QueryError(f"row {index} must be an object, got {type(row).__name__}")
+        missing = [key for key in ("x", "y", *names) if key not in row]
+        if missing:
+            raise QueryError(f"row {index} is missing {missing}")
+        try:
+            parsed.append(
+                (
+                    float(row["x"]),
+                    float(row["y"]),
+                    {name: float(row[name]) for name in names},
+                )
+            )
+        except (TypeError, ValueError) as error:
+            raise QueryError(f"row {index} has a non-numeric value: {error}") from error
+    in_place = 0
+    for x, y, values in parsed:
+        if adaptive:
+            in_place += int(apply_update_adaptive(handle, x, y, values, refresh=False))
+        else:
+            in_place += int(apply_update(block, x, y, values, refresh=False))
+    if parsed:
+        refresh_header(block)
+    return len(parsed), in_place
 
 
 def _fold_row(aggregates, row: int, leaf: int, values: Mapping[str, float]) -> None:  # noqa: ANN001

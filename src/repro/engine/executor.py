@@ -28,6 +28,7 @@ answers through this module.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -56,6 +57,9 @@ class QueryResult:
     cells_probed: int = 0
     #: Covering cells answered entirely from the query cache.
     cache_hits: int = 0
+    #: Whether the covering was served by the planner's LRU (reuse
+    #: across repeated regions and grouped features; serving stats).
+    covering_cached: bool = False
 
     def __getitem__(self, key: str) -> float:
         return self.values[key]
@@ -199,6 +203,7 @@ class Executor:
             count=int(accumulator.count),
             cells_probed=len(union),
             cache_hits=cache_hits,
+            covering_cached=plan.from_cache,
         )
 
     def _fold_with_probes(
@@ -272,6 +277,7 @@ class Executor:
             values={spec.key: accumulator.extract(spec) for spec in aggs},
             count=int(accumulator.count),
             cells_probed=len(union),
+            covering_cached=plan.from_cache,
         )
 
     def scan_range_scalar(
@@ -378,9 +384,31 @@ class Executor:
                     count=int(accumulator.count),
                     cells_probed=len(plan.union),
                     cache_hits=cache_hits,
+                    covering_cached=plan.from_cache,
                 )
             )
         return results
+
+    # -- grouped execution (multi-region group-by) -----------------------
+
+    def run_grouped(
+        self,
+        items: Sequence[tuple["QueryPlan", Sequence[AggSpec] | None]],
+        mode: str | None = None,
+    ) -> tuple[list[QueryResult], QueryResult]:
+        """Answer a group of plans sharing one aggregate list, plus a
+        combined rollup.
+
+        This is the engine entry point of the API's multi-region
+        group-by: per-feature answers come from :meth:`run_batch` (one
+        shared binary-search pass; record dedup across overlapping
+        features), and the rollup folds the per-feature results via
+        :func:`merge_results`.  Per-feature results are bit-identical to
+        answering each feature alone.
+        """
+        results = self.run_batch(items, mode=mode)
+        aggs = default_aggs(items[0][1] if items else None)
+        return results, merge_results(results, aggs)
 
     def materialise_slices(
         self, pairs: Sequence[tuple[int, int]]
@@ -392,6 +420,49 @@ class Executor:
         """
         aggregates = self.aggregates
         return {pair: aggregates.slice_record(pair[0], pair[1]) for pair in pairs}
+
+
+def merge_results(results: Sequence[QueryResult], aggs: Sequence[AggSpec]) -> QueryResult:
+    """Fold per-feature query results into one combined rollup.
+
+    Counts and sums add (sums via :func:`math.fsum`, so the rollup is
+    exact over the per-feature partials and independent of the fold
+    order a naive ``+=`` would impose); mins/maxs fold, skipping empty
+    features (their extremes are NaN); ``avg`` is re-derived as the
+    count-weighted fold of the per-feature averages -- equal to total
+    sum over total count up to the rounding already present in each
+    feature's average (a derived summary, not a bit-exact engine
+    value).  Overlapping features contribute to the rollup once per
+    feature, exactly like summing a dashboard's per-region rows.
+    """
+    total = sum(result.count for result in results)
+    values: dict[str, float] = {}
+    for spec in aggs:
+        parts = [result.values[spec.key] for result in results]
+        if spec.function == "count":
+            values[spec.key] = math.fsum(parts)
+        elif spec.function == "sum":
+            values[spec.key] = math.fsum(parts)
+        elif spec.function == "min":
+            finite = [part for part in parts if part == part]
+            values[spec.key] = min(finite) if finite else np.nan
+        elif spec.function == "max":
+            finite = [part for part in parts if part == part]
+            values[spec.key] = max(finite) if finite else np.nan
+        elif spec.function == "avg":
+            weighted = [
+                part * result.count
+                for part, result in zip(parts, results)
+                if result.count and part == part
+            ]
+            values[spec.key] = math.fsum(weighted) / total if total else np.nan
+    return QueryResult(
+        values=values,
+        count=total,
+        cells_probed=sum(result.cells_probed for result in results),
+        cache_hits=sum(result.cache_hits for result in results),
+        covering_cached=any(result.covering_cached for result in results),
+    )
 
 
 # -- row-level folds for the on-the-fly baselines ------------------------

@@ -23,11 +23,16 @@ What sharding buys:
 * it is the seam later scaling work (per-shard storage backends,
   distributed placement) plugs into, without touching the query path.
 
-Note on float determinism: a record for a range spanning several shards
-is merged from per-shard partials, so its float sums may differ from
-the unsharded result in the last ulp (counts, mins, and maxs are always
-exact).  Single-shard ranges -- the common case once ``shard_level`` is
-coarser than the covering cells -- are bit-identical.
+Note on float determinism: results are bit-identical to the unsharded
+block, including sums.  Ranges contained in one shard (every covering
+cell at or below ``shard_level``, the common case) fan out per shard;
+ranges *spanning* a shard boundary (coarse interior covering cells) are
+materialised over the full row range of the shared arrays -- the
+partition is zero-copy, so the full range is directly addressable --
+which reproduces the plain block's fold order exactly.  Merging rounded
+per-shard float partials (even with ``math.fsum``) cannot do that: the
+unsharded ``np.sum`` fold has its own rounding sequence, and no
+combination of the partials recovers its bits.
 """
 
 from __future__ import annotations
@@ -87,61 +92,56 @@ class ShardedExecutor(Executor):
         shards = block.shards
         if len(shards) <= 1 or len(pairs) < MIN_RANGES_FOR_FANOUT:
             return super().materialise_slices(pairs)
-        # Split every range at shard boundaries and bucket the pieces.
+        # Bucket each range by its owning shard.  Boundary-spanning
+        # ranges (coarse interior covering cells) form their own bucket
+        # and are materialised over the *full* row range: the shards are
+        # contiguous views of one shared array, so the full range is
+        # directly addressable, and computing it whole keeps the fold
+        # order -- and therefore every float sum bit -- identical to
+        # the unsharded block (see the module note on determinism).
         starts = np.asarray([shard.lo for shard in shards], dtype=np.int64)
         per_shard: list[list[tuple[int, int, int]]] = [[] for _ in shards]
+        spanning: list[tuple[int, int, int]] = []
         for pair_index, (lo, hi) in enumerate(pairs):
             if hi <= lo:
                 continue
             first = int(np.searchsorted(starts, lo, side="right")) - 1
             last = int(np.searchsorted(starts, hi - 1, side="right")) - 1
             first = max(first, 0)
-            for shard_index in range(first, last + 1):
-                shard = shards[shard_index]
-                piece_lo = max(lo, shard.lo)
-                piece_hi = min(hi, shard.hi)
-                if piece_hi > piece_lo:
-                    per_shard[shard_index].append((pair_index, piece_lo, piece_hi))
+            if first == last:
+                per_shard[first].append((pair_index, lo, hi))
+            else:
+                spanning.append((pair_index, lo, hi))
         aggregates = self.aggregates
 
         def shard_records(work: list[tuple[int, int, int]]) -> list[tuple[int, np.ndarray]]:
             return [
-                (pair_index, aggregates.slice_record(piece_lo, piece_hi))
-                for pair_index, piece_lo, piece_hi in work
+                (pair_index, aggregates.slice_record(lo, hi))
+                for pair_index, lo, hi in work
             ]
 
         busy = [work for work in per_shard if work]
+        if spanning:
+            # Spread spanning ranges across the pool too -- one bucket
+            # would serialise them on a single worker.
+            step = max(1, -(-len(spanning) // (self._block.max_workers or 1)))
+            busy.extend(
+                spanning[start : start + step] for start in range(0, len(spanning), step)
+            )
         chunks = list(block.thread_pool.map(shard_records, busy))
-        # Merge per-shard partial records back into one record per range.
         records: dict[tuple[int, int], np.ndarray] = {}
-        partials: dict[int, np.ndarray] = {}
+        computed: dict[int, np.ndarray] = {}
         for chunk in chunks:
             for pair_index, record in chunk:
-                existing = partials.get(pair_index)
-                if existing is None:
-                    partials[pair_index] = record
-                else:
-                    _merge_records(existing, record)
+                computed[pair_index] = record
         for pair_index, pair in enumerate(pairs):
-            record = partials.get(pair_index)
+            record = computed.get(pair_index)
             if record is None:
-                # Empty ranges land here by design; a non-empty range
-                # would mean the shard partition has a gap, so compute
-                # the true record rather than silently answering zero.
+                # Empty ranges land here by design (slice_record yields
+                # the combine identity for them).
                 record = aggregates.slice_record(pair[0], pair[1])
             records[pair] = record
         return records
-
-
-def _merge_records(into: np.ndarray, other: np.ndarray) -> None:
-    """Fold one full-schema record into another (count/sum add, extremes fold)."""
-    into[0] += other[0]
-    for position in range((into.size - 1) // 3):
-        into[1 + 3 * position] += other[1 + 3 * position]
-        if other[2 + 3 * position] < into[2 + 3 * position]:
-            into[2 + 3 * position] = other[2 + 3 * position]
-        if other[3 + 3 * position] > into[3 + 3 * position]:
-            into[3 + 3 * position] = other[3 + 3 * position]
 
 
 class ShardedGeoBlock(GeoBlock):

@@ -9,11 +9,25 @@ composable expression language over table columns:
 
 Predicates evaluate to boolean masks over a :class:`PointTable` and
 render to a stable string used to label GeoBlocks.
+
+Predicates also have a *wire form* -- plain JSON dicts the service API
+(:mod:`repro.api`) accepts for filtered dataset views::
+
+    {"col": "distance", "op": ">=", "value": 4}
+    {"and": [{"col": "distance", "op": ">=", "value": 4},
+             {"col": "passenger_cnt", "op": "==", "value": 1}]}
+    {"not": {"col": "fare", "op": "<", "value": 2.5}}
+    {"col": "fare", "op": "between", "value": [5, 20]}
+    {"col": "passenger_cnt", "op": "in", "value": [1, 2]}
+
+:func:`predicate_from_wire` / :func:`predicate_to_wire` convert both
+ways; :data:`WIRE_OPS` is the registry of comparison operators, so new
+operators plug in without touching the parser.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
@@ -27,6 +41,23 @@ class Predicate:
     def mask(self, table: PointTable) -> np.ndarray:
         """Boolean mask of qualifying rows."""
         raise NotImplementedError
+
+    @property
+    def key(self) -> str:
+        """Stable render string: the label GeoBlocks are keyed by.
+
+        Equal expressions render identically and *distinct* expressions
+        render distinctly -- constants use full-precision ``repr``, not
+        ``__repr__``'s 6-significant-digit ``%g`` display form -- so the
+        key is safe as the cache key of per-predicate filtered views in
+        the service API (a collision would silently serve one
+        predicate's block for another).
+        """
+        return repr(self)
+
+    def columns(self) -> set[str]:
+        """Names of all table columns the expression references."""
+        return set()
 
     def selectivity(self, table: PointTable) -> float:
         """Fraction of qualifying rows (the paper's ``s``)."""
@@ -73,10 +104,19 @@ class Comparison(Predicate):
             raise QueryError(f"unsupported operator {op!r}; use one of {sorted(self._OPS)}")
         self.column = column
         self.op = op
-        self.value = value
+        # Coerced so equal predicates key identically however they were
+        # constructed (int 5 vs wire-parsed 5.0).
+        self.value = float(value)
 
     def mask(self, table: PointTable) -> np.ndarray:
         return self._OPS[self.op](table.column(self.column), self.value)
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    @property
+    def key(self) -> str:
+        return f"{self.column} {self.op} {self.value!r}"
 
     def __repr__(self) -> str:
         return f"{self.column} {self.op} {self.value:g}"
@@ -89,12 +129,19 @@ class Between(Predicate):
         if low > high:
             raise QueryError(f"between bounds reversed: [{low}, {high}]")
         self.column = column
-        self.low = low
-        self.high = high
+        self.low = float(low)
+        self.high = float(high)
 
     def mask(self, table: PointTable) -> np.ndarray:
         values = table.column(self.column)
         return (values >= self.low) & (values <= self.high)
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    @property
+    def key(self) -> str:
+        return f"{self.column} BETWEEN {self.low!r} AND {self.high!r}"
 
     def __repr__(self) -> str:
         return f"{self.column} BETWEEN {self.low:g} AND {self.high:g}"
@@ -105,12 +152,19 @@ class IsIn(Predicate):
 
     def __init__(self, column: str, values: Iterable[float]) -> None:
         self.column = column
-        self.values = tuple(values)
+        self.values = tuple(float(value) for value in values)
         if not self.values:
             raise QueryError("IN list must not be empty")
 
     def mask(self, table: PointTable) -> np.ndarray:
         return np.isin(table.column(self.column), np.asarray(self.values))
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    @property
+    def key(self) -> str:
+        return f"{self.column} IN ({', '.join(map(repr, self.values))})"
 
     def __repr__(self) -> str:
         rendered = ", ".join(f"{v:g}" for v in self.values)
@@ -119,7 +173,15 @@ class IsIn(Predicate):
 
 class And(Predicate):
     def __init__(self, operands: Iterable[Predicate]) -> None:
-        self.operands = tuple(operands)
+        # Flattened so chained `a & b & c` and wire `{"and": [a, b, c]}`
+        # render (and therefore cache-key) identically.
+        flat: list[Predicate] = []
+        for operand in operands:
+            if isinstance(operand, And):
+                flat.extend(operand.operands)
+            else:
+                flat.append(operand)
+        self.operands = tuple(flat)
 
     def mask(self, table: PointTable) -> np.ndarray:
         result = np.ones(len(table), dtype=bool)
@@ -127,19 +189,39 @@ class And(Predicate):
             result &= operand.mask(table)
         return result
 
+    def columns(self) -> set[str]:
+        return set().union(*(operand.columns() for operand in self.operands))
+
+    @property
+    def key(self) -> str:
+        return "(" + " AND ".join(operand.key for operand in self.operands) + ")"
+
     def __repr__(self) -> str:
         return "(" + " AND ".join(map(repr, self.operands)) + ")"
 
 
 class Or(Predicate):
     def __init__(self, operands: Iterable[Predicate]) -> None:
-        self.operands = tuple(operands)
+        flat: list[Predicate] = []
+        for operand in operands:
+            if isinstance(operand, Or):
+                flat.extend(operand.operands)
+            else:
+                flat.append(operand)
+        self.operands = tuple(flat)
 
     def mask(self, table: PointTable) -> np.ndarray:
         result = np.zeros(len(table), dtype=bool)
         for operand in self.operands:
             result |= operand.mask(table)
         return result
+
+    def columns(self) -> set[str]:
+        return set().union(*(operand.columns() for operand in self.operands))
+
+    @property
+    def key(self) -> str:
+        return "(" + " OR ".join(operand.key for operand in self.operands) + ")"
 
     def __repr__(self) -> str:
         return "(" + " OR ".join(map(repr, self.operands)) + ")"
@@ -151,6 +233,13 @@ class Not(Predicate):
 
     def mask(self, table: PointTable) -> np.ndarray:
         return ~self.operand.mask(table)
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    @property
+    def key(self) -> str:
+        return f"NOT ({self.operand.key})"
 
     def __repr__(self) -> str:
         return f"NOT ({self.operand!r})"
@@ -196,3 +285,114 @@ def col(name: str) -> _ColumnProxy:
 
 #: Singleton used wherever "no filter" is meant.
 ALWAYS_TRUE = TruePredicate()
+
+
+# -- wire form -----------------------------------------------------------
+
+
+def _comparison_from_wire(column: str, op: str, value: object) -> Predicate:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise QueryError(f"operator {op!r} needs a numeric 'value', got {value!r}")
+    return Comparison(column, op, float(value))
+
+
+def _between_from_wire(column: str, op: str, value: object) -> Predicate:
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or any(isinstance(v, bool) or not isinstance(v, (int, float)) for v in value)
+    ):
+        raise QueryError("'between' needs 'value': [low, high] numbers")
+    return Between(column, float(value[0]), float(value[1]))
+
+
+def _isin_from_wire(column: str, op: str, value: object) -> Predicate:
+    if not isinstance(value, (list, tuple)) or any(
+        isinstance(v, bool) or not isinstance(v, (int, float)) for v in value
+    ):
+        raise QueryError("'in' needs 'value': a non-empty list of numbers")
+    return IsIn(column, (float(v) for v in value))
+
+
+#: Registry of wire comparison operators: op string -> builder taking
+#: (column, op, value).  Extend it to add operators without touching the
+#: parser (the service API advertises exactly these names).
+WIRE_OPS: dict[str, Callable[[str, str, object], Predicate]] = {
+    "==": _comparison_from_wire,
+    "!=": _comparison_from_wire,
+    "<": _comparison_from_wire,
+    "<=": _comparison_from_wire,
+    ">": _comparison_from_wire,
+    ">=": _comparison_from_wire,
+    "between": _between_from_wire,
+    "in": _isin_from_wire,
+}
+
+_COMBINATORS = ("and", "or", "not")
+
+
+def predicate_from_wire(payload: object) -> Predicate:
+    """Parse a predicate wire dict into an expression tree.
+
+    Raises :class:`~repro.errors.QueryError` on any malformed payload
+    (unknown operator, missing keys, non-numeric values); the service
+    API wraps that into its ``bad_predicate`` error code.  Column
+    existence is *not* checked here -- the caller validates
+    :meth:`Predicate.columns` against its schema.
+    """
+    if not isinstance(payload, Mapping):
+        raise QueryError(
+            f"predicate must be an object, got {type(payload).__name__}"
+        )
+    combinators = [key for key in _COMBINATORS if key in payload]
+    if combinators:
+        if len(payload) != 1:
+            raise QueryError(
+                f"combinator predicate must have exactly one key, got {sorted(payload)}"
+            )
+        kind = combinators[0]
+        operands = payload[kind]
+        if kind == "not":
+            return Not(predicate_from_wire(operands))
+        if not isinstance(operands, (list, tuple)) or len(operands) < 2:
+            raise QueryError(f"{kind!r} needs a list of at least two predicates")
+        parsed = tuple(predicate_from_wire(operand) for operand in operands)
+        return And(parsed) if kind == "and" else Or(parsed)
+    unknown = sorted(set(payload) - {"col", "op", "value"})
+    if unknown:
+        raise QueryError(
+            f"unknown predicate key(s) {unknown}; expected 'col'/'op'/'value' "
+            f"or one of {_COMBINATORS}"
+        )
+    for key in ("col", "op", "value"):
+        if key not in payload:
+            raise QueryError(f"comparison predicate needs {key!r}")
+    column, op = payload["col"], payload["op"]
+    if not isinstance(column, str) or not column:
+        raise QueryError(f"'col' must be a column name, got {column!r}")
+    if not isinstance(op, str) or op not in WIRE_OPS:
+        raise QueryError(
+            f"unsupported operator {op!r}; use one of {sorted(WIRE_OPS)}"
+        )
+    return WIRE_OPS[op](column, op, payload["value"])
+
+
+def predicate_to_wire(predicate: Predicate) -> dict:
+    """Inverse of :func:`predicate_from_wire` (canonical wire form)."""
+    if isinstance(predicate, Comparison):
+        return {"col": predicate.column, "op": predicate.op, "value": predicate.value}
+    if isinstance(predicate, Between):
+        return {
+            "col": predicate.column,
+            "op": "between",
+            "value": [predicate.low, predicate.high],
+        }
+    if isinstance(predicate, IsIn):
+        return {"col": predicate.column, "op": "in", "value": list(predicate.values)}
+    if isinstance(predicate, And):
+        return {"and": [predicate_to_wire(operand) for operand in predicate.operands]}
+    if isinstance(predicate, Or):
+        return {"or": [predicate_to_wire(operand) for operand in predicate.operands]}
+    if isinstance(predicate, Not):
+        return {"not": predicate_to_wire(predicate.operand)}
+    raise QueryError(f"{type(predicate).__name__} has no wire form")

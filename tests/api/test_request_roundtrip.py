@@ -80,7 +80,8 @@ class TestRequestRoundTrip:
 
     def test_defaults_are_omitted_from_wire_form(self):
         wire = QueryRequest(region=REGIONS[0]).to_dict()
-        assert set(wire) == {"region", "aggregates"}
+        assert set(wire) == {"v", "region", "aggregates"}
+        assert wire["v"] == 2
         assert wire["aggregates"] == ["count"]
 
     def test_bbox_region_keeps_compact_form(self):

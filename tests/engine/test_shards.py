@@ -92,6 +92,34 @@ class TestQueryEquivalence:
             assert_close(want, got)
             assert got.count == want.count  # counts are exact under sharding
 
+    def test_cross_boundary_sums_bit_identical_to_plain(self, small_base, small_polygons):
+        """Pin the PR-1 drift fix: batched sharded sums are *bit*
+        identical to the plain block, including covering cells coarser
+        than the shard level (ranges spanning shard boundaries, which
+        used to be merged from rounded per-shard partials)."""
+        from repro.cells import cellid
+
+        level, shard_level = 16, 14
+        plain = GeoBlock.build(small_base, level)
+        sharded = ShardedGeoBlock.build(small_base, level, shard_level=shard_level)
+        polygons = list(small_polygons) * 4  # >= MIN_RANGES_FOR_FANOUT cells
+        spanning_capable = sum(
+            1
+            for polygon in small_polygons
+            for cell in plain.covering(polygon).ids.tolist()
+            if cellid.level_of(cell) < shard_level
+        )
+        assert spanning_capable > 0, "workload must exercise boundary-spanning ranges"
+        for want, got in zip(
+            plain.run_batch(polygons, aggs=AGGS), sharded.run_batch(polygons, aggs=AGGS)
+        ):
+            assert got.count == want.count
+            for key, value in want.values.items():
+                if np.isnan(value):
+                    assert np.isnan(got.values[key])
+                else:
+                    assert got.values[key] == value  # exact, not approx
+
     def test_close_releases_and_recreates_pool(self, small_base, small_polygons):
         with ShardedGeoBlock.build(small_base, LEVEL, shard_level=12) as block:
             polygons = list(small_polygons) * 4

@@ -1,0 +1,204 @@
+"""Predicate wire syntax: round-trips, registry, malformed payloads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import QueryError
+from repro.storage.expr import (
+    WIRE_OPS,
+    And,
+    Between,
+    Comparison,
+    IsIn,
+    Not,
+    Or,
+    col,
+    predicate_from_wire,
+    predicate_to_wire,
+)
+
+COMPARISONS = [
+    {"col": "distance", "op": ">=", "value": 4},
+    {"col": "distance", "op": ">", "value": 4.5},
+    {"col": "fare", "op": "<", "value": 100},
+    {"col": "fare", "op": "<=", "value": 99.5},
+    {"col": "passenger_cnt", "op": "==", "value": 1},
+    {"col": "passenger_cnt", "op": "!=", "value": 0},
+    {"col": "fare", "op": "between", "value": [5, 20]},
+    {"col": "passenger_cnt", "op": "in", "value": [1, 2, 4]},
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("payload", COMPARISONS)
+    def test_comparison_round_trip(self, payload):
+        predicate = predicate_from_wire(payload)
+        wire = predicate_to_wire(predicate)
+        assert predicate_from_wire(wire).key == predicate.key
+        json.dumps(wire)  # JSON-compatible by construction
+
+    def test_combinator_round_trip(self):
+        payload = {
+            "and": [
+                {"col": "distance", "op": ">=", "value": 4},
+                {
+                    "or": [
+                        {"col": "fare", "op": "between", "value": [5, 20]},
+                        {"not": {"col": "passenger_cnt", "op": "==", "value": 1}},
+                    ]
+                },
+            ]
+        }
+        predicate = predicate_from_wire(payload)
+        assert isinstance(predicate, And)
+        assert predicate_from_wire(predicate_to_wire(predicate)).key == predicate.key
+
+    def test_wire_matches_expression_language(self):
+        """The wire form and the ``col()`` expression language build the
+        same predicate (same render string, same masks)."""
+        wired = predicate_from_wire(
+            {
+                "and": [
+                    {"col": "distance", "op": ">=", "value": 4},
+                    {"col": "passenger_cnt", "op": "==", "value": 1},
+                ]
+            }
+        )
+        built = (col("distance") >= 4) & (col("passenger_cnt") == 1)
+        assert wired.key == built.key
+
+    def test_programmatic_predicates_serialise(self):
+        for predicate in (
+            Comparison("fare", ">", 2.0),
+            Between("fare", 1.0, 2.0),
+            IsIn("seats", (1.0, 2.0)),
+            Or((Comparison("a", "<", 1.0), Comparison("b", ">", 2.0))),
+            Not(Comparison("a", "==", 0.0)),
+        ):
+            assert predicate_from_wire(predicate_to_wire(predicate)).key == predicate.key
+
+
+class TestColumns:
+    def test_columns_collects_every_reference(self):
+        predicate = predicate_from_wire(
+            {
+                "or": [
+                    {"col": "a", "op": ">", "value": 1},
+                    {"not": {"col": "b", "op": "in", "value": [1, 2]}},
+                ]
+            }
+        )
+        assert predicate.columns() == {"a", "b"}
+
+    def test_key_is_stable_across_parses(self):
+        payload = {"col": "distance", "op": ">=", "value": 4}
+        assert predicate_from_wire(payload).key == predicate_from_wire(payload).key
+
+    def test_key_is_canonical_across_construction_routes(self):
+        """The same logical predicate must produce ONE key however it
+        was built -- fluent ints, wire floats, chained `&` vs flat
+        `and` lists -- or the view cache builds duplicate blocks
+        (code-review regression)."""
+        assert (col("x") >= 5).key == predicate_from_wire(
+            {"col": "x", "op": ">=", "value": 5.0}
+        ).key
+        assert Between("x", 5, 20).key == predicate_from_wire(
+            {"col": "x", "op": "between", "value": [5.0, 20.0]}
+        ).key
+        assert IsIn("x", (1, 2)).key == predicate_from_wire(
+            {"col": "x", "op": "in", "value": [1.0, 2.0]}
+        ).key
+        a, b, c = col("x") > 1, col("y") > 2, col("z") > 3
+        chained = a & b & c
+        flat = predicate_from_wire(
+            {
+                "and": [
+                    {"col": "x", "op": ">", "value": 1},
+                    {"col": "y", "op": ">", "value": 2},
+                    {"col": "z", "op": ">", "value": 3},
+                ]
+            }
+        )
+        assert chained.key == flat.key
+        assert ((col("x") > 1) | (col("y") > 2) | (col("z") > 3)).key == predicate_from_wire(
+            {
+                "or": [
+                    {"col": "x", "op": ">", "value": 1},
+                    {"col": "y", "op": ">", "value": 2},
+                    {"col": "z", "op": ">", "value": 3},
+                ]
+            }
+        ).key
+        # Round-tripping through the wire form lands on the same key.
+        assert predicate_from_wire(predicate_to_wire(chained)).key == chained.key
+
+    def test_key_is_full_precision_not_display_form(self):
+        """Keys must distinguish every distinct constant -- the %g
+        display form truncates to 6 significant digits, which would
+        serve one predicate's cached view for another (code-review
+        regression)."""
+        near = [
+            ({"col": "fare", "op": ">=", "value": 1234567},
+             {"col": "fare", "op": ">=", "value": 1234568}),
+            ({"col": "fare", "op": ">=", "value": 0.12345678},
+             {"col": "fare", "op": ">=", "value": 0.12345699}),
+            ({"col": "fare", "op": "between", "value": [0, 1234567]},
+             {"col": "fare", "op": "between", "value": [0, 1234568]}),
+            ({"col": "fare", "op": "in", "value": [1234567]},
+             {"col": "fare", "op": "in", "value": [1234568]}),
+        ]
+        for a, b in near:
+            ka, kb = predicate_from_wire(a).key, predicate_from_wire(b).key
+            assert ka != kb, (ka, kb)
+        nested_a = predicate_from_wire({"not": {"col": "fare", "op": ">", "value": 1234567}})
+        nested_b = predicate_from_wire({"not": {"col": "fare", "op": ">", "value": 1234568}})
+        assert nested_a.key != nested_b.key
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "distance >= 4",  # not an object
+            42,
+            None,
+            {},  # missing everything
+            {"col": "x"},  # missing op/value
+            {"col": "x", "op": ">="},  # missing value
+            {"op": ">=", "value": 4},  # missing col
+            {"col": "x", "op": "~", "value": 4},  # unknown operator
+            {"col": "x", "op": "LIKE", "value": 4},
+            {"col": "", "op": ">=", "value": 4},  # empty column
+            {"col": 7, "op": ">=", "value": 4},  # non-string column
+            {"col": "x", "op": ">=", "value": "four"},  # non-numeric value
+            {"col": "x", "op": ">=", "value": True},  # bool is not a number
+            {"col": "x", "op": "between", "value": [1]},  # wrong arity
+            {"col": "x", "op": "between", "value": [2, 1, 0]},
+            {"col": "x", "op": "in", "value": []},  # empty IN list
+            {"col": "x", "op": "in", "value": "abc"},
+            {"and": []},  # empty combinator
+            {"and": [{"col": "x", "op": ">", "value": 1}]},  # single operand
+            {"or": {"col": "x", "op": ">", "value": 1}},  # not a list
+            {"and": [], "col": "x"},  # mixed combinator/comparison keys
+            {"xor": [{"col": "x", "op": ">", "value": 1}]},  # unknown key
+        ],
+    )
+    def test_raises_query_error(self, payload):
+        with pytest.raises(QueryError):
+            predicate_from_wire(payload)
+
+    def test_between_bounds_validated(self):
+        with pytest.raises(QueryError):
+            predicate_from_wire({"col": "x", "op": "between", "value": [5, 1]})
+
+    def test_registry_drives_supported_ops(self):
+        assert set(WIRE_OPS) == {"==", "!=", "<", "<=", ">", ">=", "between", "in"}
+        message = ""
+        try:
+            predicate_from_wire({"col": "x", "op": "regex", "value": 1})
+        except QueryError as error:
+            message = str(error)
+        assert "regex" in message and "between" in message  # names the registry
