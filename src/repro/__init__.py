@@ -10,7 +10,10 @@ geometry kernel, a columnar storage engine), the paper's four baselines
 (BinarySearch, B+-tree, PH-tree, aR-tree), synthetic stand-ins for its
 datasets, an experiment harness regenerating every evaluation table
 and figure -- and a serving layer (:mod:`repro.api`) exposing it all
-behind named datasets and declarative queries.
+behind named datasets and declarative queries, accelerated by a
+process-wide tiered query cache (:mod:`repro.cache`): content-addressed
+coverings shared by every block, plus a versioned result tier that
+short-circuits repeat queries entirely.
 
 Quickstart (the service API)::
 
@@ -66,6 +69,7 @@ from repro.api import (
     QueryResponse,
     QueryStats,
 )
+from repro.cache import CacheConfig, TieredCache, configure as configure_cache, get_cache
 from repro.cells import (
     EARTH,
     MAX_LEVEL,
@@ -108,7 +112,7 @@ from repro.storage import (
     extract,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "EARTH",

@@ -20,6 +20,15 @@ hand-assembling ``extract`` -> ``GeoBlock.build`` -> ``AggSpec`` lists:
 * :class:`ApiError` -- every boundary failure, with a machine-readable
   code and the ``{"ok": false, "error": ...}`` envelope.
 
+Serving is cache-accelerated end to end (:mod:`repro.cache`): coverings
+are shared process-wide under content-addressed keys, and repeated
+single-region requests -- wire dicts included, which re-parse their
+polygon every time -- serve the exact prior engine result from the
+versioned result tier (appends bump the dataset version, lazily
+invalidating).  ``GeoService(cache=TieredCache(...))`` isolates a
+service on a private cache; ``GeoService.stats()`` exposes per-tier
+telemetry; every v2 response carries a ``stats.cache`` block.
+
 Query v2 quickstart::
 
     from repro.api import Dataset, GeoService
@@ -85,14 +94,17 @@ from repro.api.request import (
     serialise_region,
 )
 from repro.api.service import GeoService
+from repro.cache import CacheConfig, TieredCache
 from repro.storage.expr import col, predicate_from_wire, predicate_to_wire
 
 __all__ = [
     "ApiError",
     "AppendRequest",
     "AppendResponse",
+    "CacheConfig",
     "Dataset",
     "GeoService",
+    "TieredCache",
     "GroupRow",
     "QueryBuilder",
     "QueryRequest",

@@ -33,6 +33,15 @@ state: ``mode`` threads through the blocks' per-call ``mode`` override
 each other's hints), ``cache: false`` routes an adaptive dataset
 through its wrapped base block (no trie probes, no statistics
 recorded), and ``count_only`` takes the Listing 2 fast path.
+
+Every single-region query first probes the result tier of
+:mod:`repro.cache` (see :meth:`Dataset._result_key` for the key
+discipline): a repeat of an identical request -- wire, fluent, or
+batched -- serves the exact stored engine result, skipping covering
+and execution entirely, with byte-identical answers guaranteed because
+the tier stores outcomes.  Appends bump :attr:`Dataset.version`, which
+is part of every key, so writes lazily invalidate all warm entries for
+the dataset and its views.
 """
 
 from __future__ import annotations
@@ -61,8 +70,11 @@ from repro.api.request import (
     as_request,
     parse_where,
 )
+from repro.cache.results import ResultCacheScope, aggregate_key
+from repro.cache.tiers import TieredCache
 from repro.core.adaptive import AdaptiveGeoBlock
 from repro.core.geoblock import GeoBlock
+from repro.engine.executor import QueryResult as EngineResult
 from repro.core.policy import CachePolicy
 from repro.errors import QueryError
 from repro.storage.etl import BaseData
@@ -96,6 +108,8 @@ class Dataset:
         name: str | None = None,
         base: BaseData | None = None,
         parent: "Dataset | None" = None,
+        cache: TieredCache | None = None,
+        result_cache: bool = True,
     ) -> None:
         if not isinstance(handle, (GeoBlock, AdaptiveGeoBlock)):
             raise ApiError(
@@ -106,6 +120,25 @@ class Dataset:
         self.name = name
         self._base = base
         self._parent = parent
+        # The dataset's handle on the tiered cache (repro.cache): a view
+        # derives its parent's scope (same token + cache, the view's
+        # predicate key), a root allocates a fresh token.  With
+        # ``result_cache=False`` whole-answer caching is off for this
+        # dataset while covering reuse stays on (it is always
+        # value-preserving).  ``cache=None`` means the process-wide
+        # shared instance.
+        predicate_key = (
+            handle.block if isinstance(handle, AdaptiveGeoBlock) else handle
+        ).predicate.key
+        if parent is not None:
+            self._scope = parent._scope.derive(predicate_key)
+            self.block.planner.use_cache(parent._scope.cache)
+        else:
+            self._scope = ResultCacheScope(
+                cache, predicate_key=predicate_key, enabled=result_cache
+            )
+            if cache is not None:
+                self.block.planner.use_cache(cache)
         self._views: OrderedDict[str, Dataset] = OrderedDict()
         # Serialises view-cache mutation: 'where' reads mutate the LRU
         # (move_to_end / insert / evict), which must stay safe under a
@@ -138,11 +171,16 @@ class Dataset:
         predicate: Predicate = ALWAYS_TRUE,
         policy: CachePolicy | None = None,
         shard_level: int | None = None,
+        cache: TieredCache | None = None,
+        result_cache: bool = True,
     ) -> "Dataset":
         """Build a dataset of ``kind`` from extracted base data.
 
         The base data is retained on the dataset: filtered views
         (:meth:`view`) rebuild per-predicate blocks from it on demand.
+        ``cache`` binds the dataset to a private tiered cache (default:
+        the process-wide shared one); ``result_cache=False`` turns off
+        whole-answer caching while keeping covering reuse.
         """
         if kind == "geoblock":
             handle: Handle = GeoBlock.build(base, level, predicate)
@@ -154,7 +192,7 @@ class Dataset:
             handle = AdaptiveGeoBlock(GeoBlock.build(base, level, predicate), policy)
         else:
             raise ApiError(BAD_REQUEST, f"unknown dataset kind {kind!r}; use one of {KINDS}")
-        return cls(handle, name=name, base=base)
+        return cls(handle, name=name, base=base, cache=cache, result_cache=result_cache)
 
     @classmethod
     def open(cls, path: str | pathlib.Path, name: str | None = None) -> "Dataset":
@@ -214,6 +252,37 @@ class Dataset:
     def is_view(self) -> bool:
         """Whether this dataset is a filtered view of another."""
         return self._parent is not None
+
+    # -- cache plumbing ----------------------------------------------------
+
+    @property
+    def cache_scope(self) -> ResultCacheScope:
+        """The dataset's result-tier handle (token, predicate key,
+        enabled flag); views share their root's token."""
+        return self._scope
+
+    def bind_cache(self, cache: TieredCache, result_cache: bool | None = None) -> None:
+        """Re-point this dataset (and its cached views) at ``cache``.
+
+        The service-level configuration hook: covering lookups and
+        result probes move to the given tiered cache; entries in the
+        previous cache stay behind and age out there.
+        """
+        self._scope.rebind(cache)
+        if result_cache is not None:
+            self._scope.enabled = result_cache
+        self.block.planner.use_cache(cache)
+        with self._views_lock:
+            views = list(self._views.values())
+        for view in views:
+            view.bind_cache(cache, result_cache)
+
+    def invalidate_cache(self) -> int:
+        """Eagerly drop this dataset's result-tier entries (all
+        versions, all views -- they share the token).  Appends already
+        invalidate lazily by bumping :attr:`version`; this is the
+        explicit memory-reclaim hook."""
+        return self._scope.invalidate()
 
     def describe(self) -> dict:
         """JSON-compatible summary (what a service catalog endpoint
@@ -489,13 +558,75 @@ class Dataset:
             return view._execute(request)
         return self._execute(request)
 
+    def _result_key(self, request: QueryRequest) -> tuple | None:
+        """The result-tier key of a single-region request, or ``None``
+        when the request is not cacheable (grouped requests answer
+        per-feature; cell-union targets carry no geometry).
+
+        The version component is the *aggregates'* mutation counter,
+        not this facade's :attr:`version`: the counter lives on the
+        object writes actually mutate, so an append through any other
+        wrapper of the same block (another ``Dataset`` over the same
+        handle, a direct ``core.updates`` call) invalidates this
+        facade's entries too.  Mode, trie hint, and the count-only flag
+        are key components because each pins a distinct float-fold (or
+        count) sequence; a cached answer is byte-identical only under
+        the same model.
+        """
+        if request.grouped:
+            return None
+        data_version = self.block.aggregates.data_version
+        if request.count_only:
+            # The Listing 2 path ignores mode and bypasses the trie.
+            return self._scope.key(
+                request.target, data_version, "count_only", None, False, True
+            )
+        trie = request.cache and isinstance(self._handle, AdaptiveGeoBlock)
+        return self._scope.key(
+            request.target,
+            data_version,
+            aggregate_key(request.aggregates),
+            request.mode or self.block.query_mode,
+            trie,
+            False,
+        )
+
+    def _cached_response(self, result, latency_ms: float) -> QueryResponse:  # noqa: ANN001
+        """A response rebuilt from a result-tier hit: values and count
+        are the exact cached objects; the probe/hit counters describe
+        the execution that originally produced them."""
+        result = result.as_cached()
+        return QueryResponse(
+            values=dict(result.values),
+            count=result.count,
+            stats=QueryStats(
+                cells_probed=result.cells_probed,
+                cache_hits=result.cache_hits,
+                latency_ms=latency_ms,
+                covering_cached=int(result.covering_cached),
+                result_cached=int(result.result_cached),
+            ),
+            dataset=self.name,
+            version=self._version,
+        )
+
     def _execute(self, request: QueryRequest) -> QueryResponse:
         """Carry out a validated request against this dataset's block
-        (``where`` already resolved to a view by :meth:`query`)."""
+        (``where`` already resolved to a view by :meth:`query`).
+
+        Single-region requests probe the result tier first: a hit
+        serves the exact stored :class:`QueryResult` -- covering and
+        execution both skipped -- and is byte-identical to cold
+        execution because the tier stores outcomes, never recomputes.
+        """
         if request.grouped:
             return self._execute_grouped(request)
         handle = self._execution_handle(request)
+        key = self._result_key(request)
         start = perf_counter()
+        cached = self._scope.probe(key)
+        if cached is not None:
+            return self._cached_response(cached, (perf_counter() - start) * 1e3)
         covering_cached = 0
         if request.count_only:
             # Plan once; executor.count is exactly what block.count runs.
@@ -505,15 +636,25 @@ class Dataset:
             result_values: dict[str, float] = {}
             probed, hits = plan.num_cells, 0
             covering_cached = int(plan.from_cache)
+            self._scope.fill(
+                key,
+                EngineResult(
+                    values={},
+                    count=count,
+                    cells_probed=probed,
+                    covering_cached=plan.from_cache,
+                ),
+            )
         else:
             result = handle.select(request.target, list(request.aggregates), mode=request.mode)
             count = result.count
             result_values = result.values
             probed, hits = result.cells_probed, result.cache_hits
             covering_cached = int(result.covering_cached)
+            self._scope.fill(key, result)
         latency_ms = (perf_counter() - start) * 1e3
         return QueryResponse(
-            values=result_values,
+            values=dict(result_values),
             count=count,
             stats=QueryStats(
                 cells_probed=probed,
@@ -613,10 +754,23 @@ class Dataset:
         # engine pass.
         cache_matters = isinstance(self._handle, AdaptiveGeoBlock)
         groups: dict[tuple[str | None, bool], list[int]] = {}
+        fill_keys: dict[int, tuple | None] = {}
         for index, request in enumerate(parsed):
             if request.count_only or request.grouped or request.where is not None:
                 responses[index] = self.query(request)
                 continue
+            # Result-tier probe: members already answered (same region,
+            # aggregates, version, and hints) never reach the engine
+            # pass; the rest execute batched and fill on the way out.
+            key = self._result_key(request)
+            probe_start = perf_counter()
+            cached = self._scope.probe(key)
+            if cached is not None:
+                responses[index] = self._cached_response(
+                    cached, (perf_counter() - probe_start) * 1e3
+                )
+                continue
+            fill_keys[index] = key
             cache_key = request.cache if cache_matters else True
             groups.setdefault((request.mode, cache_key), []).append(index)
         for (mode, cache), indices in groups.items():
@@ -629,8 +783,9 @@ class Dataset:
             results = handle.run_batch(queries, mode=mode)
             latency_ms = (perf_counter() - start) * 1e3
             for index, result in zip(indices, results):
+                self._scope.fill(fill_keys[index], result)
                 responses[index] = QueryResponse(
-                    values=result.values,
+                    values=dict(result.values),
                     count=result.count,
                     stats=QueryStats(
                         cells_probed=result.cells_probed,

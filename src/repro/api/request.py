@@ -442,26 +442,45 @@ class QueryStats:
     #: answers them in one shared pass; per-member attribution would be
     #: fiction).
     latency_ms: float = 0.0
-    #: Coverings served from the planner's LRU instead of re-covering
-    #: the polygon: 0/1 for single-region queries, the number of reused
-    #: features for grouped requests.
+    #: Coverings served from the shared covering tier instead of
+    #: re-covering the polygon: 0/1 for single-region queries, the
+    #: number of reused features for grouped requests.
     covering_cached: int = 0
+    #: Whole answers served from the result tier (covering *and*
+    #: execution skipped): 0/1 for single-region queries, the number of
+    #: short-circuited members for batches routed through one response.
+    result_cached: int = 0
 
     def to_dict(self) -> dict:
+        """The v2 stats object.
+
+        ``cache`` is the full per-response cache block (covering-tier
+        reuse, result-tier short-circuits, AggregateTrie cell hits);
+        the flat ``cache_hits`` / ``covering_cached`` keys are kept for
+        pre-cache-subsystem readers and mirror the block exactly.
+        """
         return {
             "cells_probed": self.cells_probed,
             "cache_hits": self.cache_hits,
             "latency_ms": self.latency_ms,
             "covering_cached": self.covering_cached,
+            "cache": {
+                "covering_cached": self.covering_cached,
+                "result_cached": self.result_cached,
+                "trie_hits": self.cache_hits,
+            },
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "QueryStats":
+        cache = payload.get("cache")
+        cache = cache if isinstance(cache, Mapping) else {}
         return cls(
             cells_probed=int(payload.get("cells_probed", 0)),
             cache_hits=int(payload.get("cache_hits", 0)),
             latency_ms=float(payload.get("latency_ms", 0.0)),
-            covering_cached=int(payload.get("covering_cached", 0)),
+            covering_cached=int(payload.get("covering_cached", cache.get("covering_cached", 0))),
+            result_cached=int(cache.get("result_cached", 0)),
         )
 
 

@@ -20,6 +20,7 @@ import pathlib
 from typing import Iterator, Mapping, Sequence
 
 from repro.api.dataset import Dataset, Handle
+from repro.cache.tiers import TieredCache, get_cache
 from repro.api.errors import (
     BAD_REQUEST,
     UNKNOWN_DATASET,
@@ -37,10 +38,26 @@ from repro.api.request import (
 
 
 class GeoService:
-    """A registry of named :class:`Dataset` handles plus query routing."""
+    """A registry of named :class:`Dataset` handles plus query routing.
 
-    def __init__(self) -> None:
+    ``cache`` binds every registered dataset to a private
+    :class:`~repro.cache.tiers.TieredCache` instead of the process-wide
+    shared one (multi-tenant isolation, or custom sizing via
+    :class:`~repro.cache.tiers.CacheConfig`); ``result_cache=False``
+    turns off whole-answer caching service-wide while keeping covering
+    reuse.  :meth:`stats` exposes both tiers' telemetry and
+    :meth:`invalidate` is the eager result-tier drop (appends already
+    invalidate lazily through the dataset version).
+    """
+
+    def __init__(
+        self,
+        cache: TieredCache | None = None,
+        result_cache: bool | None = None,
+    ) -> None:
         self._datasets: dict[str, Dataset] = {}
+        self._cache = cache
+        self._result_cache = result_cache
 
     # -- registry ----------------------------------------------------------
 
@@ -52,6 +69,12 @@ class GeoService:
         if not isinstance(dataset, Dataset):
             dataset = Dataset(dataset)
         dataset.name = name
+        if self._cache is not None or self._result_cache is not None:
+            # With only the result_cache flag configured, keep the
+            # dataset's own cache binding (it may be private) and just
+            # toggle the flag.
+            cache = self._cache if self._cache is not None else dataset.cache_scope.cache
+            dataset.bind_cache(cache, self._result_cache)
         self._datasets[name] = dataset
         return dataset
 
@@ -96,6 +119,64 @@ class GeoService:
     def describe(self) -> dict:
         """Catalog endpoint payload: every dataset's summary."""
         return {"datasets": [self._datasets[name].describe() for name in self.names]}
+
+    # -- cache telemetry and invalidation ----------------------------------
+
+    @property
+    def cache(self) -> TieredCache:
+        """The tiered cache this service's datasets answer through (the
+        process-wide shared one unless configured privately)."""
+        return self._cache if self._cache is not None else get_cache()
+
+    def stats(self) -> dict:
+        """Serving telemetry: per-tier cache counters (hits, misses,
+        evictions, entries, bytes) plus each dataset's version and
+        result-cache state -- the payload a metrics endpoint scrapes.
+
+        Counters aggregate over every *distinct* cache the registered
+        datasets actually serve through (a dataset bound to a private
+        cache at build time keeps it).  Note that the default shared
+        cache is process-wide: when this service serves through it,
+        the counters include every other component sharing it (other
+        services, raw engine use); bind a private ``TieredCache`` for
+        strictly per-service numbers.
+        """
+        caches: list = []
+        for dataset in self._datasets.values():
+            cache = dataset.cache_scope.cache
+            if not any(cache is seen for seen in caches):
+                caches.append(cache)
+        if not caches:
+            caches.append(self.cache)
+        snapshots = [cache.stats() for cache in caches]  # one snapshot per cache
+        merged: dict = {}
+        for tier in ("covering", "result"):
+            totals = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0, "bytes": 0}
+            for snapshot in snapshots:
+                for key, value in snapshot[tier].items():
+                    if key in totals:
+                        totals[key] += value
+            lookups = totals["hits"] + totals["misses"]
+            merged[tier] = dict(totals, hit_rate=totals["hits"] / lookups if lookups else 0.0)
+        return {
+            "cache": merged,
+            "datasets": {
+                name: {
+                    "version": dataset.version,
+                    "result_cache": dataset.cache_scope.enabled,
+                }
+                for name, dataset in sorted(self._datasets.items())
+            },
+        }
+
+    def invalidate(self, name: str | None = None) -> int:
+        """Eagerly drop result-tier entries: one dataset's (by name) or
+        every registered dataset's; returns how many entries were
+        dropped.  Version keys already invalidate lazily on append --
+        this is the explicit memory-reclaim hook."""
+        if name is not None:
+            return self.dataset(name).invalidate_cache()
+        return sum(dataset.invalidate_cache() for dataset in self._datasets.values())
 
     # -- query routing -----------------------------------------------------
 

@@ -207,7 +207,14 @@ def _service(scale: Scale, kind: str):
     if key not in _CONTEXT_CACHE:
         service = GeoService()
         # Base data retained so v2 filtered views can build on demand.
-        service.register("bench", Dataset(_block(scale, kind), base=nyc_base(scale.config)))
+        # Result caching off: these scenarios track the *execution* cost
+        # of the serving matrix across PRs; the workload's deliberate
+        # skew repeats would otherwise serve from the result tier and
+        # time the cache instead (api_cached_wire covers that path).
+        service.register(
+            "bench",
+            Dataset(_block(scale, kind), base=nyc_base(scale.config), result_cache=False),
+        )
         requests = requests_from_workload(_workload(scale), dataset="bench")
         _CONTEXT_CACHE[key] = (service, requests)
     return _CONTEXT_CACHE[key]
@@ -308,7 +315,9 @@ def _parity_build(scale: Scale) -> Prepared:
     plain = _block(scale, "plain")
     sharded = _block(scale, "sharded")
     workload = _workload(scale)
-    dataset = Dataset(plain, name="bench")
+    # Result caching off: the api_s sample must measure the façade over
+    # a real engine pass (the workload repeats regions by design).
+    dataset = Dataset(plain, name="bench", result_cache=False)
 
     def thunk() -> dict:
         seq_seconds, seq_results = run_workload(plain, workload)
@@ -432,27 +441,34 @@ def _filtered_view_build(scale: Scale) -> Prepared:
     return Prepared(thunk, finalize)
 
 
-def _append_build(scale: Scale) -> Prepared:
-    """The write path: build a fresh block and fold a batch of new rows
-    through ``Dataset.append`` (trie/dirty-shard bookkeeping included);
-    a fresh build per sample keeps repeats independent."""
+def _append_batch(scale: Scale, base) -> list[dict]:  # noqa: ANN001 - BaseData
+    """The shared 200-row synthetic write batch of the append-path
+    scenarios (one generator, so api_append and api_cache_invalidation
+    always exercise the same workload)."""
     import numpy as np
 
-    from repro.api import Dataset
-
-    base = nyc_base(scale.config)
-    level = scale.config.nyc_level(scale.config.block_level)
     rng = np.random.default_rng(scale.config.seed)
     names = base.table.schema.names
     batch = 200
     xs = rng.normal(-73.93, 0.05, batch)
     ys = rng.normal(40.74, 0.04, batch)
     columns = {name: rng.gamma(3.0, 4.0, batch) for name in names}
-    rows = [
+    return [
         {"x": float(xs[index]), "y": float(ys[index])}
         | {name: float(columns[name][index]) for name in names}
         for index in range(batch)
     ]
+
+
+def _append_build(scale: Scale) -> Prepared:
+    """The write path: build a fresh block and fold a batch of new rows
+    through ``Dataset.append`` (trie/dirty-shard bookkeeping included);
+    a fresh build per sample keeps repeats independent."""
+    from repro.api import Dataset
+
+    base = nyc_base(scale.config)
+    level = scale.config.nyc_level(scale.config.block_level)
+    rows = _append_batch(scale, base)
 
     def thunk() -> dict:
         dataset = Dataset.build(base, level, name="bench")
@@ -498,6 +514,173 @@ register(
         description="Dataset.build + a 200-row append batch (the v2 write path)",
         build=_append_build,
         strict_metrics=("queries", "appended", "tuples"),
+    )
+)
+
+
+# -- query-cache serving scenarios --------------------------------------------------
+
+
+def _cached_wire_build(scale: Scale) -> Prepared:
+    """Identical GeoJSON re-sent N times -- the acceptance scenario of
+    the cache subsystem.  Two serving paths over the same block: a
+    result-cache-off dataset isolates the covering tier (every re-sent
+    polygon parses fresh, so identity keys scored 0% here), and a
+    default dataset measures the result tier's whole-answer
+    short-circuit plus its parity against the cold answers."""
+    import json
+
+    from repro.api import Dataset, GeoService, TieredCache
+    from repro.api.geojson import region_to_geojson
+
+    block = _block(scale, "plain")
+    polygons = nyc_neighborhoods(seed=scale.config.seed)[:6]
+    sends = 16  # covering hit rate = 1 - 1/sends = 0.9375 per path
+    payloads = [
+        json.dumps(
+            {
+                "v": 2,
+                "dataset": "bench",
+                "region": region_to_geojson(polygon),
+                "aggregates": ["count", "sum:fare_amount", "avg:trip_distance"],
+            }
+        )
+        for polygon in polygons
+    ]
+    # Two independent wrappers over the same aggregates: each service
+    # binds its dataset's planner to its own cache, so the paths must
+    # not share a block.
+    covering_dataset = Dataset(GeoBlock(block.space, block.level, block.aggregates))
+    result_dataset = Dataset(GeoBlock(block.space, block.level, block.aggregates))
+
+    def thunk() -> dict:
+        from time import perf_counter
+
+        covering_service = GeoService(cache=TieredCache(), result_cache=False)
+        covering_service.register("bench", covering_dataset)
+        result_service = GeoService(cache=TieredCache())
+        result_service.register("bench", result_dataset)
+        identical = True
+        cold: list[dict] = []
+        pass_times: list[float] = []
+        for service in (covering_service, result_service):
+            for round_index in range(sends):
+                start = perf_counter()
+                for payload_index, payload in enumerate(payloads):
+                    envelope = service.run_dict(json.loads(payload))
+                    if not envelope.get("ok"):
+                        identical = False
+                        continue
+                    if service is result_service:
+                        if round_index == 0:
+                            cold.append(envelope["data"])
+                        elif envelope["data"] != cold[payload_index]:
+                            identical = False
+                if service is result_service:
+                    pass_times.append(perf_counter() - start)
+        covering_stats = covering_service.stats()["cache"]["covering"]
+        result_stats = result_service.stats()["cache"]["result"]
+        warm = sorted(pass_times[1:])[len(pass_times[1:]) // 2]
+        return {
+            "queries": float(2 * sends * len(payloads)),
+            "covering_hit_rate": covering_stats["hit_rate"],
+            "result_hit_rate": result_stats["hit_rate"],
+            "identical": 1.0 if identical else 0.0,
+            "cold_ms_per_query": pass_times[0] * 1e3 / len(payloads),
+            "warm_ms_per_query": warm * 1e3 / len(payloads),
+            "warm_speedup": pass_times[0] / max(warm, 1e-12),
+        }
+
+    return Prepared(thunk, lambda last: {"metrics": dict(last)})
+
+
+def _cache_invalidation_build(scale: Scale) -> Prepared:
+    """Append-then-query: a warm result tier must never serve stale
+    answers.  Each sample builds a fresh dataset (appends mutate the
+    aggregates), warms the tier, appends a batch, and asserts the
+    post-append answer is a cache miss bit-identical to uncached
+    execution over the mutated block."""
+    import json
+
+    from repro.api import Dataset, QueryRequest, TieredCache
+    from repro.api.geojson import region_to_geojson
+
+    base = nyc_base(scale.config)
+    level = scale.config.nyc_level(scale.config.block_level)
+    polygon = nyc_neighborhoods(seed=scale.config.seed)[0]
+    region_json = json.dumps(region_to_geojson(polygon))
+    aggs = ["count", "sum:fare_amount", "avg:trip_distance"]
+    rows = _append_batch(scale, base)
+
+    def fresh_request() -> QueryRequest:
+        return QueryRequest(region=json.loads(region_json), aggregates=aggs)
+
+    def thunk() -> dict:
+        dataset = Dataset.build(base, level, name="bench", cache=TieredCache())
+        first = dataset.query(fresh_request())
+        hit = dataset.query(fresh_request())
+        appended = dataset.append(rows)
+        post = dataset.query(fresh_request())
+        # Ground truth: uncached execution over the same mutated block.
+        twin = Dataset(dataset.handle, result_cache=False)
+        want = twin.query(fresh_request())
+        identical = post.count == want.count and set(post.values) == set(want.values)
+        for key, value in want.values.items():
+            if value == value and post.values[key] != value:
+                identical = False
+        return {
+            "queries": 4.0,
+            "hit_pre_append": float(hit.stats.result_cached),
+            "invalidated": 0.0 if post.stats.result_cached else 1.0,
+            "identical": 1.0 if identical else 0.0,
+            "appended": float(appended.appended),
+            "version": float(post.version),
+            "count_delta": float(post.count - first.count),
+        }
+
+    return Prepared(thunk, lambda last: {"metrics": dict(last)})
+
+
+register(
+    Scenario(
+        name="api_cached_wire",
+        group="serving",
+        description=(
+            "identical GeoJSON re-sent 16x per polygon: covering-tier hit rate "
+            "on a result-cache-off path, result-tier short-circuit + parity on "
+            "the default path"
+        ),
+        build=_cached_wire_build,
+        strict_metrics=("queries", "covering_hit_rate", "result_hit_rate", "identical"),
+        metric_bounds={
+            "covering_hit_rate": (0.9, None),
+            "result_hit_rate": (0.9, None),
+            "identical": (1.0, 1.0),
+        },
+    )
+)
+
+register(
+    Scenario(
+        name="api_cache_invalidation",
+        group="serving",
+        description=(
+            "append-then-query through a warm result tier: the post-append "
+            "answer must miss the cache and match uncached execution exactly"
+        ),
+        build=_cache_invalidation_build,
+        strict_metrics=(
+            "queries",
+            "hit_pre_append",
+            "invalidated",
+            "identical",
+            "appended",
+        ),
+        metric_bounds={
+            "hit_pre_append": (1.0, 1.0),
+            "invalidated": (1.0, 1.0),
+            "identical": (1.0, 1.0),
+        },
     )
 )
 

@@ -8,6 +8,7 @@ region coverer producing error-bounded polygon approximations.
 
 from repro.cells.cellid import CellId
 from repro.cells.coverer import CovererOptions, RegionCoverer, covering_error_bound_meters
+from repro.cells.fingerprint import region_fingerprint
 from repro.cells.curves import HILBERT, MAX_LEVEL, MORTON, Curve, HilbertCurve, MortonCurve, curve_by_name
 from repro.cells.space import EARTH, EARTH_BOUNDS, CellSpace
 from repro.cells.stats import LevelStats, level_for_max_diagonal, level_stats, stats_table
@@ -32,6 +33,7 @@ __all__ = [
     "curve_by_name",
     "level_for_max_diagonal",
     "level_stats",
+    "region_fingerprint",
     "stats_table",
     "union_of_leaf_range",
 ]

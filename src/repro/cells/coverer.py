@@ -51,34 +51,25 @@ class CovererOptions:
 class RegionCoverer:
     """Computes exterior and interior cell coverings of polygonal regions.
 
-    With ``cache=True`` coverings are memoised per (region identity,
-    level).  Regions are immutable, so this is always safe; it turns
-    repeated queries for the same polygon -- the dominant pattern in
-    exploratory workloads -- into a dictionary lookup, approximating
-    the negligible covering cost of the paper's C++/S2 stack.
+    The coverer is a pure computation: memoisation lives in the bounded,
+    content-addressed covering tier of :mod:`repro.cache` (which the
+    engine planner consults before calling in here).  The coverer's own
+    per-instance memo of earlier revisions was unbounded and identity-
+    keyed -- a leak in long-running servers and a guaranteed miss for
+    wire-parsed regions -- so it was removed rather than bounded.
     """
 
     def __init__(
         self,
         space: CellSpace,
         options: CovererOptions | None = None,
-        cache: bool = False,
     ) -> None:
         self._space = space
         self._options = options or CovererOptions()
-        # Maps id(region) -> (region, {level: union}); holding the
-        # region pins its id for the cache's lifetime.
-        self._cache: dict[int, tuple[Region, dict[int, CellUnion]]] | None = (
-            {} if cache else None
-        )
 
     @property
     def space(self) -> CellSpace:
         return self._space
-
-    def clear_cache(self) -> None:
-        if self._cache is not None:
-            self._cache.clear()
 
     # -- public API -------------------------------------------------------
 
@@ -90,17 +81,7 @@ class RegionCoverer:
         finer than ``level`` (coverings must not be finer than the
         GeoBlock's grid, Section 3.5).
         """
-        if self._cache is None:
-            return self._cover_vectorised(region, level, interior=False)
-        key = id(region)
-        entry = self._cache.get(key)
-        if entry is None or entry[0] is not region:
-            entry = (region, {})
-            self._cache[key] = entry
-        by_level = entry[1]
-        if level not in by_level:
-            by_level[level] = self._cover_vectorised(region, level, interior=False)
-        return by_level[level]
+        return self._cover_vectorised(region, level, interior=False)
 
     def interior_covering(self, region: Region, level: int) -> CellUnion:
         """Interior covering: every cell lies fully inside the region."""

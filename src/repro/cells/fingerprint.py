@@ -1,0 +1,94 @@
+"""Content-addressed region fingerprints.
+
+The query-cache subsystem (:mod:`repro.cache`) keys everything derived
+from a query region -- coverings, interior rectangles, whole query
+results -- by a *fingerprint* of the region's geometry rather than by
+object identity.  Identity keys (the pre-cache-subsystem design) are
+useless on the serving path: every wire request parses a fresh
+:class:`~repro.geometry.polygon.Polygon` from GeoJSON, so two identical
+requests never share a key.  A fingerprint is a stable hash over the
+region's vertex arrays, so *any* route to the same geometry -- wire
+payloads, fluent queries, batch workloads, replayed requests -- lands on
+the same cache entries.
+
+Fingerprints are representation-level: two polygons fingerprint equal
+iff their normalised vertex arrays are byte-equal (Polygon construction
+already normalises ring orientation to counter-clockwise and drops the
+closing vertex, so a GeoJSON payload re-parsed any number of times is
+byte-stable).  Semantically equal polygons written with a rotated vertex
+order hash differently -- that only costs a cache miss, never a wrong
+answer.
+
+Hashing a few hundred float64 vertices with BLAKE2 costs single-digit
+microseconds; a small identity-keyed memo on top makes the repeated-
+object case (workload replays holding stable region objects) a
+dictionary lookup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+#: Entries kept by the identity memo (regions pinned alive with their
+#: fingerprint, so ``id`` reuse can never alias).
+MEMO_ENTRIES = 4096
+
+_memo: OrderedDict[int, tuple[object, str]] = OrderedDict()
+_memo_lock = threading.Lock()
+
+
+def _digest_polygon(digest: "hashlib._Hash", polygon: Polygon) -> None:
+    digest.update(b"P")
+    digest.update(len(polygon.xs).to_bytes(4, "little"))
+    digest.update(polygon.xs.tobytes())
+    digest.update(polygon.ys.tobytes())
+
+
+def _fingerprint(region: object) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    if isinstance(region, BoundingBox):
+        digest.update(b"B")
+        digest.update(
+            b"".join(
+                value.hex().encode() + b","
+                for value in (region.min_x, region.min_y, region.max_x, region.max_y)
+            )
+        )
+    elif isinstance(region, Polygon):
+        _digest_polygon(digest, region)
+    elif isinstance(region, MultiPolygon):
+        digest.update(b"M")
+        for part in region.parts:
+            _digest_polygon(digest, part)
+    else:
+        raise TypeError(
+            f"cannot fingerprint {type(region).__name__}; regions are "
+            "Polygon, MultiPolygon, or BoundingBox"
+        )
+    return digest.hexdigest()
+
+
+def region_fingerprint(region: object) -> str:
+    """Stable content hash of a query region (hex, 32 chars).
+
+    Thread-safe; memoised by object identity so replayed workloads pay
+    the hash once per region object.
+    """
+    key = id(region)
+    with _memo_lock:
+        entry = _memo.get(key)
+        if entry is not None and entry[0] is region:
+            _memo.move_to_end(key)
+            return entry[1]
+    fingerprint = _fingerprint(region)
+    with _memo_lock:
+        _memo[key] = (region, fingerprint)
+        _memo.move_to_end(key)
+        while len(_memo) > MEMO_ENTRIES:
+            _memo.popitem(last=False)
+    return fingerprint

@@ -59,6 +59,7 @@ class CellAggregates:
         "sums",
         "mins",
         "maxs",
+        "data_version",
     )
 
     def __init__(
@@ -82,6 +83,13 @@ class CellAggregates:
         self.sums = sums
         self.mins = mins
         self.maxs = maxs
+        #: Monotonic mutation counter, bumped by every in-place write
+        #: (:mod:`repro.core.updates`).  It lives on the aggregates --
+        #: the object writes actually mutate, shared by every zero-copy
+        #: wrapper -- so version-keyed caches over *any* facade of this
+        #: data (:mod:`repro.cache`) invalidate when any facade writes.
+        #: Transient: not serialized; a freshly loaded block starts at 0.
+        self.data_version = 0
 
     # -- construction --------------------------------------------------
 

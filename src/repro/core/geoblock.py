@@ -101,7 +101,9 @@ class GeoBlock:
                 f"cannot refine level {self._level} block to level {level}; "
                 "finer blocks require re-scanning the base data"
             )
-        return GeoBlock(self._space, level, self._aggregates.coarsen(level), self._predicate)
+        coarse = GeoBlock(self._space, level, self._aggregates.coarsen(level), self._predicate)
+        coarse.planner.use_cache(self._planner.cache)
+        return coarse
 
     # -- accessors ----------------------------------------------------------
 

@@ -66,6 +66,9 @@ def apply_update(
         _splice_row(aggregates, row, cell, leaf, values)
     # Later cells start one tuple further into the base data.
     aggregates.offsets[row + 1 :] += 1
+    # Any version-keyed cache over this data (repro.cache) must miss
+    # from now on, whichever facade wraps these aggregates.
+    aggregates.data_version += 1
     if refresh:
         refresh_header(block)
     # Sharded blocks adjust only the dirty shard's bounds here.

@@ -6,8 +6,10 @@ runners -- flows through this package's two-stage pipeline:
 
 1. the **planner** (:mod:`repro.engine.planner`) turns a polygon or
    pre-computed covering into a :class:`~repro.engine.planner.QueryPlan`
-   -- an LRU-cached, header-pruned covering plus the per-cell
-   AggregateTrie probe decisions of Figure 8;
+   -- a header-pruned covering served from the process-wide covering
+   tier of :mod:`repro.cache` (content-addressed, shared by every
+   block, view, and baseline) plus the per-cell AggregateTrie probe
+   decisions of Figure 8;
 2. the **executor** (:mod:`repro.engine.executor`) carries the plan out
    under either execution model (vectorised or scalar), answers whole
    batches in one shared pass (``run_batch``), and defines the probe /
@@ -32,14 +34,12 @@ from repro.engine.executor import (
     union_ranges,
 )
 from repro.engine.planner import (
-    CoveringCache,
     Planner,
     QueryPlan,
     QueryTarget,
 )
 
 __all__ = [
-    "CoveringCache",
     "Executor",
     "Planner",
     "QueryPlan",

@@ -1,12 +1,21 @@
 """Query planning: from a region (or pre-computed union) to a QueryPlan.
 
 The planner owns everything that happens *before* an index structure is
-probed: polygon covering (with an LRU cache so repeated and skewed
-workloads never re-cover the same polygon), pruning against a block's
-global header (Listing 1, lines 5-6), and -- for query-cache accelerated
-blocks -- the per-cell AggregateTrie probe decisions of Figure 8.  The
-resulting :class:`QueryPlan` is a pure description of the work; the
+probed: polygon covering, pruning against a block's global header
+(Listing 1, lines 5-6), and -- for query-cache accelerated blocks --
+the per-cell AggregateTrie probe decisions of Figure 8.  The resulting
+:class:`QueryPlan` is a pure description of the work; the
 :mod:`repro.engine.executor` carries it out.
+
+Coverings (and the interior rectangles of the aR-tree / PH-tree
+approximation) are served from the process-wide covering tier of
+:mod:`repro.cache`: entries are keyed by ``(cell space, region
+fingerprint, level)``, so every planner in the process -- one per
+block, view, shard partition, or baseline -- shares one bounded LRU,
+and a polygon parsed fresh from a wire payload hits the covering a
+previous request computed.  The tier is thread-safe, so planners may be
+driven from the sharded blocks' fan-out pool or a threaded serving
+adapter without coordination.
 
 Separating the covering/planning step from the probe step follows the
 adaptive-join design of Kipf et al.: each side can be specialised (the
@@ -16,14 +25,15 @@ the other noticing.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Union
 
 import numpy as np
 
+from repro.cache.tiers import MISSING, TieredCache, get_cache
 from repro.cells import cellid
 from repro.cells.coverer import RegionCoverer
+from repro.cells.fingerprint import region_fingerprint
 from repro.cells.space import CellSpace
 from repro.cells.union import CellUnion
 from repro.core.header import GlobalHeader
@@ -36,10 +46,9 @@ from repro.geometry.relate import Region
 #: pre-computed covering.
 QueryTarget = Union[Region, CellUnion]
 
-#: Default number of (region, level) coverings kept by the LRU cache.
-#: Workloads in the paper query a few hundred distinct polygons; the
-#: default keeps every covering of several concurrent workloads hot.
-DEFAULT_CACHE_ENTRIES = 4096
+#: Tag distinguishing interior-rectangle entries from coverings in the
+#: shared covering tier (levels are non-negative, so -1 cannot collide).
+_RECT_TAG = -1
 
 
 @dataclass(slots=True)
@@ -50,8 +59,8 @@ class QueryPlan:
     ``probes`` carries the per-covering-cell cache decisions (aligned
     with ``union.ids``) when the plan targets a query-cache accelerated
     block, and is ``None`` for plain blocks.  ``from_cache`` records
-    whether the covering was served by the planner's LRU cache (the
-    covering-cache hit rate reported by the batch benchmarks).
+    whether the covering was served by the shared covering tier (the
+    covering-cache hit rate reported by the serving stats).
 
     Plans are treated as immutable descriptions; the class is not
     frozen only because plans sit on the per-query hot path and
@@ -68,89 +77,27 @@ class QueryPlan:
         return len(self.union)
 
 
-#: Sentinel distinguishing "not cached" from a cached ``None`` value.
-_MISSING = object()
-
-
-class CoveringCache:
-    """Bounded LRU of region-derived values keyed by identity + tag.
-
-    Regions are immutable, so identity-keyed memoisation is always safe;
-    holding the region object pins its ``id`` for the entry's lifetime.
-    The tag is the covering level for coverings (and 0 for derived
-    interior rectangles, which reuse this class).  Unlike the unbounded
-    memo inside :class:`RegionCoverer`, this cache evicts least-
-    recently-used entries, which keeps long-running servers bounded
-    while skewed workloads (the paper's Figure 17 access pattern) stay
-    entirely cached.
-    """
-
-    __slots__ = ("_entries", "_max_entries", "hits", "misses")
-
-    def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
-        if max_entries < 1:
-            raise ValueError("covering cache needs at least one entry")
-        self._entries: OrderedDict[tuple[int, int], tuple[Region, object]] = OrderedDict()
-        self._max_entries = max_entries
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    @property
-    def max_entries(self) -> int:
-        return self._max_entries
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def get(self, region: Region, level: int, default: object = None) -> object:
-        key = (id(region), level)
-        entry = self._entries.get(key)
-        if entry is None or entry[0] is not region:
-            self.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry[1]
-
-    def put(self, region: Region, level: int, value: object) -> None:
-        key = (id(region), level)
-        self._entries[key] = (region, value)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
-
-    def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-
-
 class Planner:
     """Turns query targets into :class:`QueryPlan` objects.
 
     One planner serves one spatial structure: it knows the structure's
-    cell space and covering level and owns the covering LRU.  Rectangle-
-    based structures (aR-tree, PH-tree) use the same planner for their
-    interior-rectangle approximation, which shares the LRU budget and
-    the warm-up contract of the covering path.
+    cell space and covering level and holds a handle on the (by default
+    process-wide) tiered cache.  Rectangle-based structures (aR-tree,
+    PH-tree) use the same planner for their interior-rectangle
+    approximation, which shares the covering tier and the warm-up
+    contract of the covering path.
     """
 
     def __init__(
         self,
         space: CellSpace,
         level: int | None = None,
-        cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        cache: TieredCache | None = None,
     ) -> None:
         self._space = space
         self._level = level
         self._coverer = RegionCoverer(space)
-        self._cache = CoveringCache(cache_entries)
-        self._rects = CoveringCache(cache_entries)
+        self._cache = cache if cache is not None else get_cache()
 
     # -- accessors -------------------------------------------------------
 
@@ -163,33 +110,37 @@ class Planner:
         return self._level
 
     @property
-    def cache(self) -> CoveringCache:
+    def cache(self) -> TieredCache:
+        """The tiered cache this planner resolves coverings through."""
         return self._cache
 
-    @property
-    def rect_cache(self) -> CoveringCache:
-        """The interior-rectangle LRU (aR-tree / PH-tree planning)."""
-        return self._rects
+    def use_cache(self, cache: TieredCache) -> None:
+        """Re-point this planner at another tiered cache (per-service
+        configuration hook); previously cached coverings stay behind."""
+        self._cache = cache
 
     # -- coverings -------------------------------------------------------
 
     def covering(self, region: Region, level: int | None = None) -> CellUnion:
-        """Error-bounded covering of ``region``, LRU-cached."""
+        """Error-bounded covering of ``region``, served from the shared
+        covering tier."""
         union, _ = self._covering_with_origin(region, level)
         return union
 
     def _covering_with_origin(
         self, region: Region, level: int | None = None
     ) -> tuple[CellUnion, bool]:
-        """Covering plus whether it was served from the LRU cache."""
+        """Covering plus whether it was served from the covering tier."""
         resolved = self._level if level is None else level
         if resolved is None:
             raise ValueError("planner has no covering level configured")
-        cached = self._cache.get(region, resolved)
+        key = (self._space, region_fingerprint(region), resolved)
+        tier = self._cache.coverings
+        cached = tier.get(key)
         if cached is not None:
             return cached, True
         union = self._coverer.covering(region, resolved)
-        self._cache.put(region, resolved, union)
+        tier.put(key, union, nbytes=union.ids.nbytes)
         return union, False
 
     def warm(self, region: Region) -> None:
@@ -208,18 +159,21 @@ class Planner:
     # -- interior rectangles (aR-tree / PH-tree approximation) -----------
 
     def interior_rect(self, region: Region) -> BoundingBox | None:
-        """Largest-known interior rectangle of ``region``, LRU-cached.
+        """Largest-known interior rectangle of ``region``, cached in the
+        covering tier under the rectangle tag.
 
         A degenerate region may legitimately derive ``None``, so misses
         are distinguished with a sentinel rather than ``None``.
         """
         if isinstance(region, BoundingBox):
             return region
-        cached = self._rects.get(region, 0, default=_MISSING)
-        if cached is not _MISSING:
+        key = (self._space, region_fingerprint(region), _RECT_TAG)
+        tier = self._cache.coverings
+        cached = tier.get(key, default=MISSING)
+        if cached is not MISSING:
             return cached  # type: ignore[return-value]
         rect = interior_box(region)
-        self._rects.put(region, 0, rect)
+        tier.put(key, rect, nbytes=48)
         return rect
 
     # -- planning --------------------------------------------------------

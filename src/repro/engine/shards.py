@@ -23,6 +23,15 @@ What sharding buys:
 * it is the seam later scaling work (per-shard storage backends,
   distributed placement) plugs into, without touching the query path.
 
+Caching: a sharded block plans through the same tiered cache handle as
+every other block (:mod:`repro.cache`).  The covering and result tiers
+take one lock per operation, so the handle is safe to use from the
+batch fan-out pool below -- shard workers only *read* materialisation
+inputs, and any cache traffic they generate serialises on the tier
+lock, never on planner state.  ``from_block`` and ``coarsened`` keep
+the source block's cache binding, so a service-configured private
+cache survives re-wrapping.
+
 Note on float determinism: results are bit-identical to the unsharded
 block, including sums.  Ranges contained in one shard (every covering
 cell at or below ``shard_level``, the common case) fan out per shard;
@@ -208,7 +217,7 @@ class ShardedGeoBlock(GeoBlock):
         max_workers: int | None = None,
     ) -> "ShardedGeoBlock":
         """Re-wrap an existing block's aggregates (zero-copy)."""
-        return cls(
+        wrapped = cls(
             block.space,
             block.level,
             block.aggregates,
@@ -216,6 +225,8 @@ class ShardedGeoBlock(GeoBlock):
             shard_level=shard_level,
             max_workers=max_workers,
         )
+        wrapped.planner.use_cache(block.planner.cache)
+        return wrapped
 
     def coarsened(self, level: int) -> "ShardedGeoBlock":
         """A coarser *sharded* block (drop-in contract: coarsening must

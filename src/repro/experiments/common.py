@@ -300,7 +300,10 @@ def run_workload_api(
     from repro.api import Dataset, requests_from_workload
 
     if not isinstance(dataset, Dataset):
-        dataset = Dataset(dataset)
+        # Result caching off: this helper measures the serving façade's
+        # overhead over the engine pass, and workloads repeat regions on
+        # purpose -- result-tier hits would skip the engine entirely.
+        dataset = Dataset(dataset, result_cache=False)
     requests = requests_from_workload(workload)
     watch = Stopwatch()
     responses = []

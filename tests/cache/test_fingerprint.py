@@ -1,0 +1,85 @@
+"""Content-addressed region fingerprints: stability and distinctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells.fingerprint import region_fingerprint
+from repro.cells.union import CellUnion
+from repro.geometry import BoundingBox, MultiPolygon, Polygon
+
+
+def quad(offset: float = 0.0) -> Polygon:
+    return Polygon(
+        [
+            (-74.05 + offset, 40.65),
+            (-73.85 + offset, 40.63),
+            (-73.82 + offset, 40.80),
+            (-74.02 + offset, 40.82),
+        ]
+    )
+
+
+class TestStability:
+    def test_equal_content_equal_fingerprint(self):
+        """Two objects with the same vertices -- the wire-request
+        pattern, where every request parses a fresh polygon -- share a
+        fingerprint."""
+        assert region_fingerprint(quad()) == region_fingerprint(quad())
+
+    def test_fingerprint_is_deterministic_for_one_object(self):
+        polygon = quad()
+        assert region_fingerprint(polygon) == region_fingerprint(polygon)
+
+    def test_closing_vertex_normalised_away(self):
+        """GeoJSON rings repeat the closing vertex; Polygon drops it, so
+        both spellings fingerprint identically."""
+        vertices = quad().vertices()
+        closed = Polygon(vertices + vertices[:1])
+        assert region_fingerprint(closed) == region_fingerprint(quad())
+
+    def test_ring_orientation_normalised(self):
+        """Clockwise input rings are normalised to counter-clockwise at
+        construction, so both orientations fingerprint identically."""
+        vertices = quad().vertices()
+        assert region_fingerprint(Polygon(vertices[::-1])) == region_fingerprint(quad())
+
+    def test_bbox_fingerprint_stable(self):
+        box = BoundingBox(-74.0, 40.6, -73.8, 40.8)
+        clone = BoundingBox(-74.0, 40.6, -73.8, 40.8)
+        assert region_fingerprint(box) == region_fingerprint(clone)
+
+
+class TestDistinctness:
+    def test_different_geometry_differs(self):
+        assert region_fingerprint(quad()) != region_fingerprint(quad(0.01))
+
+    def test_tiny_perturbation_differs(self):
+        vertices = quad().vertices()
+        nudged = [(x + 1e-12, y) for x, y in vertices[:1]] + vertices[1:]
+        assert region_fingerprint(Polygon(nudged)) != region_fingerprint(quad())
+
+    def test_bbox_differs_from_equivalent_polygon(self):
+        """Type-tagged: a bbox and the rectangle polygon over it are
+        distinct cacheable objects (their covering paths differ)."""
+        box = BoundingBox(-74.0, 40.6, -73.8, 40.8)
+        assert region_fingerprint(box) != region_fingerprint(Polygon.from_box(box))
+
+    def test_multipolygon_differs_from_single_part(self):
+        part = quad()
+        multi = MultiPolygon([part])
+        assert region_fingerprint(multi) != region_fingerprint(part)
+
+    def test_multipolygon_part_order_matters(self):
+        first, second = quad(), quad(0.3)
+        assert region_fingerprint(MultiPolygon([first, second])) != region_fingerprint(
+            MultiPolygon([second, first])
+        )
+
+
+class TestErrors:
+    def test_uncacheable_target_raises(self):
+        union = CellUnion(np.asarray([4], dtype=np.int64))
+        with pytest.raises(TypeError):
+            region_fingerprint(union)

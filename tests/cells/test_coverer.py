@@ -164,19 +164,17 @@ class TestBudget:
         assert bool((member | ~inside).all())
 
 
-class TestCoveringCache:
-    def test_cached_coverer_returns_same_union(self, quad):
-        cached = RegionCoverer(EARTH, cache=True)
-        first = cached.covering(quad, 12)
-        second = cached.covering(quad, 12)
-        assert first is second
-        cached.clear_cache()
-        third = cached.covering(quad, 12)
-        assert third == first and third is not first
-
-    def test_cache_distinguishes_levels(self, quad):
-        cached = RegionCoverer(EARTH, cache=True)
-        assert cached.covering(quad, 10) != cached.covering(quad, 12)
+class TestCovererIsPure:
+    def test_coverer_holds_no_state(self, quad):
+        """The coverer's old per-instance memo was unbounded and
+        identity-keyed; memoisation now lives in the bounded covering
+        tier of :mod:`repro.cache`.  The coverer itself is a pure
+        computation: repeat calls recompute and agree."""
+        coverer = RegionCoverer(EARTH)
+        first = coverer.covering(quad, 12)
+        second = coverer.covering(quad, 12)
+        assert second == first and second is not first
+        assert not hasattr(coverer, "_cache")
 
 
 def _distance_to_polygon(x: float, y: float, polygon: Polygon) -> float:

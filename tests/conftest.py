@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.cache import reset_cache
 from repro.cells import EARTH
 from repro.core import GeoBlock
 from repro.geometry import BoundingBox, Polygon
@@ -12,6 +13,18 @@ from repro.storage import PointTable, Schema, extract
 
 
 NYC_WINDOW = BoundingBox(-74.2, 40.5, -73.7, 40.95)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_query_cache():
+    """Isolate tests from the process-wide tiered cache.
+
+    Coverings and results are content-addressed, so fixtures shared
+    across tests (session-scoped polygons) would otherwise make
+    hit/miss assertions order-dependent.
+    """
+    reset_cache()
+    yield
 
 
 @pytest.fixture(scope="session")

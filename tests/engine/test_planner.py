@@ -1,53 +1,18 @@
-"""Tests for the engine planner: LRU covering cache, pruning, probes."""
+"""Tests for the engine planner: shared covering tier, pruning, probes."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
+from repro.cache import TieredCache, get_cache
 from repro.cells import EARTH
 from repro.cells.union import CellUnion
 from repro.core import AdaptiveGeoBlock, CachePolicy, GeoBlock
-from repro.engine.planner import CoveringCache, Planner
+from repro.engine.planner import Planner
 from repro.geometry import Polygon
 from repro.storage import col
 
 LEVEL = 14
-
-
-class TestCoveringCache:
-    def test_hit_and_miss_counters(self, quad_polygon):
-        cache = CoveringCache(max_entries=4)
-        union = CellUnion(np.asarray([4], dtype=np.int64))
-        assert cache.get(quad_polygon, LEVEL) is None
-        cache.put(quad_polygon, LEVEL, union)
-        assert cache.get(quad_polygon, LEVEL) is union
-        assert cache.hits == 1
-        assert cache.misses == 1
-        assert cache.hit_rate == 0.5
-
-    def test_lru_eviction(self, small_polygons):
-        cache = CoveringCache(max_entries=2)
-        union = CellUnion(np.asarray([4], dtype=np.int64))
-        first, second, third = small_polygons[:3]
-        cache.put(first, LEVEL, union)
-        cache.put(second, LEVEL, union)
-        assert cache.get(first, LEVEL) is union  # refresh first
-        cache.put(third, LEVEL, union)  # evicts second (LRU)
-        assert cache.get(second, LEVEL) is None
-        assert cache.get(first, LEVEL) is union
-        assert cache.get(third, LEVEL) is union
-        assert len(cache) == 2
-
-    def test_level_is_part_of_the_key(self, quad_polygon):
-        cache = CoveringCache()
-        union = CellUnion(np.asarray([4], dtype=np.int64))
-        cache.put(quad_polygon, 10, union)
-        assert cache.get(quad_polygon, 11) is None
-
-    def test_rejects_zero_capacity(self):
-        with pytest.raises(ValueError):
-            CoveringCache(max_entries=0)
 
 
 class TestPlannerCoverings:
@@ -60,14 +25,44 @@ class TestPlannerCoverings:
         first = planner.covering(quad_polygon)
         second = planner.covering(quad_polygon)
         assert first is second
-        assert planner.cache.hits == 1
-        assert planner.cache.misses == 1
+        assert planner.cache.coverings.hits == 1
+        assert planner.cache.coverings.misses == 1
+
+    def test_covering_shared_across_planners(self, quad_polygon):
+        """The tier is process-wide: a second planner (another block,
+        view, or baseline) reuses the first planner's covering."""
+        first = Planner(EARTH, LEVEL).covering(quad_polygon)
+        second = Planner(EARTH, LEVEL).covering(quad_polygon)
+        assert second is first
+
+    def test_covering_keyed_by_content_not_identity(self, quad_polygon):
+        """A re-parsed polygon (fresh object, same vertices -- the wire
+        request pattern) hits the covering computed for the original."""
+        planner = Planner(EARTH, LEVEL)
+        first = planner.covering(quad_polygon)
+        clone = Polygon(quad_polygon.vertices())
+        assert planner.covering(clone) is first
+        assert planner.cache.coverings.hits == 1
+
+    def test_level_is_part_of_the_key(self, quad_polygon):
+        planner = Planner(EARTH, LEVEL)
+        coarse = planner.covering(quad_polygon, level=10)
+        fine = planner.covering(quad_polygon, level=LEVEL)
+        assert coarse != fine
+        assert planner.cache.coverings.misses == 2
+
+    def test_private_cache_is_isolated(self, quad_polygon):
+        private = TieredCache()
+        planner = Planner(EARTH, LEVEL, cache=private)
+        planner.covering(quad_polygon)
+        assert private.coverings.misses == 1
+        assert get_cache().coverings.misses == 0
 
     def test_warm_populates_cache(self, quad_polygon):
         planner = Planner(EARTH, LEVEL)
         planner.warm(quad_polygon)
         assert planner.covering(quad_polygon) is not None
-        assert planner.cache.hits == 1
+        assert planner.cache.coverings.hits == 1
 
     def test_level_required_for_coverings(self, quad_polygon):
         planner = Planner(EARTH)
@@ -89,9 +84,9 @@ class TestPlannerPlans:
 
     def test_cell_union_targets_skip_the_cache(self, small_block, quad_polygon):
         union = small_block.covering(quad_polygon)
-        hits_before = small_block.planner.cache.hits
+        hits_before = small_block.planner.cache.coverings.hits
         plan = small_block.planner.plan(union, header=small_block.header)
-        assert small_block.planner.cache.hits == hits_before
+        assert small_block.planner.cache.coverings.hits == hits_before
         assert not plan.from_cache
         assert len(plan.union) <= len(union)
 
@@ -114,12 +109,22 @@ class TestPlannerPlans:
 
 
 class TestInteriorRects:
-    def test_interior_rect_cached_by_identity(self, quad_polygon):
+    def test_interior_rect_cached_by_content(self, quad_polygon):
         planner = Planner(EARTH)
         first = planner.interior_rect(quad_polygon)
         assert planner.interior_rect(quad_polygon) is first
-        assert planner.rect_cache.hits == 1
-        assert planner.rect_cache.misses == 1
+        assert planner.interior_rect(Polygon(quad_polygon.vertices())) is first
+        assert planner.cache.coverings.hits == 2
+        assert planner.cache.coverings.misses == 1
+
+    def test_rect_entries_do_not_collide_with_coverings(self, quad_polygon):
+        planner = Planner(EARTH, LEVEL)
+        union = planner.covering(quad_polygon)
+        rect = planner.interior_rect(quad_polygon)
+        assert isinstance(union, CellUnion)
+        assert not isinstance(rect, CellUnion)
+        assert planner.covering(quad_polygon) is union
+        assert planner.interior_rect(quad_polygon) is rect
 
     def test_rect_inside_polygon(self):
         polygon = Polygon.regular(-73.9, 40.7, 0.05, 8)
@@ -133,3 +138,14 @@ class TestInteriorRects:
             (rect.max_x, rect.min_y),
         ]:
             assert polygon.contains_point(x, y)
+
+    def test_rect_miss_only_once(self):
+        """Repeat lookups never recompute -- ``None`` results included,
+        via the sentinel default (a plain ``get(...) or compute`` would
+        re-derive degenerate regions forever)."""
+        sliver = Polygon([(-73.9, 40.7), (-73.8, 40.7), (-73.85, 40.7000000001)])
+        planner = Planner(EARTH)
+        planner.interior_rect(sliver)
+        misses_after_first = planner.cache.coverings.misses
+        planner.interior_rect(sliver)
+        assert planner.cache.coverings.misses == misses_after_first
