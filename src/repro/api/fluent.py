@@ -77,7 +77,8 @@ class QueryBuilder:
         return self._derive(aggregates=self._aggregates + parse_aggs(list(specs)))
 
     def mode(self, mode: str) -> "QueryBuilder":
-        """Pin the execution model ("vector" or "scalar") for this query."""
+        """Pin the execution model ("kernel", "vector" or "scalar")
+        for this query."""
         return self._derive(mode=mode)
 
     def cache(self, enabled: bool = True) -> "QueryBuilder":

@@ -19,7 +19,7 @@ Query v2 wire shape::
       "where": {"col": "distance", "op": ">=", "value": 4},
       "aggregates": ["count", "sum:fare"],    # compact spec strings
       "hints": {                              # optional, defaults below
-        "mode": "vector" | "scalar",          # executor: execution model
+        "mode": "kernel" | "vector" | "scalar",  # executor: execution model
         "cache": true,                        # planner: probe the trie
         "count_only": false                   # executor: Listing 2 path
       }
@@ -74,7 +74,7 @@ from repro.geometry.polygon import MultiPolygon, Polygon
 from repro.storage.expr import Predicate, predicate_from_wire, predicate_to_wire
 
 #: Execution models a request may pin (None = the dataset's default).
-MODES = ("vector", "scalar")
+MODES = ("kernel", "vector", "scalar")
 
 #: Hint names understood by :class:`QueryRequest` (anything else is a
 #: client error -- silently ignoring typos would mask wrong results).

@@ -46,8 +46,9 @@ class AdaptiveGeoBlock:
 
     @property
     def query_mode(self) -> str:
-        """Execution model shared with the wrapped block ("vector" or
-        "scalar"); see :class:`~repro.core.geoblock.GeoBlock`."""
+        """Execution model shared with the wrapped block ("kernel",
+        "vector" or "scalar"); see
+        :class:`~repro.core.geoblock.GeoBlock`."""
         return self._block.query_mode
 
     @query_mode.setter

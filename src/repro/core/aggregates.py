@@ -24,6 +24,17 @@ from repro.storage.schema import Schema
 AGG_FUNCTIONS = ("count", "sum", "min", "max", "avg")
 
 
+def record_offsets(schema: Schema, columns) -> list[tuple[str, int]]:  # noqa: ANN001
+    """(name, base offset into a full-schema record) per column.
+
+    A cached aggregate record is laid out ``[count, sum_0, min_0,
+    max_0, sum_1, ...]`` in schema order; this is the one place that
+    arithmetic lives, shared by the scalar :class:`Accumulator` and the
+    columnar kernels' record-matrix scatter.
+    """
+    return [(name, 1 + 3 * schema.position(name)) for name in columns]
+
+
 @dataclass(frozen=True, slots=True)
 class AggSpec:
     """One requested output aggregate: ``AGG(column)``.
@@ -185,6 +196,13 @@ class CellAggregates:
     def memory_bytes(self) -> int:
         return self.record_bytes * len(self)
 
+    # -- columnar access (for the kernel execution model) ---------------
+
+    def stat_arrays(self, name: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(sums, mins, maxs) arrays of one attribute column -- the
+        reduceat-friendly view the columnar kernels gather from."""
+        return self.sums[name], self.mins[name], self.maxs[name]
+
     # -- record extraction (for the AggregateTrie) --------------------------
 
     def record_width(self) -> int:
@@ -238,9 +256,7 @@ class Accumulator:
         self.maxs = {name: -np.inf for name in self.tracked}
         # (name, base offset into a full-schema record) per tracked
         # column, so add_record touches only the requested columns.
-        self._record_offsets = [
-            (name, 1 + 3 * schema.position(name)) for name in self.tracked
-        ]
+        self._record_offsets = record_offsets(schema, self.tracked)
 
     @classmethod
     def for_aggs(cls, schema: Schema, aggs: "list[AggSpec]") -> "Accumulator":

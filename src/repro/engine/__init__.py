@@ -11,9 +11,12 @@ runners -- flows through this package's two-stage pipeline:
    block, view, and baseline) plus the per-cell AggregateTrie probe
    decisions of Figure 8;
 2. the **executor** (:mod:`repro.engine.executor`) carries the plan out
-   under either execution model (vectorised or scalar), answers whole
-   batches in one shared pass (``run_batch``), and defines the probe /
-   cache-hit counters once for every path.
+   under one of three execution models -- the columnar ``kernel``
+   model of :mod:`repro.engine.kernels` (the production default), the
+   per-cell ``vector`` fold it is bit-identical to, or the paper's
+   ``scalar`` loop -- answers whole batches in one shared pass
+   (``run_batch``), and defines the probe / cache-hit counters once
+   for every path.
 
 :mod:`repro.engine.shards` adds prefix-sharded blocks whose batch
 execution fans out across a thread pool and whose updates touch only
@@ -26,11 +29,13 @@ executor, so an eager import here would be circular.
 """
 
 from repro.engine.executor import (
+    EXECUTION_MODES,
     Executor,
     QueryResult,
     aggregate_rows,
     aggregate_rows_scalar,
     batch_items,
+    resolve_mode,
     union_ranges,
 )
 from repro.engine.planner import (
@@ -40,6 +45,7 @@ from repro.engine.planner import (
 )
 
 __all__ = [
+    "EXECUTION_MODES",
     "Executor",
     "Planner",
     "QueryPlan",
@@ -51,6 +57,7 @@ __all__ = [
     "aggregate_rows",
     "aggregate_rows_scalar",
     "batch_items",
+    "resolve_mode",
     "union_ranges",
 ]
 

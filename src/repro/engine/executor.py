@@ -5,16 +5,24 @@ duplicated across ``core/geoblock.py`` (vector + scalar + literal
 Listing 1 paths) and ``core/adaptive.py`` (the Figure 8 cache-aware
 variant).  One :class:`Executor` is bound to one block and offers:
 
-* ``select`` / ``count`` -- single-query execution under either
-  execution model ("vector" numpy slice reductions or "scalar"
-  aggregate-at-a-time, the experiment harness's model), consuming the
-  plan's cache-probe decisions when present;
+* ``select`` / ``count`` -- single-query execution under any of the
+  three execution models ("kernel" batched columnar reductions --
+  the production default -- "vector" numpy slice reductions per cell,
+  or "scalar" aggregate-at-a-time, the experiment harness's model),
+  consuming the plan's cache-probe decisions when present;
 * ``run_batch`` -- the batched workload path: all covering cells of all
-  queries are located with two shared binary-search passes, duplicate
-  aggregate ranges (the signature of skewed workloads) are materialised
-  exactly once, and the per-query folds then combine the shared
-  records.  Sharded blocks override the record materialisation to fan
-  out across shards (:mod:`repro.engine.shards`).
+  queries are located with two shared binary-search passes.  Under the
+  kernel model the whole batch reduces through a handful of columnar
+  kernel calls (:mod:`repro.engine.kernels`); under the vector model
+  duplicate aggregate ranges (the signature of skewed workloads) are
+  materialised into records exactly once and the per-query folds
+  combine the shared records.  Sharded blocks fan both paths out
+  across shards (:mod:`repro.engine.shards`).
+
+The kernel model is a pure execution strategy: its answers are
+bit-identical to the vector model's on every path (see the exactness
+contract in :mod:`repro.engine.kernels`), so "vector" remains the
+always-available parity oracle.
 
 Counter semantics are defined here once: ``cells_probed`` is the number
 of covering cells after header pruning and ``cache_hits`` the number of
@@ -34,15 +42,33 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.cells import cellid
+from repro.cells import cellid, cellops
 from repro.cells.union import CellUnion
-from repro.core.aggregates import Accumulator, AggSpec
+from repro.core.aggregates import Accumulator, AggSpec, record_offsets
+from repro.engine import kernels
+from repro.engine.kernels import SegmentPartials
 from repro.errors import QueryError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.planner import QueryPlan
     from repro.storage.etl import BaseData
     from repro.storage.schema import Schema
+
+#: The execution models, in production-preference order: "kernel"
+#: (columnar batch reductions, the default), "vector" (per-cell numpy
+#: slice folds, the parity oracle), "scalar" (aggregate-at-a-time, the
+#: experiment harness's comparable-per-item-cost model).
+EXECUTION_MODES = ("kernel", "vector", "scalar")
+
+
+def resolve_mode(mode: str | None, default: str) -> str:
+    """Resolve a per-call mode override against a block default."""
+    model = mode if mode is not None else default
+    if model not in EXECUTION_MODES:
+        raise QueryError(
+            f"unknown execution mode {model!r}; use one of {EXECUTION_MODES}"
+        )
+    return model
 
 
 @dataclass(frozen=True)
@@ -153,6 +179,26 @@ class Executor:
         hi = int(np.searchsorted(keys, cellid.range_max(cell), side="right"))
         return lo, hi
 
+    def cell_ranges(self, cells: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Aggregate-row ranges of many cells located with one
+        two-sided ``searchsorted`` pass (the batched counterpart of
+        :meth:`cell_range`, used for trie-child lookups)."""
+        keys = self.aggregates.keys
+        cells = np.asarray(cells, dtype=np.int64)
+        lo = np.searchsorted(keys, cellops.range_min_array(cells), side="left")
+        hi = np.searchsorted(keys, cellops.range_max_array(cells), side="right")
+        return lo.astype(np.int64), hi.astype(np.int64)
+
+    def segment_partials(
+        self, lo: np.ndarray, hi: np.ndarray, columns: Sequence[str]
+    ) -> SegmentPartials:
+        """Per-segment partial aggregates for the kernel model.
+
+        Sharded blocks override this to fan the segment reductions out
+        per shard (:class:`repro.engine.shards.ShardedExecutor`).
+        """
+        return kernels.segment_partials(self.aggregates, lo, hi, columns)
+
     def cell_record(self, cell: int) -> np.ndarray:
         """Full-schema aggregate record of one cell (used to materialise
         AggregateTrie entries and to answer uncached trie children)."""
@@ -193,8 +239,15 @@ class Executor:
         """
         aggs = default_aggs(aggs)
         self.validate_aggs(aggs)
-        scalar = (mode or self._block.query_mode) == "scalar"
+        model = resolve_mode(mode, self._block.query_mode)
         union = plan.union
+        if model == "kernel":
+            if len(union):
+                lo, hi = self.ranges(union)
+            else:
+                lo = hi = np.empty(0, dtype=np.int64)
+            return self._run_kernel([plan], [aggs], lo, hi, [0, len(union)])[0]
+        scalar = model == "scalar"
         aggregates = self.aggregates
         accumulator = Accumulator.for_aggs(aggregates.schema, aggs)
         cache_hits = 0
@@ -240,6 +293,21 @@ class Executor:
         the aggregate arrays directly.
         """
         assert plan.probes is not None
+        # All uncached trie children of the walk resolve their
+        # aggregate ranges through one batched two-sided searchsorted
+        # up front (two scalar searches per child would dominate on
+        # partial-heavy plans); the walk consumes them in order.
+        child_cells = [
+            child
+            for probe in plan.probes
+            if probe.status == "partial" and probe.child_records
+            for child in probe.uncached_children
+        ]
+        if child_cells:
+            child_lo, child_hi = self.cell_ranges(np.asarray(child_cells, dtype=np.int64))
+            child_ranges = iter(zip(child_lo.tolist(), child_hi.tolist()))
+        else:
+            child_ranges = iter(())
         cache_hits = 0
         for index, probe in enumerate(plan.probes):
             if probe.status == "hit":
@@ -249,8 +317,9 @@ class Executor:
             if probe.status == "partial" and probe.child_records:
                 for record in probe.child_records:
                     accumulator.add_record(record)
-                for child_cell in probe.uncached_children:
-                    self._fold_cell(child_cell, accumulator, scalar)
+                for _ in probe.uncached_children:
+                    child_pair = next(child_ranges)
+                    self._fold_slice(accumulator, child_pair[0], child_pair[1], scalar)
                 continue
             pair = (int(lo[index]), int(hi[index]))
             if records is not None:
@@ -262,18 +331,16 @@ class Executor:
     def count(self, plan: "QueryPlan") -> int:
         """COUNT execution (Listing 2): per covering cell only the first
         and last contained aggregate are touched, computing the result
-        in a range-sum manner from offsets."""
+        in a range-sum manner from offsets.  The per-cell arithmetic is
+        one masked offset kernel over all covering cells
+        (:func:`repro.engine.kernels.count_segments`) -- pure int64,
+        independent of the execution model."""
         union = plan.union
         if not len(union):
             return 0
         lo, hi = self.ranges(union)
-        offsets = self.aggregates.offsets
-        counts = self.aggregates.counts
-        total = 0
-        for first, last in zip(lo.tolist(), hi.tolist()):
-            if last > first:
-                total += int(offsets[last - 1] + counts[last - 1] - offsets[first])
-        return total
+        aggregates = self.aggregates
+        return kernels.count_segments(aggregates.offsets, aggregates.counts, lo, hi)
 
     # -- literal Listing 1 reference path --------------------------------
 
@@ -330,17 +397,23 @@ class Executor:
         """Answer many plans in one shared pass.
 
         All covering-cell key ranges of the whole batch are located with
-        two shared ``searchsorted`` calls.  In "vector" mode (the
-        production default) duplicate [lo, hi) aggregate ranges --
-        queries overlap heavily under the paper's skewed workloads --
-        are additionally materialised into records exactly once, and the
-        per-query folds combine those shared records in covering order;
-        results are bit-identical to issuing the same queries one by
-        one.  In "scalar" mode (the experiment harness's comparable-
-        per-item-cost model) the folds stay aggregate-at-a-time with no
-        record sharing, again matching the sequential scalar results.
+        two shared ``searchsorted`` calls.  In "kernel" mode (the
+        production default) the entire batch then reduces through the
+        columnar kernels: duplicate [lo, hi) aggregate ranges -- queries
+        overlap heavily under the paper's skewed workloads -- collapse
+        to unique segments when profitable (no per-range record dict),
+        and one kernel invocation per (column, statistic) answers every
+        query at once.  In "vector" mode duplicate ranges are instead
+        materialised into records exactly once and the per-query folds
+        combine those shared records in covering order.  In "scalar"
+        mode (the experiment harness's comparable-per-item-cost model)
+        the folds stay aggregate-at-a-time with no record sharing.  All
+        three models are bit-identical to issuing the same queries one
+        by one under the same model, and kernel answers are additionally
+        bit-identical to vector answers.
         """
-        scalar = (mode or self._block.query_mode) == "scalar"
+        model = resolve_mode(mode, self._block.query_mode)
+        scalar = model == "scalar"
         plans = [plan for plan, _ in items]
         agg_lists = [default_aggs(aggs) for _, aggs in items]
         for aggs in agg_lists:
@@ -357,6 +430,8 @@ class Executor:
         else:
             lo_all = hi_all = np.empty(0, dtype=np.int64)
         offsets = np.cumsum([0] + sizes)
+        if model == "kernel":
+            return self._run_kernel(plans, agg_lists, lo_all, hi_all, offsets)
         # Materialise each distinct aggregate range exactly once (vector
         # mode only -- the scalar model charges every aggregate).  Cells
         # answered by the trie cache never reach the aggregate arrays,
@@ -406,6 +481,273 @@ class Executor:
                 )
             )
         return results
+
+    # -- kernel-model execution ------------------------------------------
+
+    #: Below this many segments the unique-range dedup pass costs more
+    #: than reducing duplicates directly.
+    MIN_SEGMENTS_FOR_DEDUP = 64
+
+    def _run_kernel(
+        self,
+        plans: Sequence["QueryPlan"],
+        agg_lists: Sequence[list[AggSpec]],
+        lo_all: np.ndarray,
+        hi_all: np.ndarray,
+        offsets: Sequence[int],
+    ) -> list[QueryResult]:
+        """Answer plans through the columnar kernels.
+
+        The fold is restructured, not reformulated: per query an ordered
+        *contribution sequence* is laid out -- exactly the sequence of
+        ``add_slice`` / ``add_record`` calls the vector model would make
+        (range partials for plain cells and uncached trie children,
+        cached records for trie hits) -- then stage 1 computes all range
+        partials at once (:meth:`segment_partials`, deduplicating
+        repeated ranges when profitable) and stage 2 folds each query's
+        sequence with the batched reductions of
+        :mod:`repro.engine.kernels`.  Both stages reproduce the vector
+        model's float semantics bit for bit (see the kernels module).
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        nq = len(plans)
+        columns: list[str] = []
+        seen: set[str] = set()
+        for aggs in agg_lists:
+            for spec in aggs:
+                if spec.column is not None and spec.column not in seen:
+                    seen.add(spec.column)
+                    columns.append(spec.column)
+        hits = [0] * nq
+        record_matrix: np.ndarray | None = None
+        record_dst: np.ndarray | None = None
+        range_dst: np.ndarray | None = None
+        if all(plan.probes is None for plan in plans):
+            # Fast path: the located ranges are the contributions.
+            seg_lo, seg_hi = lo_all, hi_all
+            starts = offsets
+        else:
+            # Figure 8 walk: lay the per-cell cache decisions out as an
+            # ordered mix of range and record contributions.
+            range_lo: list[int] = []
+            range_hi: list[int] = []
+            range_dst_list: list[int] = []
+            record_rows: list = []
+            record_dst_list: list[int] = []
+            child_cells: list[int] = []
+            child_slots: list[int] = []
+            starts_list = [0]
+            cursor = 0
+            for qindex, plan in enumerate(plans):
+                base = int(offsets[qindex])
+                if plan.probes is None:
+                    for cell_index in range(int(offsets[qindex + 1]) - base):
+                        range_lo.append(int(lo_all[base + cell_index]))
+                        range_hi.append(int(hi_all[base + cell_index]))
+                        range_dst_list.append(cursor)
+                        cursor += 1
+                    starts_list.append(cursor)
+                    continue
+                for cell_index, probe in enumerate(plan.probes):
+                    if probe.status == "hit":
+                        record_rows.append(probe.record)
+                        record_dst_list.append(cursor)
+                        cursor += 1
+                        hits[qindex] += 1
+                    elif probe.status == "partial" and probe.child_records:
+                        for record in probe.child_records:
+                            record_rows.append(record)
+                            record_dst_list.append(cursor)
+                            cursor += 1
+                        for child_cell in probe.uncached_children:
+                            child_slots.append(len(range_lo))
+                            child_cells.append(child_cell)
+                            range_lo.append(0)
+                            range_hi.append(0)
+                            range_dst_list.append(cursor)
+                            cursor += 1
+                    else:
+                        range_lo.append(int(lo_all[base + cell_index]))
+                        range_hi.append(int(hi_all[base + cell_index]))
+                        range_dst_list.append(cursor)
+                        cursor += 1
+                starts_list.append(cursor)
+            if child_cells:
+                child_lo, child_hi = self.cell_ranges(
+                    np.asarray(child_cells, dtype=np.int64)
+                )
+                for slot, child_l, child_h in zip(
+                    child_slots, child_lo.tolist(), child_hi.tolist()
+                ):
+                    range_lo[slot] = child_l
+                    range_hi[slot] = child_h
+            seg_lo = np.asarray(range_lo, dtype=np.int64)
+            seg_hi = np.asarray(range_hi, dtype=np.int64)
+            starts = np.asarray(starts_list, dtype=np.int64)
+            range_dst = np.asarray(range_dst_list, dtype=np.int64)
+            if record_rows:
+                record_matrix = np.asarray(record_rows, dtype=np.float64)
+                record_dst = np.asarray(record_dst_list, dtype=np.int64)
+        # Stage 1: every range partial in one pass, over unique ranges
+        # when the batch repeats them (skewed workloads) -- the kernel
+        # analogue of the vector model's record-dedup dict.
+        partials = self._range_partials(seg_lo, seg_hi, columns)
+        # Scatter partials and cached records into the contribution
+        # layout (the fast path needs no scatter: partials align).
+        if range_dst is None:
+            contrib_counts = partials.counts
+            contrib_sums = partials.sums
+            contrib_mins = partials.mins
+            contrib_maxs = partials.maxs
+        else:
+            total = int(starts[-1])
+            contrib_counts = np.zeros(total, dtype=np.float64)
+            contrib_counts[range_dst] = partials.counts
+            contrib_sums = {}
+            contrib_mins = {}
+            contrib_maxs = {}
+            for name, base_offset in record_offsets(self.aggregates.schema, columns):
+                sums = np.zeros(total, dtype=np.float64)
+                mins = np.full(total, np.inf, dtype=np.float64)
+                maxs = np.full(total, -np.inf, dtype=np.float64)
+                sums[range_dst] = partials.sums[name]
+                mins[range_dst] = partials.mins[name]
+                maxs[range_dst] = partials.maxs[name]
+                if record_matrix is not None:
+                    sums[record_dst] = record_matrix[:, base_offset]
+                    mins[record_dst] = record_matrix[:, base_offset + 1]
+                    maxs[record_dst] = record_matrix[:, base_offset + 2]
+                contrib_sums[name] = sums
+                contrib_mins[name] = mins
+                contrib_maxs[name] = maxs
+            if record_matrix is not None:
+                contrib_counts[record_dst] = record_matrix[:, 0]
+        # Stage 2: per-query folds over the contribution sequences.  A
+        # lone query (the sequential SELECT path) reduces its single
+        # sequence directly -- same folds, none of the batched ranged
+        # machinery -- so per-call overhead stays below the vector walk.
+        if nq == 1:
+            return [
+                self._reduce_single(
+                    plans[0],
+                    agg_lists[0],
+                    contrib_counts,
+                    contrib_sums,
+                    contrib_mins,
+                    contrib_maxs,
+                    hits[0],
+                )
+            ]
+        query_lo, query_hi = starts[:-1], starts[1:]
+        count_totals = kernels.ranged_reduce(
+            np.add, contrib_counts, query_lo, query_hi, 0.0
+        )
+        min_totals = {
+            name: kernels.ranged_reduce(np.minimum, contrib_mins[name], query_lo, query_hi, np.inf)
+            for name in columns
+        }
+        max_totals = {
+            name: kernels.ranged_reduce(np.maximum, contrib_maxs[name], query_lo, query_hi, -np.inf)
+            for name in columns
+        }
+        sum_totals = dict(
+            zip(
+                columns,
+                kernels.sequential_ranged_sums(
+                    [contrib_sums[name] for name in columns], starts
+                ),
+            )
+        )
+        results: list[QueryResult] = []
+        for qindex, (plan, aggs) in enumerate(zip(plans, agg_lists)):
+            count = float(count_totals[qindex])
+            values: dict[str, float] = {}
+            for spec in aggs:
+                if spec.function == "count":
+                    values[spec.key] = count
+                elif spec.function == "sum":
+                    values[spec.key] = float(sum_totals[spec.column][qindex])
+                elif spec.function == "min":
+                    values[spec.key] = float(min_totals[spec.column][qindex]) if count else np.nan
+                elif spec.function == "max":
+                    values[spec.key] = float(max_totals[spec.column][qindex]) if count else np.nan
+                elif spec.function == "avg":
+                    values[spec.key] = (
+                        float(sum_totals[spec.column][qindex]) / count if count else np.nan
+                    )
+            results.append(
+                QueryResult(
+                    values=values,
+                    count=int(count),
+                    cells_probed=len(plan.union),
+                    cache_hits=hits[qindex],
+                    covering_cached=plan.from_cache,
+                )
+            )
+        return results
+
+    def _reduce_single(
+        self,
+        plan: "QueryPlan",
+        aggs: Sequence[AggSpec],
+        contrib_counts: np.ndarray,
+        contrib_sums,  # noqa: ANN001 - mapping of column -> contribution array
+        contrib_mins,  # noqa: ANN001
+        contrib_maxs,  # noqa: ANN001
+        cache_hits: int,
+    ) -> QueryResult:
+        """Fold one query's contribution sequence without the batched
+        stage-2 scaffolding.
+
+        Count is a sum of integer-valued floats (exact under any
+        order), min/max reductions are order-independent, and sums go
+        through :func:`~repro.engine.kernels.sequential_sum` -- so every
+        value matches the batched reductions (and the vector model) bit
+        for bit.
+        """
+        count = float(contrib_counts.sum())
+        sums: dict[str, float] = {}
+        values: dict[str, float] = {}
+        for spec in aggs:
+            if spec.function == "count":
+                values[spec.key] = count
+                continue
+            if not count and spec.function != "sum":
+                values[spec.key] = np.nan
+                continue
+            if spec.function in ("sum", "avg"):
+                if spec.column not in sums:
+                    sums[spec.column] = kernels.sequential_sum(contrib_sums[spec.column])
+                total = sums[spec.column]
+                values[spec.key] = total if spec.function == "sum" else total / count
+            elif spec.function == "min":
+                values[spec.key] = float(np.minimum.reduce(contrib_mins[spec.column]))
+            elif spec.function == "max":
+                values[spec.key] = float(np.maximum.reduce(contrib_maxs[spec.column]))
+        return QueryResult(
+            values=values,
+            count=int(count),
+            cells_probed=len(plan.union),
+            cache_hits=cache_hits,
+            covering_cached=plan.from_cache,
+        )
+
+    def _range_partials(
+        self, seg_lo: np.ndarray, seg_hi: np.ndarray, columns: Sequence[str]
+    ) -> SegmentPartials:
+        """Stage-1 partials, deduplicating repeated ranges when the
+        segment set is large enough for the unique pass to pay off."""
+        if seg_lo.size >= self.MIN_SEGMENTS_FOR_DEDUP:
+            width = np.int64(self.aggregates.keys.size + 1)
+            unique_pairs, inverse = np.unique(seg_lo * width + seg_hi, return_inverse=True)
+            if unique_pairs.size < seg_lo.size:
+                unique = self.segment_partials(
+                    (unique_pairs // width).astype(np.int64),
+                    (unique_pairs % width).astype(np.int64),
+                    columns,
+                )
+                return unique.take(inverse)
+        return self.segment_partials(seg_lo, seg_hi, columns)
 
     # -- grouped execution (multi-region group-by) -----------------------
 
@@ -501,23 +843,36 @@ def aggregate_rows(
     rows (used by the PH-tree's partial leaves).  ``cells_probed``
     overrides the probe counter when the caller probed more cells than
     produced slices (empty covering cells still cost a probe).
+
+    Vectorisation note: the count (pure integer range arithmetic) and
+    the min/max folds (order-independent) are batched through the
+    columnar kernels -- bit-preserving rewrites of the original
+    slice-at-a-time loop.  The float *sums* keep the original loop on
+    purpose: they feed reported experiment numbers, and any regrouping
+    of the per-slice fold would change the rounding sequence.  The
+    tuple-at-a-time :func:`aggregate_rows_scalar` stays entirely
+    scalar for the same reason -- it *is* the experiment harness's
+    comparable-cost model, not an optimisation target.
     """
     schema: "Schema" = base.table.schema
-    count = 0
     needed = {spec.column for spec in aggs if spec.column is not None}
-    sums = {name: 0.0 for name in needed}
-    mins = {name: np.inf for name in needed}
-    maxs = {name: -np.inf for name in needed}
     columns = {name: base.table.column(name) for name in needed}
+    slice_lo = np.fromiter((pair[0] for pair in slices), dtype=np.int64, count=len(slices))
+    slice_hi = np.fromiter((pair[1] for pair in slices), dtype=np.int64, count=len(slices))
+    count = int(np.maximum(slice_hi - slice_lo, 0).sum()) if slices else 0
+    sums = {name: 0.0 for name in needed}
+    mins = {}
+    maxs = {}
+    for name in needed:
+        per_slice_min = kernels.ranged_reduce(np.minimum, columns[name], slice_lo, slice_hi, np.inf)
+        per_slice_max = kernels.ranged_reduce(np.maximum, columns[name], slice_lo, slice_hi, -np.inf)
+        mins[name] = float(per_slice_min.min()) if per_slice_min.size else np.inf
+        maxs[name] = float(per_slice_max.max()) if per_slice_max.size else -np.inf
     for lo, hi in slices:
         if hi <= lo:
             continue
-        count += hi - lo
         for name in needed:
-            values = columns[name][lo:hi]
-            sums[name] += float(values.sum())
-            mins[name] = min(mins[name], float(values.min()))
-            maxs[name] = max(maxs[name], float(values.max()))
+            sums[name] += float(columns[name][lo:hi].sum())
     if extra_indices is not None and extra_indices.size:
         count += int(extra_indices.size)
         for name in needed:

@@ -11,9 +11,10 @@ is zero-copy.
 
 What sharding buys:
 
-* **batched execution fans out per shard**: the executor's record
-  materialisation (the dominant cost of ``run_batch``) is split at
-  shard boundaries and dispatched to a thread pool, one numpy segment
+* **batched execution fans out per shard**: the executor's dominant
+  fold -- segment partials under the kernel model, record
+  materialisation under the vector model -- is split at shard
+  boundaries and dispatched to a thread pool, one numpy segment
   per shard (threads release the GIL inside numpy reductions);
 * **incremental updates touch only dirty shards**: an update through
   ``core/updates.py`` adjusts the affected shard's bounds (and shifts
@@ -55,7 +56,9 @@ import numpy as np
 from repro.cells import cellid, cellops
 from repro.core.aggregates import CellAggregates
 from repro.core.geoblock import GeoBlock
+from repro.engine import kernels
 from repro.engine.executor import Executor
+from repro.engine.kernels import SegmentPartials
 from repro.errors import BuildError
 from repro.storage.etl import PHASE_BUILDING, BaseData
 from repro.storage.expr import ALWAYS_TRUE, Predicate
@@ -92,7 +95,51 @@ class Shard:
 
 
 class ShardedExecutor(Executor):
-    """Executor whose batch record materialisation fans out per shard."""
+    """Executor whose batch folds fan out per shard: record
+    materialisation for the vector model, segment partials for the
+    kernel model."""
+
+    def segment_partials(
+        self, lo: np.ndarray, hi: np.ndarray, columns: Sequence[str]
+    ) -> SegmentPartials:
+        """Kernel-model stage 1, fanned out per shard.
+
+        Segments are bucketed by owning shard with one vectorised
+        two-sided search and each bucket reduces on a pool worker over
+        the *shared* zero-copy arrays.  Per-segment partials are
+        independent of the partition (each worker gathers the same rows
+        the plain executor would), so the merge is a pure scatter and
+        the PR-4 determinism note holds trivially: boundary-spanning
+        segments (coarse interior covering cells) reduce over the full
+        row range on whichever worker draws them, reproducing the
+        unsharded fold order bit for bit.
+        """
+        block: "ShardedGeoBlock" = self._block  # type: ignore[assignment]
+        shards = block.shards
+        if len(shards) <= 1 or lo.size < MIN_RANGES_FOR_FANOUT:
+            return super().segment_partials(lo, hi, columns)
+        starts = np.asarray([shard.lo for shard in shards], dtype=np.int64)
+        first = np.maximum(np.searchsorted(starts, lo, side="right") - 1, 0)
+        last = np.searchsorted(starts, np.maximum(hi, lo + 1) - 1, side="right") - 1
+        # -1 buckets boundary-spanning and empty segments together;
+        # both are safe on any worker (full arrays are addressable,
+        # empties reduce to the identity).
+        owner = np.where((first == last) & (hi > lo), first, -1)
+        out = SegmentPartials.identity(int(lo.size), columns)
+        aggregates = self.aggregates
+
+        def bucket_partials(positions: np.ndarray) -> tuple[np.ndarray, SegmentPartials]:
+            return positions, kernels.segment_partials(
+                aggregates, lo[positions], hi[positions], columns
+            )
+
+        buckets = [
+            np.flatnonzero(owner == shard_index)
+            for shard_index in np.unique(owner).tolist()
+        ]
+        for positions, partials in block.thread_pool.map(bucket_partials, buckets):
+            out.scatter_from(partials, positions)
+        return out
 
     def materialise_slices(
         self, pairs: Sequence[tuple[int, int]]

@@ -120,7 +120,7 @@ class TestSingleQueryParity:
             else:
                 assert got == pytest.approx(value, rel=1e-9)
         # The hint must not leak into the dataset's default mode.
-        assert service.dataset("small").handle.query_mode == "vector"
+        assert service.dataset("small").handle.query_mode == "kernel"
 
 
 class TestBatchedParity:
