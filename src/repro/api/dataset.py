@@ -80,6 +80,7 @@ from repro.errors import QueryError
 from repro.storage.etl import BaseData
 from repro.storage.expr import ALWAYS_TRUE, Predicate
 from repro.storage.table import PointTable
+from repro.util.sync import RWLock
 from repro.workloads.workload import Query
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -142,10 +143,18 @@ class Dataset:
         self._views: OrderedDict[str, Dataset] = OrderedDict()
         # Serialises view-cache mutation: 'where' reads mutate the LRU
         # (move_to_end / insert / evict), which must stay safe under a
-        # threaded serving adapter.  Appends are NOT covered -- the
-        # write path mutates aggregate arrays in place and follows the
-        # paper's single-writer, no-concurrent-reader contract.
+        # threaded serving adapter.
         self._views_lock = threading.Lock()
+        # The dataset-wide readers-writer lock: queries run concurrently
+        # with each other but never with an append, which mutates
+        # aggregate arrays in place (the paper's single-writer,
+        # no-concurrent-reader model).  Views share their root's lock --
+        # appends propagate to views under the same exclusive section,
+        # so a reader can never observe a root/view torn pair.  All
+        # acquisition happens in the outermost public methods (query /
+        # run_batch / view / append); the _*_inner twins assume the
+        # lock is already held and never re-acquire.
+        self._rwlock = parent._rwlock if parent is not None else RWLock()
         #: The view's filter relative to the root dataset (None on the
         #: root itself); cache keys derive from it so every route to
         #: the same logical filter shares one view.
@@ -317,6 +326,13 @@ class Dataset:
         stable render string; later calls return the ready view.
         Views of views compose conjunctively through the parent.
         """
+        with self._rwlock.read():
+            return self._view_inner(where)
+
+    def _view_inner(self, where) -> "Dataset":  # noqa: ANN001 - Predicate or wire dict
+        """:meth:`view` with the dataset read lock already held (view
+        construction replays ``_appended``, which a concurrent append
+        extends -- the shared section keeps the replay consistent)."""
         relative = parse_where(where)
         if self._parent is not None:
             # Delegate to the root so all views share one cache; only
@@ -324,7 +340,7 @@ class Dataset:
             # view and the equivalent direct view share one cache key
             # (the root's own build predicate must not compose twice).
             assert self._relative is not None
-            return self._parent.view(self._relative & relative)
+            return self._parent._view_inner(self._relative & relative)
         key = relative.key
         with self._views_lock:
             cached = self._views.get(key)
@@ -427,11 +443,18 @@ class Dataset:
                 UNSUPPORTED_OP,
                 f"block kind {self.kind!r} does not support in-place updates",
             )
-        from repro.core.updates import append_rows
-
         rows = list(rows)
         if not rows:
             raise ApiError(BAD_REQUEST, "append needs at least one row")
+        # The exclusive section: no query may run while aggregate arrays
+        # are spliced/folded in place, and the version bump + view
+        # propagation land atomically with the data mutation, so every
+        # concurrent reader sees exactly the pre- or post-append state.
+        with self._rwlock.write():
+            return self._append_inner(rows)
+
+    def _append_inner(self, rows: list[Mapping]) -> AppendResponse:
+        from repro.core.updates import append_rows
         # At most one columnar table over the batch: the dataset's own
         # filter and every view's predicate evaluate as masks on it
         # (per-view rebuilds would make the write path O(views x rows));
@@ -552,9 +575,16 @@ class Dataset:
         the answering dataset's :attr:`version`.
         """
         request = as_request(request)
+        with self._rwlock.read():
+            return self._query_inner(request)
+
+    def _query_inner(self, request: QueryRequest) -> QueryResponse:
+        """:meth:`query` with the dataset read lock already held (the
+        batched path calls this per multi-part member so one public
+        entry never nests two shared sections)."""
         self._validate(request)
         if request.where is not None:
-            view = self.view(request.where)
+            view = self._view_inner(request.where)
             return view._execute(request)
         return self._execute(request)
 
@@ -742,6 +772,10 @@ class Dataset:
         order, identical to answering each request alone.
         """
         parsed = [as_request(request) for request in requests]
+        with self._rwlock.read():
+            return self._run_batch_inner(parsed)
+
+    def _run_batch_inner(self, parsed: list[QueryRequest]) -> list[QueryResponse]:
         for request in parsed:
             self._validate(request)
         responses: list[QueryResponse | None] = [None] * len(parsed)
@@ -757,7 +791,7 @@ class Dataset:
         fill_keys: dict[int, tuple | None] = {}
         for index, request in enumerate(parsed):
             if request.count_only or request.grouped or request.where is not None:
-                responses[index] = self.query(request)
+                responses[index] = self._query_inner(request)
                 continue
             # Result-tier probe: members already answered (same region,
             # aggregates, version, and hints) never reach the engine

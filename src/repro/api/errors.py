@@ -29,6 +29,7 @@ BAD_PREDICATE = "bad_predicate"  #: unparsable 'where' filter expression
 UNKNOWN_DATASET = "unknown_dataset"  #: dataset name not in the registry
 UNKNOWN_COLUMN = "unknown_column"  #: aggregate references a missing column
 UNSUPPORTED_OP = "unsupported_op"  #: operation the target cannot perform
+NOT_FOUND = "not_found"  #: no such resource (an HTTP route, for example)
 INTERNAL = "internal"  #: wrapped non-API library error
 
 ERROR_CODES = (
@@ -40,8 +41,34 @@ ERROR_CODES = (
     UNKNOWN_DATASET,
     UNKNOWN_COLUMN,
     UNSUPPORTED_OP,
+    NOT_FOUND,
     INTERNAL,
 )
+
+#: The one table mapping API error codes onto HTTP statuses, so the
+#: HTTP tier and in-process callers agree on error semantics: client
+#: mistakes are 4xx (missing resources 404), wrapped library errors
+#: 500.  The body is always the standard ``{"ok": false}`` envelope --
+#: the status line is *derived* from the code, never a second source
+#: of truth.
+HTTP_STATUS = {
+    BAD_REQUEST: 400,
+    BAD_REGION: 400,
+    BAD_AGGREGATE: 400,
+    BAD_HINT: 400,
+    BAD_PREDICATE: 400,
+    UNKNOWN_COLUMN: 400,
+    UNSUPPORTED_OP: 400,
+    UNKNOWN_DATASET: 404,
+    NOT_FOUND: 404,
+    INTERNAL: 500,
+}
+
+
+def http_status(code: str) -> int:
+    """The HTTP status for an API error code (unknown codes -- a newer
+    server's, say -- degrade to 500 rather than crash the adapter)."""
+    return HTTP_STATUS.get(code, 500)
 
 
 class ApiError(ReproError):

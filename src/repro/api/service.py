@@ -17,6 +17,7 @@ order.
 from __future__ import annotations
 
 import pathlib
+import threading
 from typing import Iterator, Mapping, Sequence
 
 from repro.api.dataset import Dataset, Handle
@@ -58,6 +59,14 @@ class GeoService:
         self._datasets: dict[str, Dataset] = {}
         self._cache = cache
         self._result_cache = result_cache
+        # Registry lock: a threaded serving adapter may register/replace
+        # datasets while other threads route requests, and iterating a
+        # dict that another thread mutates raises.  Re-entrant because
+        # ``open`` registers and ``invalidate`` resolves under the same
+        # lock.  Query execution itself is NOT serialised here -- the
+        # lock only covers registry lookups and snapshots; per-dataset
+        # read/write coordination lives on :class:`Dataset`.
+        self._lock = threading.RLock()
 
     # -- registry ----------------------------------------------------------
 
@@ -75,7 +84,8 @@ class GeoService:
             # toggle the flag.
             cache = self._cache if self._cache is not None else dataset.cache_scope.cache
             dataset.bind_cache(cache, self._result_cache)
-        self._datasets[name] = dataset
+        with self._lock:
+            self._datasets[name] = dataset
         return dataset
 
     def open(self, name: str, path: str | pathlib.Path) -> Dataset:
@@ -85,40 +95,52 @@ class GeoService:
     def dataset(self, name: str | None = None) -> Dataset:
         """Look up a dataset; ``None`` resolves to the sole registered
         dataset (the common single-tenant case)."""
-        if name is None:
-            if len(self._datasets) == 1:
-                return next(iter(self._datasets.values()))
-            raise ApiError(
-                UNKNOWN_DATASET,
-                "query names no dataset and the service has "
-                f"{len(self._datasets)} registered; set 'dataset'",
-                details={"registered": sorted(self._datasets)},
-            )
-        try:
-            return self._datasets[name]
-        except KeyError:
-            raise ApiError(
-                UNKNOWN_DATASET,
-                f"unknown dataset {name!r}",
-                details={"registered": sorted(self._datasets)},
-            ) from None
+        with self._lock:
+            if name is None:
+                if len(self._datasets) == 1:
+                    return next(iter(self._datasets.values()))
+                raise ApiError(
+                    UNKNOWN_DATASET,
+                    "query names no dataset and the service has "
+                    f"{len(self._datasets)} registered; set 'dataset'",
+                    details={"registered": sorted(self._datasets)},
+                )
+            try:
+                return self._datasets[name]
+            except KeyError:
+                raise ApiError(
+                    UNKNOWN_DATASET,
+                    f"unknown dataset {name!r}",
+                    details={"registered": sorted(self._datasets)},
+                ) from None
 
     @property
     def names(self) -> list[str]:
-        return sorted(self._datasets)
+        with self._lock:
+            return sorted(self._datasets)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._datasets
+        with self._lock:
+            return name in self._datasets
 
     def __iter__(self) -> Iterator[Dataset]:
-        return iter(self._datasets.values())
+        with self._lock:
+            return iter(list(self._datasets.values()))
 
     def __len__(self) -> int:
-        return len(self._datasets)
+        with self._lock:
+            return len(self._datasets)
+
+    def _snapshot(self) -> dict[str, Dataset]:
+        """A point-in-time copy of the registry (safe to iterate while
+        other threads register)."""
+        with self._lock:
+            return dict(self._datasets)
 
     def describe(self) -> dict:
         """Catalog endpoint payload: every dataset's summary."""
-        return {"datasets": [self._datasets[name].describe() for name in self.names]}
+        datasets = self._snapshot()
+        return {"datasets": [datasets[name].describe() for name in sorted(datasets)]}
 
     # -- cache telemetry and invalidation ----------------------------------
 
@@ -141,8 +163,9 @@ class GeoService:
         services, raw engine use); bind a private ``TieredCache`` for
         strictly per-service numbers.
         """
+        datasets = self._snapshot()
         caches: list = []
-        for dataset in self._datasets.values():
+        for dataset in datasets.values():
             cache = dataset.cache_scope.cache
             if not any(cache is seen for seen in caches):
                 caches.append(cache)
@@ -165,9 +188,16 @@ class GeoService:
                     "version": dataset.version,
                     "result_cache": dataset.cache_scope.enabled,
                 }
-                for name, dataset in sorted(self._datasets.items())
+                for name, dataset in sorted(datasets.items())
             },
         }
+
+    def versions(self) -> dict[str, int]:
+        """Current data version per registered dataset -- the snapshot
+        an HTTP edge cache stamps into entries so that the same version
+        bump that invalidates the result tier invalidates edge
+        responses too."""
+        return {name: dataset.version for name, dataset in self._snapshot().items()}
 
     def invalidate(self, name: str | None = None) -> int:
         """Eagerly drop result-tier entries: one dataset's (by name) or
@@ -176,7 +206,7 @@ class GeoService:
         this is the explicit memory-reclaim hook."""
         if name is not None:
             return self.dataset(name).invalidate_cache()
-        return sum(dataset.invalidate_cache() for dataset in self._datasets.values())
+        return sum(dataset.invalidate_cache() for dataset in self._snapshot().values())
 
     # -- query routing -----------------------------------------------------
 

@@ -101,7 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--group",
         action="append",
         default=[],
-        choices=("experiment", "engine", "serving"),
+        choices=("experiment", "engine", "serving", "http"),
         help="restrict to one or more scenario groups",
     )
     run.add_argument("--out", default=".", help="output directory (default: repo root)")

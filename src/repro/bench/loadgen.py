@@ -1,0 +1,138 @@
+"""Multi-client load generation over the HTTP serving tier.
+
+:func:`run_load` drives one :class:`~repro.server.http.GeoHTTPServer`
+with N concurrent clients, each replaying its own payload list over a
+keep-alive connection.  A barrier releases every client at once, so
+``elapsed_s`` measures the fully-concurrent window and QPS is honest
+(no ramp-up skew).  Every exchange keeps its reply *and* its latency,
+because the harness gates on both: latency percentiles feed the bench
+metrics, and the reply bodies feed the bit-identical parity checks
+against in-process ``run_dict``.
+
+Percentiles use the nearest-rank method -- deterministic, no
+interpolation -- which is what you want when p99 over 48 requests must
+mean "the worst request but one", not a synthetic blend.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Sequence
+
+from repro.bench.scenario import BenchError
+from repro.server.client import GeoClient, WireReply
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100])."""
+    if not samples:
+        raise BenchError("percentile of an empty sample set")
+    if not 0 <= q <= 100:
+        raise BenchError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math import
+    return ordered[int(rank) - 1]
+
+
+@dataclass(frozen=True)
+class TimedReply:
+    """One client/request exchange: which client sent it, where in the
+    client's replay it sat, how long it took, and what came back."""
+
+    client_index: int
+    request_index: int
+    latency_s: float
+    reply: WireReply
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """Everything one concurrent load pass produced."""
+
+    elapsed_s: float
+    clients: int
+    replies: list[TimedReply]
+
+    @property
+    def latencies_s(self) -> list[float]:
+        return [timed.latency_s for timed in self.replies]
+
+    @property
+    def qps(self) -> float:
+        return len(self.replies) / max(self.elapsed_s, 1e-12)
+
+    def percentile_ms(self, q: float) -> float:
+        return percentile(self.latencies_s, q) * 1e3
+
+    def summary(self) -> dict[str, float]:
+        """The latency block of one concurrency level, ready to merge
+        into a scenario's metrics."""
+        return {
+            "qps": self.qps,
+            "p50_ms": self.percentile_ms(50),
+            "p95_ms": self.percentile_ms(95),
+            "p99_ms": self.percentile_ms(99),
+        }
+
+
+def run_load(
+    server,  # noqa: ANN001 - GeoHTTPServer (untyped to keep the import edge thin)
+    client_plans: Sequence[Sequence[object]],
+    timeout: float = 60.0,
+) -> LoadResult:
+    """Replay ``client_plans`` (one payload list per client) against
+    ``server`` with one thread + one keep-alive connection per client.
+
+    All clients start together (barrier) and each sends its payloads
+    sequentially -- the closed-loop model: a client never has more than
+    one request in flight, so concurrency equals ``len(client_plans)``
+    exactly.  Raises :class:`BenchError` if any client errored at the
+    transport level (HTTP error *statuses* are fine -- they come back as
+    replies; the parity gates decide what to make of them).
+    """
+    if not client_plans or any(not plan for plan in client_plans):
+        raise BenchError("run_load needs at least one client, each with >= 1 payload")
+    barrier = threading.Barrier(len(client_plans) + 1)
+    buckets: list[list[TimedReply]] = [[] for _ in client_plans]
+    errors: list[tuple[int, Exception]] = []
+
+    def worker(client_index: int, payloads: Sequence[object]) -> None:
+        try:
+            with GeoClient.for_server(server, timeout=timeout) as client:
+                barrier.wait()
+                for request_index, payload in enumerate(payloads):
+                    start = perf_counter()
+                    reply = client.query(payload)
+                    buckets[client_index].append(
+                        TimedReply(client_index, request_index, perf_counter() - start, reply)
+                    )
+        except Exception as error:  # noqa: BLE001 - reported to the caller below
+            errors.append((client_index, error))
+            barrier.abort()  # never leave the main thread waiting
+
+    threads = [
+        threading.Thread(target=worker, args=(index, plan), name=f"loadgen-{index}")
+        for index, plan in enumerate(client_plans)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        barrier.wait()
+    except threading.BrokenBarrierError:
+        pass  # a worker aborted; fall through to the error report
+    start = perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = perf_counter() - start
+    if errors:
+        client_index, error = errors[0]
+        raise BenchError(
+            f"load client {client_index} failed at the transport level: {error!r}"
+        ) from error
+    return LoadResult(
+        elapsed_s=elapsed,
+        clients=len(client_plans),
+        replies=[timed for bucket in buckets for timed in bucket],
+    )

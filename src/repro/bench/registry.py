@@ -26,8 +26,9 @@ def _ensure_builtins() -> None:
     global _BUILTINS_LOADED
     if not _BUILTINS_LOADED:
         _BUILTINS_LOADED = True
-        # Importing the module registers every built-in scenario.
+        # Importing the modules registers every built-in scenario.
         import repro.bench.scenarios  # noqa: F401
+        import repro.bench.scenarios_http  # noqa: F401
 
 
 def get_scenario(name: str) -> Scenario:

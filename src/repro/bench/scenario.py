@@ -20,7 +20,7 @@ from repro.errors import ReproError
 from repro.experiments.common import ExperimentConfig
 
 #: Scenario groups, in reporting order.
-GROUPS = ("experiment", "engine", "serving")
+GROUPS = ("experiment", "engine", "serving", "http")
 
 
 class BenchError(ReproError):

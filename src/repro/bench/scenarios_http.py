@@ -1,0 +1,342 @@
+"""HTTP serving-tier scenarios: concurrency, edge caching, mixed
+read/write -- the load harness of :mod:`repro.server`.
+
+Importing this module registers the ``http`` group:
+
+* ``http_query_concurrency`` -- the same 48-request wire workload
+  replayed at 1, 4, and 16 concurrent clients against a live
+  :class:`~repro.server.http.GeoHTTPServer`; every response is gated
+  bit-identical (modulo the run-dependent ``stats`` block) to
+  in-process ``GeoService.run_dict``, and QPS + p50/p95/p99 land in
+  the metrics;
+* ``http_cached_edge`` -- identical payloads re-sent through the edge
+  response cache; the hit rate (from ``X-Cache`` headers *and* the
+  ``/stats`` counters) is deterministic and gated ``> 0.9``, and every
+  cached body must replay the first answer byte for byte;
+* ``http_mixed_readwrite`` -- one writer appending batches while four
+  readers query concurrently; every response must be bit-identical to
+  the sequential-replay ground truth *at the version the response is
+  stamped with* (bounded staleness: the edge's version snapshot makes
+  the lag exactly zero), and versions must be monotone per reader.
+
+Setup (dataset builds, server start, ground-truth computation) happens
+untimed in ``build``; the server stops in ``finalize`` after the last
+timed pass.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.bench.loadgen import run_load
+from repro.bench.registry import register
+from repro.bench.scenario import Prepared, Scale, Scenario
+from repro.bench.scenarios import _append_batch
+from repro.data.polygons import nyc_neighborhoods
+from repro.experiments.common import nyc_base
+
+#: Aggregate lists the wire payloads cycle through (two shapes, so the
+#: edge keys differ by body even over the same polygon).
+_AGG_SETS = (
+    ["count", "sum:fare_amount", "avg:trip_distance"],
+    ["count", "avg:fare_amount"],
+)
+
+
+def _answer(envelope: dict) -> dict:
+    """The deterministic part of a wire envelope: everything except the
+    run-dependent ``stats`` block (latency, cache counters)."""
+    return {key: value for key, value in envelope.items() if key != "stats"}
+
+
+def _wire_payloads(scale: Scale, regions: int = 8) -> list[dict]:
+    """The distinct wire dicts of the HTTP workload: ``regions``
+    neighbourhood polygons crossed with the aggregate shapes."""
+    from repro.api.geojson import region_to_geojson
+
+    polygons = nyc_neighborhoods(seed=scale.config.seed)[:regions]
+    return [
+        {
+            "v": 2,
+            "dataset": "bench",
+            "region": region_to_geojson(polygon),
+            "aggregates": list(aggs),
+        }
+        for polygon in polygons
+        for aggs in _AGG_SETS
+    ]
+
+
+def _fresh_service(scale: Scale, result_cache: bool = False):
+    """A service over a fresh plain block of the NYC base (its own
+    tiered cache, so scenario runs never share warm state)."""
+    from repro.api import Dataset, GeoService, TieredCache
+
+    base = nyc_base(scale.config)
+    level = scale.config.nyc_level(scale.config.block_level)
+    service = GeoService(cache=TieredCache(), result_cache=result_cache)
+    service.register(
+        "bench",
+        Dataset.build(
+            base, level, name="bench", cache=TieredCache(), result_cache=result_cache
+        ),
+    )
+    return service
+
+
+def _round_robin(payloads: list[dict], clients: int) -> list[list[dict]]:
+    plans = [payloads[index::clients] for index in range(clients)]
+    return [plan for plan in plans if plan]
+
+
+def _http_concurrency_build(scale: Scale) -> Prepared:
+    from repro.server import GeoHTTPServer
+
+    service = _fresh_service(scale)
+    distinct = _wire_payloads(scale)
+    payloads = distinct * 3  # 48 requests per concurrency level
+    # Ground truth before the server sees traffic: the in-process
+    # answers the HTTP responses must reproduce bit for bit.
+    truth = [_answer(service.run_dict(payload)) for payload in distinct]
+    server = GeoHTTPServer(service, port=0)
+    server.start()
+
+    def thunk() -> dict:
+        identical = True
+        latency: dict[str, float] = {}
+        total = 0
+        for clients in (1, 4, 16):
+            result = run_load(server, _round_robin(payloads, clients))
+            total += len(result.replies)
+            for timed in result.replies:
+                # plan index c gets payloads[c::clients], so request k of
+                # client c is global payload c + k * clients.
+                global_index = timed.client_index + timed.request_index * clients
+                want = truth[global_index % len(distinct)]
+                if timed.reply.status != 200 or _answer(timed.reply.body) != want:
+                    identical = False
+            summary = result.summary()
+            latency[f"qps_{clients}"] = summary["qps"]
+            if clients == 16:
+                latency["p50_ms_16"] = summary["p50_ms"]
+                latency["p95_ms_16"] = summary["p95_ms"]
+                latency["p99_ms_16"] = summary["p99_ms"]
+        return dict(latency, queries=float(total), identical=1.0 if identical else 0.0)
+
+    def finalize(last: dict) -> dict:
+        server.stop()
+        return {"metrics": dict(last)}
+
+    return Prepared(thunk, finalize)
+
+
+def _http_cached_edge_build(scale: Scale) -> Prepared:
+    from repro.server import EdgeCache, GeoClient, GeoHTTPServer
+
+    service = _fresh_service(scale)
+    payloads = _wire_payloads(scale, regions=3)  # 6 distinct bodies
+    sends = 16  # per payload; hit rate = 1 - 1/sends = 0.9375
+    # TTLs far beyond a bench pass: the only admissible transitions here
+    # are miss (first send) and hit (every repeat).
+    edge = EdgeCache(ttl=600.0, stale_ttl=600.0)
+    server = GeoHTTPServer(service, port=0, edge=edge)
+    server.start()
+
+    def thunk() -> dict:
+        edge.reset()  # every sample replays the same miss-then-hit curve
+        identical = True
+        hits = 0
+        with GeoClient.for_server(server) as client:
+            first: list[object] = []
+            for round_index in range(sends):
+                for payload_index, payload in enumerate(payloads):
+                    reply = client.query(payload)
+                    if reply.status != 200:
+                        identical = False
+                        continue
+                    if round_index == 0:
+                        first.append(reply.body)
+                        if reply.x_cache != "miss":
+                            identical = False
+                    else:
+                        hits += 1 if reply.x_cache == "hit" else 0
+                        # Cached replies replay stored bytes, so even the
+                        # stats block must match the first answer exactly.
+                        if reply.body != first[payload_index]:
+                            identical = False
+        counters = edge.stats()
+        if counters["hits"] != hits or counters["misses"] != len(payloads):
+            identical = False  # headers and /stats must tell one story
+        total = sends * len(payloads)
+        return {
+            "queries": float(total),
+            "hit_rate": hits / total,
+            "identical": 1.0 if identical else 0.0,
+        }
+
+    def finalize(last: dict) -> dict:
+        server.stop()
+        return {"metrics": dict(last)}
+
+    return Prepared(thunk, finalize)
+
+
+def _http_mixed_build(scale: Scale) -> Prepared:
+    from repro.api import Dataset, GeoService, TieredCache
+    from repro.server import EdgeCache, GeoClient, GeoHTTPServer
+
+    base = nyc_base(scale.config)
+    level = scale.config.nyc_level(scale.config.block_level)
+    payloads = _wire_payloads(scale, regions=1)  # 2 distinct read shapes
+    batch = _append_batch(scale, base)
+    # Four appends of 50 rows: versions 1 (fresh) through 5 (all folded).
+    batches = [batch[index * 50 : (index + 1) * 50] for index in range(4)]
+    readers, reads_each = 4, 12
+
+    # Ground truth once, untimed: replay the appends sequentially and
+    # record the answer of every payload at every version.  Appends are
+    # deterministic, so the concurrent run must land on these exact
+    # states no matter how the scheduler interleaves it.
+    replay_service = GeoService(cache=TieredCache(), result_cache=False)
+    replay = Dataset.build(base, level, name="bench", cache=TieredCache(), result_cache=False)
+    replay_service.register("bench", replay)
+    truth: dict[tuple[int, int], dict] = {}
+    for version in range(1, len(batches) + 2):
+        if version > 1:
+            replay.append(batches[version - 2])
+        for payload_index, payload in enumerate(payloads):
+            truth[(payload_index, version)] = _answer(replay_service.run_dict(payload))
+    final_version = len(batches) + 1
+
+    edge = EdgeCache(ttl=600.0, stale_ttl=600.0)
+    service = GeoService(cache=TieredCache())
+    server = GeoHTTPServer(service, port=0, edge=edge)
+    server.start()
+
+    def thunk() -> dict:
+        # Fresh dataset + edge per sample: appends mutate the block, so
+        # repeats must not observe the previous sample's writes.
+        edge.reset()
+        service.register(
+            "bench", Dataset.build(base, level, name="bench", cache=TieredCache())
+        )
+        append_replies: list[object] = []
+
+        def writer() -> None:
+            with GeoClient.for_server(server) as client:
+                for rows in batches:
+                    append_replies.append(client.append(rows, dataset="bench"))
+
+        writer_thread = threading.Thread(target=writer, name="loadgen-writer")
+        writer_thread.start()
+        plan = [payloads[index % len(payloads)] for index in range(reads_each)]
+        result = run_load(server, [list(plan) for _ in range(readers)])
+        writer_thread.join()
+
+        writes_ok = len(append_replies) == len(batches) and all(
+            reply.status == 200 and reply.body["data"]["appended"] == len(rows)
+            for reply, rows in zip(append_replies, batches)
+        )
+        identical = True
+        monotonic = True
+        last_version = [0] * readers
+        seen_versions: set[int] = set()
+        for timed in result.replies:
+            body = timed.reply.body
+            version = body.get("version") if isinstance(body, dict) else None
+            if timed.reply.status != 200 or version is None:
+                identical = False
+                continue
+            payload_index = timed.request_index % len(payloads)
+            if _answer(body) != truth.get((payload_index, version)):
+                identical = False
+            if version < last_version[timed.client_index]:
+                monotonic = False
+            last_version[timed.client_index] = version
+            seen_versions.add(version)
+        if service.dataset("bench").version != final_version:
+            writes_ok = False
+        return {
+            "queries": float(len(result.replies)),
+            "appends": float(len(batches)),
+            "appended_rows": float(sum(len(rows) for rows in batches)),
+            "final_version": float(final_version),
+            "writes_ok": 1.0 if writes_ok else 0.0,
+            "identical": 1.0 if identical else 0.0,
+            "monotonic": 1.0 if monotonic else 0.0,
+            "versions_seen": float(len(seen_versions)),
+        }
+
+    def finalize(last: dict) -> dict:
+        server.stop()
+        return {"metrics": dict(last)}
+
+    return Prepared(thunk, finalize)
+
+
+register(
+    Scenario(
+        name="http_query_concurrency",
+        group="http",
+        description=(
+            "48 wire requests replayed at 1/4/16 concurrent HTTP clients; "
+            "asserts every response matches in-process run_dict bit for bit"
+        ),
+        build=_http_concurrency_build,
+        repeats=3,
+        warmup=1,
+        warn_ratio=2.5,
+        fail_ratio=5.0,
+        strict_metrics=("queries", "identical"),
+        metric_bounds={"identical": (1.0, 1.0)},
+    )
+)
+
+register(
+    Scenario(
+        name="http_cached_edge",
+        group="http",
+        description=(
+            "identical payloads re-sent 16x through the edge response cache; "
+            "gates a > 0.9 deterministic hit rate and byte-identical replays"
+        ),
+        build=_http_cached_edge_build,
+        repeats=3,
+        warmup=1,
+        warn_ratio=2.5,
+        fail_ratio=5.0,
+        strict_metrics=("queries", "hit_rate", "identical"),
+        metric_bounds={"hit_rate": (0.9, None), "identical": (1.0, 1.0)},
+    )
+)
+
+register(
+    Scenario(
+        name="http_mixed_readwrite",
+        group="http",
+        description=(
+            "one writer appending 4 batches while 4 readers query over HTTP; "
+            "every response must match the sequential replay at its stamped "
+            "version (zero version lag) with monotone versions per reader"
+        ),
+        build=_http_mixed_build,
+        repeats=2,
+        warmup=0,
+        warn_ratio=2.5,
+        fail_ratio=5.0,
+        strict_metrics=(
+            "queries",
+            "appends",
+            "appended_rows",
+            "final_version",
+            "writes_ok",
+            "identical",
+            "monotonic",
+        ),
+        metric_bounds={
+            "writes_ok": (1.0, 1.0),
+            "identical": (1.0, 1.0),
+            "monotonic": (1.0, 1.0),
+        },
+    )
+)

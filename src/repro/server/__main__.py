@@ -1,0 +1,126 @@
+"""``python -m repro.server``: run the HTTP serving tier.
+
+Datasets come from saved block files (``--datasets name=path``, any
+kind -- the serialized discriminator decides) or ``--demo`` builds a
+synthetic NYC taxi dataset in memory so the server is runnable with no
+data files at all::
+
+    python -m repro.server --demo --port 8080
+    curl -s localhost:8080/healthz
+    curl -s -XPOST localhost:8080/query -d '{
+        "v": 2, "dataset": "demo",
+        "region": {"bbox": [-74.05, 40.70, -73.90, 40.80]},
+        "aggregates": ["count", "avg:fare_amount"]}'
+
+SIGINT/SIGTERM shut the server down gracefully (in-flight requests
+finish; the socket closes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import Dataset, GeoService
+from repro.server.edge import DEFAULT_STALE_TTL, DEFAULT_TTL, EdgeCache
+from repro.server.http import serve
+
+
+def _demo_dataset() -> Dataset:
+    """A small in-memory dataset (the experiment suite's synthetic NYC
+    taxi data at smoke scale) for zero-setup serving."""
+    from repro.experiments.common import ExperimentConfig, nyc_base
+
+    config = ExperimentConfig.smoke()
+    base = nyc_base(config)
+    level = config.nyc_level(config.block_level)
+    return Dataset.build(base, level, name="demo")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve registered GeoBlocks datasets over HTTP (v2 wire protocol).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: loopback)")
+    parser.add_argument("--port", type=int, default=8080, help="port (0 = ephemeral)")
+    parser.add_argument(
+        "--datasets",
+        nargs="*",
+        default=[],
+        metavar="NAME=PATH",
+        help="saved blocks to open and register, e.g. taxi=blocks/taxi.npz",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="register a synthetic in-memory NYC dataset named 'demo'",
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=DEFAULT_TTL,
+        help=f"edge-cache freshness window in seconds (default {DEFAULT_TTL}; "
+        "0 disables the edge cache)",
+    )
+    parser.add_argument(
+        "--stale-ttl",
+        type=float,
+        default=DEFAULT_STALE_TTL,
+        help="stale-while-revalidate window after the TTL "
+        f"(default {DEFAULT_STALE_TTL})",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="bound concurrent request handling (default: unbounded)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress per-request logging")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.datasets and not args.demo:
+        print(
+            "repro.server: nothing to serve; pass --datasets name=path and/or --demo",
+            file=sys.stderr,
+        )
+        return 2
+    if args.threads is not None and args.threads < 1:
+        print("repro.server: --threads must be >= 1", file=sys.stderr)
+        return 2
+    service = GeoService()
+    for spec in args.datasets:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            print(f"repro.server: bad --datasets entry {spec!r}; use name=path", file=sys.stderr)
+            return 2
+        try:
+            service.open(name, path)
+        except Exception as error:  # noqa: BLE001 - startup diagnostics
+            print(f"repro.server: cannot open {spec!r}: {error}", file=sys.stderr)
+            return 2
+        print(f"repro.server: registered {name!r} from {path}")
+    if args.demo:
+        print("repro.server: building the synthetic demo dataset...")
+        service.register("demo", _demo_dataset())
+    edge = (
+        EdgeCache(ttl=args.cache_ttl, stale_ttl=args.stale_ttl)
+        if args.cache_ttl > 0
+        else None
+    )
+    serve(
+        service,
+        host=args.host,
+        port=args.port,
+        edge=edge,
+        threads=args.threads,
+        verbose=not args.quiet,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,13 @@
-"""Small shared utilities: deterministic RNG, timing, and table rendering."""
+"""Small shared utilities: deterministic RNG, timing, table rendering,
+and the serving tier's readers-writer lock."""
 
 from repro.util.rng import derive_rng, spawn_rngs
+from repro.util.sync import RWLock
 from repro.util.tables import format_table, format_series
 from repro.util.timing import Stopwatch, time_call
 
 __all__ = [
+    "RWLock",
     "Stopwatch",
     "derive_rng",
     "format_series",

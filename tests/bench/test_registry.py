@@ -31,7 +31,7 @@ def test_serving_matrix_covers_every_path_and_kind():
 
 def test_groups_cover_raw_engine_and_serving():
     groups = {scenario.group for scenario in all_scenarios()}
-    assert groups == {"experiment", "engine", "serving"}
+    assert groups == {"experiment", "engine", "serving", "http"}
 
 
 def test_at_least_eight_scenarios_beyond_experiments():

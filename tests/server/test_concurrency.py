@@ -1,0 +1,249 @@
+"""Thread-safety of the serving tier: the readers-writer lock, the
+append/query hammer (no torn reads), the registry lock, and the load
+generator itself."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import Dataset, GeoService
+from repro.bench.loadgen import LoadResult, TimedReply, percentile, run_load
+from repro.bench.scenario import BenchError
+from repro.server import EdgeCache, GeoClient, GeoHTTPServer
+from repro.util.sync import RWLock
+
+from tests.server.conftest import answer, build_dataset, make_rows, wire_query
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        inside = threading.Barrier(3, timeout=10)
+
+        def reader() -> None:
+            with lock.read():
+                inside.wait()  # all three must be inside at once
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not any(thread.is_alive() for thread in threads)
+
+    def test_writer_is_exclusive(self):
+        lock = RWLock()
+        active = []
+        torn = []
+
+        def writer() -> None:
+            with lock.write():
+                active.append("w")
+                if len(active) > 1:
+                    torn.append(tuple(active))
+                time.sleep(0.002)
+                active.remove("w")
+
+        def reader() -> None:
+            with lock.read():
+                if "w" in active:
+                    torn.append(tuple(active))
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert torn == []
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: once a writer queues, fresh readers wait,
+        so sustained query traffic cannot starve appends."""
+        lock = RWLock()
+        reader_entered = threading.Event()
+        release_reader = threading.Event()
+        writer_done = threading.Event()
+        late_reader_ran = threading.Event()
+        order: list[str] = []
+
+        def long_reader() -> None:
+            with lock.read():
+                reader_entered.set()
+                release_reader.wait(timeout=10)
+
+        def writer() -> None:
+            with lock.write():
+                order.append("writer")
+            writer_done.set()
+
+        def late_reader() -> None:
+            with lock.read():
+                order.append("late_reader")
+            late_reader_ran.set()
+
+        first = threading.Thread(target=long_reader)
+        first.start()
+        reader_entered.wait(timeout=10)
+        blocked_writer = threading.Thread(target=writer)
+        blocked_writer.start()
+        time.sleep(0.05)  # let the writer reach its wait
+        late = threading.Thread(target=late_reader)
+        late.start()
+        time.sleep(0.05)
+        assert not late_reader_ran.is_set()  # queued behind the writer
+        release_reader.set()
+        for thread in (first, blocked_writer, late):
+            thread.join(timeout=10)
+        assert order == ["writer", "late_reader"]
+
+
+class TestAppendQueryHammer:
+    """The satellite gate: every response observed during a concurrent
+    append is bit-identical to the pre-append or the post-append
+    answer, keyed by its stamped version -- torn states would produce a
+    version-2 body that matches neither."""
+
+    def test_no_torn_reads_under_concurrent_append(self, small_base, kind):
+        service = GeoService()
+        service.register("small", build_dataset(small_base, kind))
+        rows = make_rows()
+        pre = answer(service.run_dict(wire_query()))
+        assert pre["version"] == 1
+        with GeoHTTPServer(service, port=0, edge=EdgeCache(ttl=600.0)) as server:
+            replies = []
+            errors = []
+
+            def reader() -> None:
+                try:
+                    with GeoClient.for_server(server) as client:
+                        for _ in range(25):
+                            replies.append(client.query(wire_query()))
+                except Exception as error:  # noqa: BLE001 - surfaced below
+                    errors.append(error)
+
+            threads = [threading.Thread(target=reader) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.03)  # let readers overlap the write
+            with GeoClient.for_server(server) as writer:
+                appended = writer.append(rows, dataset="small")
+            for thread in threads:
+                thread.join(timeout=30)
+            assert errors == []
+            assert appended.status == 200
+            assert appended.body["version"] == 2
+        post = answer(service.run_dict(wire_query()))
+        assert post["version"] == 2
+        assert len(replies) == 100
+        for reply in replies:
+            assert reply.status == 200
+            got = answer(reply.body)
+            assert got == (pre if reply.body["version"] == 1 else post)
+
+    def test_versions_monotone_per_reader(self, small_base):
+        service = GeoService()
+        service.register("small", build_dataset(small_base, "geoblock"))
+        with GeoHTTPServer(service, port=0, edge=EdgeCache(ttl=600.0)) as server:
+            per_reader: list[list[int]] = [[] for _ in range(3)]
+
+            def reader(index: int) -> None:
+                with GeoClient.for_server(server) as client:
+                    for _ in range(20):
+                        per_reader[index].append(client.query(wire_query()).body["version"])
+
+            threads = [threading.Thread(target=reader, args=(index,)) for index in range(3)]
+            for thread in threads:
+                thread.start()
+            with GeoClient.for_server(server) as writer:
+                for seed in (11, 12):
+                    writer.append(make_rows(count=10, seed=seed), dataset="small")
+            for thread in threads:
+                thread.join(timeout=30)
+        for seen in per_reader:
+            assert seen == sorted(seen)
+
+
+class TestRegistryLock:
+    def test_concurrent_register_and_lookup(self, small_base):
+        """Registering datasets while other threads iterate and query
+        never raises and never loses a registration."""
+        service = GeoService()
+        service.register("small", build_dataset(small_base, "geoblock"))
+        dataset = service.dataset("small")
+        errors = []
+        stop = threading.Event()
+
+        def registrar(index: int) -> None:
+            try:
+                for step in range(10):
+                    service.register(f"extra_{index}_{step}", Dataset(dataset.handle))
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        def scanner() -> None:
+            try:
+                while not stop.is_set():
+                    for name in service.names:
+                        assert name in service
+                    list(service)  # iterating datasets must never tear
+                    service.versions()
+                    service.run_dict(wire_query())
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        writers = [threading.Thread(target=registrar, args=(index,)) for index in range(4)]
+        readers = [threading.Thread(target=scanner) for _ in range(2)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=30)
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=30)
+        assert errors == []
+        assert len(service) == 1 + 4 * 10
+
+
+class TestLoadgen:
+    def test_percentile_nearest_rank(self):
+        samples = [float(value) for value in range(1, 101)]
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 95) == 95.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile(samples, 100) == 100.0
+        assert percentile([7.0], 99) == 7.0
+        with pytest.raises(BenchError):
+            percentile([], 50)
+        with pytest.raises(BenchError):
+            percentile([1.0], 101)
+
+    def test_load_result_summary(self):
+        replies = [
+            TimedReply(0, index, latency, None)
+            for index, latency in enumerate((0.010, 0.020, 0.030, 0.040))
+        ]
+        result = LoadResult(elapsed_s=2.0, clients=1, replies=replies)
+        assert result.qps == pytest.approx(2.0)
+        assert result.summary()["p50_ms"] == pytest.approx(20.0)
+        assert result.summary()["p99_ms"] == pytest.approx(40.0)
+
+    def test_run_load_rejects_empty_plans(self, server):
+        with pytest.raises(BenchError):
+            run_load(server, [])
+        with pytest.raises(BenchError):
+            run_load(server, [[wire_query()], []])
+
+    def test_run_load_round_trips_replies(self, server, service):
+        plans = [[wire_query(), wire_query()] for _ in range(3)]
+        result = run_load(server, plans)
+        assert result.clients == 3
+        assert len(result.replies) == 6
+        want = answer(service.run_dict(wire_query()))
+        for timed in result.replies:
+            assert timed.reply.status == 200
+            assert answer(timed.reply.body) == want
+        assert result.qps > 0
