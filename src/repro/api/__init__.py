@@ -83,6 +83,7 @@ from repro.api.request import (
     AppendRequest,
     AppendResponse,
     GroupRow,
+    MaterializeRequest,
     QueryRequest,
     QueryResponse,
     QueryStats,
@@ -106,6 +107,7 @@ __all__ = [
     "GeoService",
     "TieredCache",
     "GroupRow",
+    "MaterializeRequest",
     "QueryBuilder",
     "QueryRequest",
     "QueryResponse",

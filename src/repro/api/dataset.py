@@ -56,8 +56,10 @@ import numpy as np
 
 from repro.api.errors import (
     BAD_REQUEST,
+    DUPLICATE_VIEW,
     UNKNOWN_COLUMN,
     UNKNOWN_DATASET,
+    UNKNOWN_VIEW,
     UNSUPPORTED_OP,
     ApiError,
 )
@@ -77,6 +79,8 @@ from repro.core.geoblock import GeoBlock
 from repro.engine.executor import QueryResult as EngineResult
 from repro.core.policy import CachePolicy
 from repro.errors import QueryError
+from repro.materialize.store import MaterializedStore
+from repro.materialize.view import MaterializedView, build_records, mv_key as make_mv_key
 from repro.storage.etl import BaseData
 from repro.storage.expr import ALWAYS_TRUE, Predicate
 from repro.storage.table import PointTable
@@ -140,6 +144,12 @@ class Dataset:
             )
             if cache is not None:
                 self.block.planner.use_cache(cache)
+        # The materialized-view tier (repro.materialize): hot answers
+        # pinned as first-class views, refreshed incrementally on
+        # append instead of invalidated.  Per dataset *and* per
+        # filtered view -- the MV key's predicate component is implicit
+        # in which store a view lives in.
+        self._mv = MaterializedStore()
         self._views: OrderedDict[str, Dataset] = OrderedDict()
         # Serialises view-cache mutation: 'where' reads mutate the LRU
         # (move_to_end / insert / evict), which must stay safe under a
@@ -206,16 +216,32 @@ class Dataset:
     @classmethod
     def open(cls, path: str | pathlib.Path, name: str | None = None) -> "Dataset":
         """Load any saved block (the serialized ``kind`` decides what
-        comes back: plain, sharded, or adaptive)."""
-        from repro.core.serialize import load
+        comes back: plain, sharded, or adaptive).
 
-        return cls(load(path), name=name)
+        A ``.mv.npz`` sidecar written by :meth:`save` restores the
+        dataset's materialized views, so a restarted server answers its
+        hot queries from disk without one engine pass (the sidecar's
+        content stamp guards against a block file rebuilt out-of-band).
+        """
+        from repro.core.serialize import load
+        from repro.materialize.persist import load_views, sidecar_path
+
+        dataset = cls(load(path), name=name)
+        load_views(sidecar_path(path), dataset._mv, dataset.block.aggregates)
+        for view in dataset._mv.views():
+            # Version stamps are per-process; re-anchor to this facade.
+            view.refreshed_version = dataset._version
+        return dataset
 
     def save(self, path: str | pathlib.Path) -> None:
-        """Persist the dataset's block, whatever its kind."""
+        """Persist the dataset's block, whatever its kind, plus the
+        materialized-view sidecar (removed again when no views exist,
+        so stale sidecars cannot outlive their views)."""
         from repro.core.serialize import save
+        from repro.materialize.persist import save_views, sidecar_path
 
         save(self._handle, path)
+        save_views(sidecar_path(path), self._mv, self.block.aggregates)
 
     # -- introspection ----------------------------------------------------
 
@@ -288,10 +314,18 @@ class Dataset:
 
     def invalidate_cache(self) -> int:
         """Eagerly drop this dataset's result-tier entries (all
-        versions, all views -- they share the token).  Appends already
-        invalidate lazily by bumping :attr:`version`; this is the
-        explicit memory-reclaim hook."""
-        return self._scope.invalidate()
+        versions, all views -- they share the token) and every
+        materialized view, pinned included: explicit invalidation means
+        "recompute everything".  Appends never call this -- they
+        invalidate the result tier lazily by bumping :attr:`version`
+        and *refresh* MVs in place.  Returns the result-tier count."""
+        dropped = self._scope.invalidate()
+        self._mv.clear()
+        with self._views_lock:
+            views = list(self._views.values())
+        for view in views:
+            view._mv.clear()
+        return dropped
 
     def describe(self) -> dict:
         """JSON-compatible summary (what a service catalog endpoint
@@ -309,6 +343,7 @@ class Dataset:
             "memory_bytes": self._handle.memory_bytes(),
             "version": self._version,
             "views": views,
+            "materialized": len(self._mv),
         }
         if self.is_view:
             summary["filter"] = self.block.predicate.key
@@ -419,6 +454,129 @@ class Dataset:
         ``ds.where(col("fare") > 20).over(region).run()``."""
         return self.view(predicate)
 
+    # -- materialized views ------------------------------------------------
+
+    @property
+    def materialized(self) -> MaterializedStore:
+        """The dataset's materialized-view store (telemetry and direct
+        inspection; serving goes through :meth:`query`)."""
+        return self._mv
+
+    def materialize(self, request, name: str | None = None) -> dict:  # noqa: ANN001
+        """Pin one single-region query as a materialized view.
+
+        The query executes (or serves from the warm result tier), its
+        per-covering-cell records are materialised, and from then on
+        identical requests answer from the view -- including right
+        after appends, which refresh it incrementally instead of
+        invalidating.  Pinned views never auto-evict; drop them with
+        :meth:`drop_view`.  Returns the view's info row.
+        """
+        request = as_request(request)
+        with self._rwlock.read():
+            return self._materialize_inner(request, name)
+
+    def _materialize_inner(self, request: QueryRequest, name: str | None) -> dict:
+        self._validate(request)
+        if request.where is not None:
+            view = self._view_inner(request.where)
+            return view._materialize_local(request, name)
+        return self._materialize_local(request, name)
+
+    def _materialize_local(self, request: QueryRequest, name: str | None) -> dict:
+        """:meth:`materialize` against this block (``where`` already
+        routed to the filtered view by the caller)."""
+        if request.grouped:
+            raise ApiError(
+                UNSUPPORTED_OP,
+                "cannot materialize a grouped query; pin each feature's "
+                "region as its own view",
+            )
+        if not request.count_only and (request.mode or self.block.query_mode) == "scalar":
+            raise ApiError(
+                UNSUPPORTED_OP,
+                "the scalar execution model cannot be materialized: it has no "
+                "bit-identity gate against the vector fold an MV refresh "
+                "re-runs; use the kernel or vector mode",
+            )
+        key = self._mv_key(request)
+        if key is None:
+            raise ApiError(
+                UNSUPPORTED_OP,
+                "cannot materialize this request: the target has no stable "
+                "region fingerprint",
+            )
+        result_key = self._result_key(request)
+        result = self._scope.probe(result_key)
+        if result is None:
+            result = self._engine_result(request)
+            self._scope.fill(result_key, result)
+        try:
+            view = self._admit_view(request, key, result, pinned=True, name=name)
+        except KeyError as error:
+            raise ApiError(DUPLICATE_VIEW, str(error.args[0])) from error
+        return view.info(self._version)
+
+    def views_info(self) -> dict:
+        """Every cached view of this dataset: the filtered (per-
+        predicate) views and all materialized views -- the root's and
+        each filtered view's, flagged with their ``where`` key."""
+        with self._rwlock.read():
+            with self._views_lock:
+                filtered_views = list(self._views.items())
+            materialized = [
+                dict(info, where=None)
+                for info in self._mv.views_info(self._version)
+            ]
+            filtered = []
+            for where_key, view in filtered_views:
+                filtered.append(
+                    {
+                        "where": where_key,
+                        "kind": "filtered",
+                        "version": view.version,
+                        "tuples": int(view.block.header.total_count),
+                        "materialized": len(view._mv),
+                    }
+                )
+                materialized.extend(
+                    dict(info, where=where_key)
+                    for info in view._mv.views_info(view._version)
+                )
+            return {
+                "dataset": self.name,
+                "version": self._version,
+                "filtered": filtered,
+                "materialized": materialized,
+            }
+
+    def mv_stats(self) -> dict:
+        """The dataset's merged MV telemetry: the root store's counters
+        plus every cached filtered view's (each holds its own store)."""
+        stats = self._mv.stats()
+        with self._views_lock:
+            views = list(self._views.values())
+        for view in views:
+            for key, value in view._mv.stats().items():
+                stats[key] += value
+        return stats
+
+    def drop_view(self, name: str) -> dict:
+        """Drop the materialized view named ``name`` (the root's stores
+        are searched first, then each filtered view's)."""
+        with self._rwlock.read():
+            stores = [self._mv]
+            with self._views_lock:
+                stores.extend(view._mv for view in self._views.values())
+            for store in stores:
+                dropped = store.drop(name)
+                if dropped is not None:
+                    return {"dropped": dropped.name, "dataset": self.name}
+        raise ApiError(
+            UNKNOWN_VIEW,
+            f"no materialized view named {name!r} on dataset {self.name!r}",
+        )
+
     # -- the write path ----------------------------------------------------
 
     def append(self, rows: Sequence[Mapping]) -> AppendResponse:
@@ -485,6 +643,12 @@ class Dataset:
             # replays.  Without base data no view can ever be built,
             # so there is nothing to retain the rows for.
             self._appended.extend(dict(row) for row in applied)
+        # Materialized views refresh *inside* the exclusive section:
+        # only the covering cells the appended leaves landed in
+        # recompute, and the restamped answers are bit-identical to a
+        # cold rebuild -- the write path stays a cheap delta instead of
+        # a cache-killer.
+        self._mv.refresh_all(self._handle, self._row_leaves(applied), self._version)
         with self._views_lock:
             views = list(self._views.values())
         for view in views:
@@ -495,6 +659,7 @@ class Dataset:
                 except QueryError as error:  # pragma: no cover - parent validated
                     raise ApiError(BAD_REQUEST, str(error)) from error
             view._version = self._version
+            view._mv.refresh_all(view._handle, view._row_leaves(matching), self._version)
         return AppendResponse(
             appended=appended,
             in_place=in_place,
@@ -522,6 +687,14 @@ class Dataset:
                 f"append rows must carry numeric 'x', 'y', and {list(schema.names)}: "
                 f"{error}",
             ) from error
+
+    def _row_leaves(self, rows: list[Mapping]) -> np.ndarray:
+        """The appended rows' leaf cell ids (what MV refresh tests
+        against each view's covering for touched-cell detection)."""
+        if not rows:
+            return np.empty(0, dtype=np.int64)
+        table = self._rows_table(rows)
+        return self.block.space.leaf_ids(table.xs, table.ys)
 
     def _matching_rows(self, predicate: Predicate, rows: list[Mapping]) -> list[Mapping]:
         """Rows qualifying under ``predicate`` (evaluated batched, the
@@ -640,57 +813,151 @@ class Dataset:
             version=self._version,
         )
 
-    def _execute(self, request: QueryRequest) -> QueryResponse:
-        """Carry out a validated request against this dataset's block
-        (``where`` already resolved to a view by :meth:`query`).
-
-        Single-region requests probe the result tier first: a hit
-        serves the exact stored :class:`QueryResult` -- covering and
-        execution both skipped -- and is byte-identical to cold
-        execution because the tier stores outcomes, never recomputes.
-        """
+    def _mv_key(self, request: QueryRequest) -> tuple | None:
+        """The materialized-view store key of a request, or ``None``
+        when the MV tier cannot serve it: grouped requests (per-feature
+        answers), geometry-free targets, and the scalar execution model
+        (the one model with no bit-identity gate against the vector
+        fold an MV refresh re-runs)."""
         if request.grouped:
-            return self._execute_grouped(request)
-        handle = self._execution_handle(request)
-        key = self._result_key(request)
-        start = perf_counter()
-        cached = self._scope.probe(key)
-        if cached is not None:
-            return self._cached_response(cached, (perf_counter() - start) * 1e3)
-        covering_cached = 0
+            return None
+        try:
+            if request.count_only:
+                return make_mv_key(request.target, (), None, False, True)
+            mode = request.mode or self.block.query_mode
+            if mode == "scalar":
+                return None
+            trie = request.cache and isinstance(self._handle, AdaptiveGeoBlock)
+            return make_mv_key(request.target, request.aggregates, mode, trie, False)
+        except TypeError:
+            return None
+
+    def _mv_response(self, view: MaterializedView, result_cached: bool, latency_ms: float) -> QueryResponse:
+        """A response served by the MV tier (values/count are the
+        view's current refreshed answer, exact by the refresh gate)."""
+        result = view.result
+        return QueryResponse(
+            values=dict(result.values),
+            count=result.count,
+            stats=QueryStats(
+                cells_probed=result.cells_probed,
+                cache_hits=result.cache_hits,
+                latency_ms=latency_ms,
+                covering_cached=int(result.covering_cached),
+                result_cached=int(result_cached),
+                mv_cached=1,
+            ),
+            dataset=self.name,
+            version=self._version,
+        )
+
+    def _engine_result(self, request: QueryRequest) -> EngineResult:
+        """Cold single-region execution (the non-cached paths and MV
+        admission share it): the Listing 2 count fast path or a
+        ``select`` on the execution handle."""
         if request.count_only:
             # Plan once; executor.count is exactly what block.count runs.
             block = self.block
             plan = block.plan(request.target)
-            count = block.executor.count(plan)
-            result_values: dict[str, float] = {}
-            probed, hits = plan.num_cells, 0
-            covering_cached = int(plan.from_cache)
-            self._scope.fill(
-                key,
-                EngineResult(
-                    values={},
-                    count=count,
-                    cells_probed=probed,
-                    covering_cached=plan.from_cache,
-                ),
+            return EngineResult(
+                values={},
+                count=block.executor.count(plan),
+                cells_probed=plan.num_cells,
+                covering_cached=plan.from_cache,
             )
-        else:
-            result = handle.select(request.target, list(request.aggregates), mode=request.mode)
-            count = result.count
-            result_values = result.values
-            probed, hits = result.cells_probed, result.cache_hits
-            covering_cached = int(result.covering_cached)
-            self._scope.fill(key, result)
+        handle = self._execution_handle(request)
+        return handle.select(request.target, list(request.aggregates), mode=request.mode)
+
+    def _maybe_admit(self, request: QueryRequest, key: tuple | None, result: EngineResult) -> None:
+        """Feed the MV admission log with a tier miss; admit once the
+        key crosses the threshold (``result`` is the exact current
+        answer -- engine-produced or result-tier stored, both cold-
+        identical at this version).  Auto-admission follows the result
+        tier's enabled flag: a cache-off dataset must stay cache-off."""
+        if key is None or not self._scope.enabled:
+            return
+        if not self._mv.observe(key):
+            return
+        try:
+            self._admit_view(request, key, result, pinned=False, name=None)
+        except KeyError:  # pragma: no cover - concurrent admission race
+            pass
+
+    def _admit_view(
+        self,
+        request: QueryRequest,
+        key: tuple,
+        result: EngineResult,
+        pinned: bool,
+        name: str | None,
+    ) -> MaterializedView:
+        """Build and install the MV serving ``request``: the unpruned
+        covering (append-invariant geometry) plus one aggregate record
+        per covering cell (the vector model's materialisation, fanned
+        out per shard), with ``result`` as the current answer."""
+        block = self.block
+        covering = block.planner.covering(request.target)
+        records = None if request.count_only else build_records(block, covering)
+        view = MaterializedView(
+            name=name if name is not None else self._mv.auto_name(),
+            region=request.target,
+            aggs=() if request.count_only else request.aggregates,
+            mode=None if request.count_only else (request.mode or block.query_mode),
+            trie_hint=bool(
+                not request.count_only
+                and request.cache
+                and isinstance(self._handle, AdaptiveGeoBlock)
+            ),
+            count_only=request.count_only,
+            key=key,
+            covering=covering,
+            records=records,
+            result=result,
+            version=self._version,
+            pinned=pinned,
+        )
+        return self._mv.admit(view)
+
+    def _execute(self, request: QueryRequest) -> QueryResponse:
+        """Carry out a validated request against this dataset's block
+        (``where`` already resolved to a view by :meth:`query`).
+
+        Single-region requests probe the MV tier first, then the result
+        tier: both serve exact stored :class:`QueryResult` objects --
+        covering and execution skipped -- byte-identical to cold
+        execution because both tiers store outcomes, never recompute.
+        An MV hit still probes (and on a version-bumped miss, re-fills)
+        the result tier, so that tier's telemetry and warmth are
+        unchanged by MVs sitting above it.
+        """
+        if request.grouped:
+            return self._execute_grouped(request)
+        key = self._result_key(request)
+        mv_key = self._mv_key(request)
+        start = perf_counter()
+        view = self._mv.lookup(mv_key)
+        if view is not None:
+            cached = self._scope.probe(key)
+            if cached is None:
+                self._scope.fill(key, view.result)
+            return self._mv_response(view, cached is not None, (perf_counter() - start) * 1e3)
+        cached = self._scope.probe(key)
+        if cached is not None:
+            response = self._cached_response(cached, (perf_counter() - start) * 1e3)
+            self._maybe_admit(request, mv_key, cached)
+            return response
+        result = self._engine_result(request)
+        self._scope.fill(key, result)
+        self._maybe_admit(request, mv_key, result)
         latency_ms = (perf_counter() - start) * 1e3
         return QueryResponse(
-            values=dict(result_values),
-            count=count,
+            values=dict(result.values),
+            count=result.count,
             stats=QueryStats(
-                cells_probed=probed,
-                cache_hits=hits,
+                cells_probed=result.cells_probed,
+                cache_hits=result.cache_hits,
                 latency_ms=latency_ms,
-                covering_cached=covering_cached,
+                covering_cached=int(result.covering_cached),
             ),
             dataset=self.name,
             version=self._version,
@@ -755,11 +1022,12 @@ class Dataset:
         from repro.api.request import warn_v1_payload
 
         request = QueryRequest.from_dict(payload)
+        legacy = "v" not in payload or payload.get("v") == 1
         if "v" not in payload:
             # After parsing: malformed dicts must not consume the
             # once-per-process warning (see GeoService.run_dict).
             warn_v1_payload()
-        return self.query(request).to_dict()
+        return self.query(request).to_dict(legacy_stats=legacy)
 
     def run_batch(self, requests: Sequence) -> list[QueryResponse]:
         """Answer many requests in one engine pass.
@@ -793,11 +1061,23 @@ class Dataset:
             if request.count_only or request.grouped or request.where is not None:
                 responses[index] = self._query_inner(request)
                 continue
-            # Result-tier probe: members already answered (same region,
-            # aggregates, version, and hints) never reach the engine
-            # pass; the rest execute batched and fill on the way out.
+            # MV-tier then result-tier probe: members already answered
+            # (same region, aggregates, version, and hints) never reach
+            # the engine pass; the rest execute batched and fill on the
+            # way out.  Batch members serve from MVs but do not feed
+            # the admission log -- admission is driven by the
+            # single-query serving path (:meth:`_execute`).
             key = self._result_key(request)
             probe_start = perf_counter()
+            view = self._mv.lookup(self._mv_key(request))
+            if view is not None:
+                cached = self._scope.probe(key)
+                if cached is None:
+                    self._scope.fill(key, view.result)
+                responses[index] = self._mv_response(
+                    view, cached is not None, (perf_counter() - probe_start) * 1e3
+                )
+                continue
             cached = self._scope.probe(key)
             if cached is not None:
                 responses[index] = self._cached_response(

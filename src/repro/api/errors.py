@@ -29,6 +29,8 @@ BAD_PREDICATE = "bad_predicate"  #: unparsable 'where' filter expression
 UNKNOWN_DATASET = "unknown_dataset"  #: dataset name not in the registry
 UNKNOWN_COLUMN = "unknown_column"  #: aggregate references a missing column
 UNSUPPORTED_OP = "unsupported_op"  #: operation the target cannot perform
+UNKNOWN_VIEW = "unknown_view"  #: drop/inspect of a view that does not exist
+DUPLICATE_VIEW = "duplicate_view"  #: materialize of an already-pinned query/name
 NOT_FOUND = "not_found"  #: no such resource (an HTTP route, for example)
 INTERNAL = "internal"  #: wrapped non-API library error
 
@@ -41,6 +43,8 @@ ERROR_CODES = (
     UNKNOWN_DATASET,
     UNKNOWN_COLUMN,
     UNSUPPORTED_OP,
+    UNKNOWN_VIEW,
+    DUPLICATE_VIEW,
     NOT_FOUND,
     INTERNAL,
 )
@@ -60,6 +64,8 @@ HTTP_STATUS = {
     UNKNOWN_COLUMN: 400,
     UNSUPPORTED_OP: 400,
     UNKNOWN_DATASET: 404,
+    UNKNOWN_VIEW: 404,
+    DUPLICATE_VIEW: 409,
     NOT_FOUND: 404,
     INTERNAL: 500,
 }

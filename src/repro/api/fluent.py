@@ -129,6 +129,18 @@ class QueryBuilder:
         )
         return self._dataset.query(request).count
 
+    def materialize(self, name: str | None = None) -> dict:
+        """Pin this query as a materialized view on its dataset:
+        ``ds.over(region).agg("avg:fare").materialize("hot-soho")``.
+
+        From then on the identical query answers from the view --
+        including right after appends, which refresh it incrementally.
+        Returns the view's info row; rejected with ``unsupported_op``
+        for grouped builders (they answer per feature, not as one
+        pinnable answer).
+        """
+        return self._dataset.materialize(self.request(), name)
+
     def append(self, rows: Sequence[Mapping]) -> AppendResponse:
         """The write terminal: fold ``rows`` into the dataset's block.
 

@@ -94,6 +94,11 @@ DEFAULT_AGGREGATES = (AggSpec("count"),)
 # construction never warns).
 _v1_warned = False
 
+# Likewise one warning per process for the flat legacy stats keys,
+# which only v1 responses still carry (v2 responses moved to the
+# structured ``stats.cache`` / ``stats.mv`` blocks).
+_legacy_stats_warned = False
+
 
 def warn_v1_payload() -> None:
     """Emit the once-per-process v1 wire-format deprecation warning."""
@@ -104,6 +109,22 @@ def warn_v1_payload() -> None:
     warnings.warn(
         'versionless query dicts are deprecated; add \'"v": 2\' to the payload '
         "(v1 requests are up-converted and keep answering identically)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def warn_legacy_stats() -> None:
+    """Emit the once-per-process flat-stats deprecation warning (fired
+    when a response is rendered with the v1 legacy stats keys)."""
+    global _legacy_stats_warned
+    if _legacy_stats_warned:
+        return
+    _legacy_stats_warned = True
+    warnings.warn(
+        "flat 'cache_hits'/'covering_cached' stats keys are deprecated and "
+        "only emitted for v1 requests; read the structured 'stats.cache' and "
+        "'stats.mv' blocks instead",
         DeprecationWarning,
         stacklevel=3,
     )
@@ -450,37 +471,49 @@ class QueryStats:
     #: execution skipped): 0/1 for single-region queries, the number of
     #: short-circuited members for batches routed through one response.
     result_cached: int = 0
+    #: Whole answers supplied by the materialized-view tier of
+    #: :mod:`repro.materialize` (0/1; a refreshed MV answering after an
+    #: append sets this while ``result_cached`` stays 0).
+    mv_cached: int = 0
 
-    def to_dict(self) -> dict:
-        """The v2 stats object.
+    def to_dict(self, legacy: bool = False) -> dict:
+        """The stats object: structured ``cache`` and ``mv`` blocks
+        plus the undisputed flat facts (cells probed, latency).
 
-        ``cache`` is the full per-response cache block (covering-tier
-        reuse, result-tier short-circuits, AggregateTrie cell hits);
-        the flat ``cache_hits`` / ``covering_cached`` keys are kept for
-        pre-cache-subsystem readers and mirror the block exactly.
+        ``legacy=True`` -- the v1 up-convert path -- additionally emits
+        the deprecated flat ``cache_hits`` / ``covering_cached`` mirror
+        keys (once-per-process DeprecationWarning); v2 responses dropped
+        them in favour of the blocks.
         """
-        return {
+        payload: dict = {
             "cells_probed": self.cells_probed,
-            "cache_hits": self.cache_hits,
             "latency_ms": self.latency_ms,
-            "covering_cached": self.covering_cached,
             "cache": {
                 "covering_cached": self.covering_cached,
                 "result_cached": self.result_cached,
                 "trie_hits": self.cache_hits,
             },
+            "mv": {"cached": self.mv_cached},
         }
+        if legacy:
+            warn_legacy_stats()
+            payload["cache_hits"] = self.cache_hits
+            payload["covering_cached"] = self.covering_cached
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "QueryStats":
         cache = payload.get("cache")
         cache = cache if isinstance(cache, Mapping) else {}
+        mv = payload.get("mv")
+        mv = mv if isinstance(mv, Mapping) else {}
         return cls(
             cells_probed=int(payload.get("cells_probed", 0)),
-            cache_hits=int(payload.get("cache_hits", 0)),
+            cache_hits=int(payload.get("cache_hits", cache.get("trie_hits", 0))),
             latency_ms=float(payload.get("latency_ms", 0.0)),
             covering_cached=int(payload.get("covering_cached", cache.get("covering_cached", 0))),
             result_cached=int(cache.get("result_cached", 0)),
+            mv_cached=int(mv.get("cached", 0)),
         )
 
 
@@ -547,7 +580,9 @@ class QueryResponse:
                 return row
         raise KeyError(name)
 
-    def to_dict(self) -> dict:
+    def to_dict(self, legacy_stats: bool = False) -> dict:
+        """The success envelope; ``legacy_stats=True`` (the v1
+        up-convert path) keeps the deprecated flat stats mirror keys."""
         data: dict = {"values": dict(self.values), "count": self.count}
         if self.groups is not None:
             data["groups"] = [row.to_dict() for row in self.groups]
@@ -555,7 +590,7 @@ class QueryResponse:
             "ok": True,
             "v": WIRE_VERSION,
             "data": data,
-            "stats": self.stats.to_dict(),
+            "stats": self.stats.to_dict(legacy=legacy_stats),
         }
         if self.dataset is not None:
             payload["dataset"] = self.dataset
@@ -712,6 +747,76 @@ class AppendResponse:
             version=int(payload.get("version", 0)),
             dataset=payload.get("dataset"),
         )
+
+
+@dataclass(frozen=True)
+class MaterializeRequest:
+    """Pin one query as a materialized view (the ``materialize`` op).
+
+    Wire shape (v2 only -- the op is part of the v2.1 surface)::
+
+        {"v": 2, "op": "materialize", "dataset": "taxi",
+         "region": {...}, "aggregates": ["count", "avg:fare"],
+         "where": {...}, "hints": {...}, "name": "hot-soho"}
+
+    Everything but ``op`` and the optional ``name`` is the single-region
+    query shape of :class:`QueryRequest` (grouped queries answer
+    per-feature and cannot pin as one view, so ``group_by`` is
+    rejected).  ``name`` defaults to a store-assigned ``mv-N``.
+    """
+
+    query: QueryRequest
+    name: str | None = None
+
+    _KEYS = ("v", "op", "dataset", "region", "where", "aggregates", "hints", "name")
+
+    @property
+    def dataset(self) -> str | None:
+        return self.query.dataset
+
+    def to_dict(self) -> dict:
+        payload = {"v": WIRE_VERSION, "op": "materialize"}
+        if self.query.region is not None:
+            payload["region"] = serialise_region(self.query.region)
+        payload["aggregates"] = [format_agg(spec) for spec in self.query.aggregates]
+        if self.query.where is not None:
+            payload["where"] = predicate_to_wire(self.query.where)
+        hints = self.query.hints()
+        if hints:
+            payload["hints"] = hints
+        if self.query.dataset is not None:
+            payload["dataset"] = self.query.dataset
+        if self.name is not None:
+            payload["name"] = self.name
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "MaterializeRequest":
+        if not isinstance(payload, Mapping):
+            raise ApiError(
+                BAD_REQUEST, f"materialize must be an object, got {type(payload).__name__}"
+            )
+        if payload.get("op") != "materialize":
+            raise ApiError(BAD_REQUEST, "materialize payload needs '\"op\": \"materialize\"'")
+        if payload.get("v") != WIRE_VERSION:
+            raise ApiError(
+                BAD_REQUEST,
+                f"materialize needs the v{WIRE_VERSION} envelope "
+                f"('\"v\": {WIRE_VERSION}'); view management has no v1 form",
+            )
+        unknown = sorted(set(payload) - set(cls._KEYS))
+        if unknown:
+            raise ApiError(
+                BAD_REQUEST,
+                f"unknown materialize key(s) {unknown}; expected {list(cls._KEYS)}",
+                details={"unknown": unknown},
+            )
+        name = payload.get("name")
+        if name is not None and (not isinstance(name, str) or not name):
+            raise ApiError(BAD_REQUEST, "'name' must be a non-empty string")
+        inner = {key: value for key, value in payload.items() if key != "name"}
+        inner["op"] = "query"
+        return cls(query=QueryRequest.from_dict(inner), name=name)
 
 
 def as_request(obj: object) -> QueryRequest:

@@ -29,8 +29,10 @@ from repro.api.errors import (
     error_envelope,
 )
 from repro.api.request import (
+    WIRE_VERSION,
     AppendRequest,
     AppendResponse,
+    MaterializeRequest,
     QueryRequest,
     QueryResponse,
     as_request,
@@ -181,12 +183,19 @@ class GeoService:
                         totals[key] += value
             lookups = totals["hits"] + totals["misses"]
             merged[tier] = dict(totals, hit_rate=totals["hits"] / lookups if lookups else 0.0)
+        per_dataset_mv = {name: dataset.mv_stats() for name, dataset in datasets.items()}
+        mv_totals: dict = {}
+        for stats in per_dataset_mv.values():
+            for key, value in stats.items():
+                mv_totals[key] = mv_totals.get(key, 0) + value
         return {
             "cache": merged,
+            "mv": mv_totals,
             "datasets": {
                 name: {
                     "version": dataset.version,
                     "result_cache": dataset.cache_scope.enabled,
+                    "materialized": per_dataset_mv[name]["views"],
                 }
                 for name, dataset in sorted(datasets.items())
             },
@@ -264,29 +273,104 @@ class GeoService:
             )
         return self.dataset(request.dataset).append(request.rows)
 
+    # -- materialized-view management --------------------------------------
+
+    def materialize(self, request, name: str | None = None) -> dict:  # noqa: ANN001
+        """Pin one query as a materialized view on its dataset; returns
+        the view's info row.  Accepts a :class:`MaterializeRequest` (or
+        its wire dict via :meth:`run_dict`) or any query-shaped input
+        plus ``name``."""
+        if isinstance(request, MaterializeRequest):
+            name = request.name if name is None else name
+            request = request.query
+        request = as_request(request)
+        return self.dataset(request.dataset).materialize(request, name)
+
+    def views(self, dataset: str | None = None) -> dict:
+        """One dataset's cached views -- filtered and materialized --
+        with hit counts, versions, and staleness."""
+        return self.dataset(dataset).views_info()
+
+    def drop_view(self, name: str, dataset: str | None = None) -> dict:
+        """Drop a materialized view by name (``unknown_view`` when no
+        store on the dataset holds it)."""
+        return self.dataset(dataset).drop_view(name)
+
     # -- wire-format entry points -----------------------------------------
+
+    _VIEWS_KEYS = ("v", "op", "dataset")
+    _DROP_VIEW_KEYS = ("v", "op", "dataset", "name")
+
+    def _check_op_payload(self, payload: Mapping, op: str, keys: tuple) -> None:
+        """Envelope discipline shared by the v2-only management ops:
+        exact version, no unknown keys (same strictness as queries)."""
+        if payload.get("v") != WIRE_VERSION:
+            raise ApiError(
+                BAD_REQUEST,
+                f"{op} needs the v{WIRE_VERSION} envelope ('\"v\": {WIRE_VERSION}'); "
+                "view management has no v1 form",
+            )
+        unknown = sorted(set(payload) - set(keys))
+        if unknown:
+            raise ApiError(
+                BAD_REQUEST,
+                f"unknown {op} key(s) {unknown}; expected {list(keys)}",
+                details={"unknown": unknown},
+            )
+        dataset = payload.get("dataset")
+        if dataset is not None and not isinstance(dataset, str):
+            raise ApiError(BAD_REQUEST, "'dataset' must be a string name")
 
     def run_dict(self, payload: dict) -> dict:
         """Transport entry point: wire dict in, envelope out, never
         raises for request-shaped failures.
 
-        Dispatches on ``"op"``: queries (the default) and appends share
-        the one entry point, so an HTTP adapter stays a single route.
-        Versionless v1 payloads are up-converted and answered
-        identically, with a ``DeprecationWarning`` once per process.
+        Dispatches on ``"op"``: queries (the default), appends, and the
+        v2.1 view-management ops (``materialize`` / ``views`` /
+        ``drop_view``) share the one entry point, so an HTTP adapter
+        stays a single route.  Versionless v1 payloads are up-converted
+        and answered identically -- including the deprecated flat stats
+        mirror keys -- with a ``DeprecationWarning`` once per process;
+        v2 responses carry only the structured ``stats.cache`` /
+        ``stats.mv`` blocks.
         """
         try:
-            if isinstance(payload, Mapping) and payload.get("op") == "append":
+            op = payload.get("op") if isinstance(payload, Mapping) else None
+            if op == "append":
                 # No v1 form exists for appends: a versionless append is
                 # a plain client error, not a deprecated query -- it
                 # must not consume the once-per-process warning.
                 return self.append(AppendRequest.from_dict(payload)).to_dict()
+            if op == "materialize":
+                request = MaterializeRequest.from_dict(payload)
+                info = self.materialize(request)
+                return {"ok": True, "v": WIRE_VERSION, "data": info}
+            if op == "views":
+                self._check_op_payload(payload, "views", self._VIEWS_KEYS)
+                return {
+                    "ok": True,
+                    "v": WIRE_VERSION,
+                    "data": self.views(payload.get("dataset")),
+                }
+            if op == "drop_view":
+                self._check_op_payload(payload, "drop_view", self._DROP_VIEW_KEYS)
+                name = payload.get("name")
+                if not isinstance(name, str) or not name:
+                    raise ApiError(
+                        BAD_REQUEST, "drop_view needs 'name', a non-empty string"
+                    )
+                return {
+                    "ok": True,
+                    "v": WIRE_VERSION,
+                    "data": self.drop_view(name, payload.get("dataset")),
+                }
             request = QueryRequest.from_dict(payload)
+            legacy = "v" not in payload or payload.get("v") == 1
             if "v" not in payload:
                 # Warn only after the payload parsed as a real v1 query;
                 # malformed dicts must not consume the one-shot warning.
                 warn_v1_payload()
-            return self.run(request).to_dict()
+            return self.run(request).to_dict(legacy_stats=legacy)
         except Exception as error:  # noqa: BLE001 - envelope boundary
             return error_envelope(error)
 
@@ -307,7 +391,15 @@ class GeoService:
                 if isinstance(payload, Mapping) and "v" not in payload:
                     warn_v1_payload()
                     break
-            return [response.to_dict() for response in self.run_batch(requests)]
+            legacy = [
+                isinstance(payload, Mapping)
+                and ("v" not in payload or payload.get("v") == 1)
+                for payload in payloads
+            ]
+            return [
+                response.to_dict(legacy_stats=flag)
+                for response, flag in zip(self.run_batch(requests), legacy)
+            ]
         except Exception as error:  # noqa: BLE001 - envelope boundary
             return [error_envelope(error) for _ in payloads]
 

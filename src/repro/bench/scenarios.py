@@ -767,6 +767,72 @@ def _cache_invalidation_build(scale: Scale) -> Prepared:
     return Prepared(thunk, lambda last: {"metrics": dict(last)})
 
 
+def _materialized_build(scale: Scale) -> Prepared:
+    """The materialized-view serving path: pin one hot query as an MV,
+    measure the warm hit against recomputation, then append a batch and
+    gate the incrementally refreshed answer bit-identical to uncached
+    execution over the mutated block."""
+    import json
+
+    from repro.api import Dataset, QueryRequest, TieredCache
+    from repro.api.geojson import region_to_geojson
+
+    base = nyc_base(scale.config)
+    level = scale.config.nyc_level(scale.config.block_level)
+    polygon = nyc_neighborhoods(seed=scale.config.seed)[0]
+    region_json = json.dumps(region_to_geojson(polygon))
+    aggs = ["count", "sum:fare_amount", "avg:trip_distance"]
+    rows = _append_batch(scale, base)
+    warm_sends = 16
+
+    def fresh_request() -> QueryRequest:
+        return QueryRequest(region=json.loads(region_json), aggregates=aggs)
+
+    def bit_identical(got, want) -> bool:  # noqa: ANN001 - QueryResponse/QueryResult
+        import numpy as np
+
+        if got.count != want.count or set(got.values) != set(want.values):
+            return False
+        return all(
+            np.float64(got.values[key]).tobytes() == np.float64(value).tobytes()
+            for key, value in want.values.items()
+        )
+
+    def thunk() -> dict:
+        from time import perf_counter
+
+        dataset = Dataset.build(base, level, name="bench", cache=TieredCache())
+        dataset.materialize(fresh_request(), name="hot")
+        # Cold twin over the same handle: no result tier, no MV store.
+        twin = Dataset(dataset.handle, result_cache=False)
+        start = perf_counter()
+        cold = twin.query(fresh_request())
+        cold_s = perf_counter() - start
+        start = perf_counter()
+        warm = [dataset.query(fresh_request()) for _ in range(warm_sends)]
+        warm_s = (perf_counter() - start) / warm_sends
+        hits = sum(response.stats.mv_cached for response in warm)
+        identical = all(bit_identical(response, cold) for response in warm)
+        appended = dataset.append(rows)
+        post = dataset.query(fresh_request())
+        want = twin.query(fresh_request())  # uncached, over the mutated block
+        view = dataset.materialized.views()[0]
+        return {
+            "queries": float(warm_sends + 4),
+            "mv_hit_rate": hits / warm_sends,
+            "mv_hit_post_append": float(post.stats.mv_cached),
+            "refresh_identical": 1.0 if bit_identical(post, want) else 0.0,
+            "identical": 1.0 if identical else 0.0,
+            "appended": float(appended.appended),
+            "delta_rows": float(view.delta_rows),
+            "cold_ms_per_query": cold_s * 1e3,
+            "warm_ms_per_query": warm_s * 1e3,
+            "warm_speedup": cold_s / max(warm_s, 1e-12),
+        }
+
+    return Prepared(thunk, lambda last: {"metrics": dict(last)})
+
+
 register(
     Scenario(
         name="api_cached_wire",
@@ -805,6 +871,34 @@ register(
         metric_bounds={
             "hit_pre_append": (1.0, 1.0),
             "invalidated": (1.0, 1.0),
+            "identical": (1.0, 1.0),
+        },
+    )
+)
+
+
+register(
+    Scenario(
+        name="api_materialized",
+        group="serving",
+        description=(
+            "a pinned materialized view serving a hot query: warm hits vs "
+            "recomputation, then an append whose incremental refresh must "
+            "answer bit-identically to uncached execution"
+        ),
+        build=_materialized_build,
+        strict_metrics=(
+            "queries",
+            "mv_hit_rate",
+            "mv_hit_post_append",
+            "refresh_identical",
+            "identical",
+            "appended",
+        ),
+        metric_bounds={
+            "mv_hit_rate": (1.0, 1.0),
+            "mv_hit_post_append": (1.0, 1.0),
+            "refresh_identical": (1.0, 1.0),
             "identical": (1.0, 1.0),
         },
     )

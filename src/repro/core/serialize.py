@@ -94,6 +94,19 @@ def _write(path: str | pathlib.Path, meta: dict, arrays: dict[str, np.ndarray]) 
     )
 
 
+def write_archive(path: str | pathlib.Path, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+    """Write a meta-blob + arrays archive in this module's file idiom
+    (shared by sidecar writers, e.g. :mod:`repro.materialize.persist`)."""
+    _write(path, meta, arrays)
+
+
+def read_archive_meta(archive) -> dict:  # noqa: ANN001 - NpzFile
+    """Decode the JSON meta blob of an archive written by
+    :func:`write_archive` (no version check -- sidecar formats version
+    themselves)."""
+    return json.loads(bytes(archive["meta"]).decode("utf-8"))
+
+
 def save(block: GeoBlock | AdaptiveGeoBlock, path: str | pathlib.Path) -> None:
     """Persist any block to ``path`` (``.npz``), dispatching on kind.
 

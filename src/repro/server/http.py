@@ -19,8 +19,17 @@ Routes (all bodies JSON, all errors the ``{"ok": false}`` envelope):
 * ``POST /append`` -- the explicit write route; ``{"v": 2, "op":
   "append"}`` are filled in so a client can POST just ``{"rows": ...,
   "dataset": ...}``.
+* ``POST /materialize`` -- pin a query as a materialized view;
+  ``{"v": 2, "op": "materialize"}`` are filled in the same way.
+  Management ops (this one, and ``views``/``drop_view`` through the
+  unified ``/query`` route) always bypass the edge cache: their
+  responses change without a dataset-version bump.
+* ``GET /views`` -- every cached view (filtered + materialized) of a
+  dataset, with hit counts, versions, and staleness
+  (``?dataset=name`` selects one; optional with a sole dataset).
 * ``GET /stats`` -- server counters + edge-cache telemetry + the PR-5
-  tiered-cache stats and per-dataset versions.
+  tiered-cache stats, the materialized-view tier's ``mv`` block, and
+  per-dataset versions.
 * ``GET /healthz`` -- liveness (always 200 once the socket is up).
 * ``GET /datasets`` -- the catalog (every dataset's ``describe()``).
 
@@ -36,6 +45,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Mapping
+from urllib.parse import parse_qs
 
 from repro.api.errors import (
     BAD_REQUEST,
@@ -153,12 +163,20 @@ class WireHandler(BaseHTTPRequestHandler):
         elif path == "/datasets":
             payload = dict(self.server.service.describe(), ok=True)
             self._respond(200, payload, route="GET /datasets")
+        elif path == "/views":
+            query = self.path.split("?", 1)[1] if "?" in self.path else ""
+            name = parse_qs(query).get("dataset", [None])[0]
+            payload = {"v": 2, "op": "views"}
+            if name:
+                payload["dataset"] = name
+            status, body, _ = self.server.execute(payload)
+            self._respond(status, body=body, route="GET /views")
         else:
             self._fail(404, NOT_FOUND, f"no route GET {path}", "GET <unknown>")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
         path = self.path.split("?", 1)[0].rstrip("/")
-        if path not in ("/query", "/append"):
+        if path not in ("/query", "/append", "/materialize"):
             self._fail(404, NOT_FOUND, f"no route POST {path}", "POST <unknown>")
             return
         raw = self._read_body()
@@ -172,6 +190,8 @@ class WireHandler(BaseHTTPRequestHandler):
             return
         if path == "/append":
             self._handle_append(payload, route)
+        elif path == "/materialize":
+            self._handle_materialize(payload, route)
         else:
             self._handle_query(payload, raw, route)
 
@@ -188,10 +208,26 @@ class WireHandler(BaseHTTPRequestHandler):
         status, body, _ = self.server.execute(payload)
         self._respond(status, body=body, x_cache="bypass", route=route)
 
+    def _handle_materialize(self, payload: object, route: str) -> None:
+        if not isinstance(payload, Mapping):
+            self._fail(400, BAD_REQUEST, "materialize body must be a JSON object", route)
+            return
+        payload = {"v": 2, "op": "materialize", **payload}
+        if payload.get("op") != "materialize":
+            self._fail(
+                400, BAD_REQUEST, "POST /materialize body cannot override 'op'", route
+            )
+            return
+        status, body, _ = self.server.execute(payload)
+        self._respond(status, body=body, x_cache="bypass", route=route)
+
     def _handle_query(self, payload: object, raw: bytes, route: str) -> None:
-        if isinstance(payload, Mapping) and payload.get("op") == "append":
-            # Writes through the unified route bypass the edge exactly
-            # like POST /append (caching a write response is nonsense).
+        if isinstance(payload, Mapping) and payload.get("op", "query") != "query":
+            # Writes and view-management ops through the unified route
+            # bypass the edge exactly like their dedicated routes: a
+            # write response is nonsense to cache, and a views/drop_view
+            # answer changes without any dataset-version bump (the edge
+            # invalidates on versions alone).
             status, body, _ = self.server.execute(payload)
             self._respond(status, body=body, x_cache="bypass", route=route)
             return
@@ -292,13 +328,15 @@ class GeoHTTPServer(ThreadingHTTPServer):
 
     def stats_payload(self) -> dict:
         """The ``GET /stats`` body: server counters, edge telemetry,
-        tiered-cache stats, dataset versions."""
+        tiered-cache stats, the materialized-view tier's counters,
+        dataset versions."""
         service_stats = self.service.stats()
         return {
             "ok": True,
             "server": self.counters.snapshot(),
             "edge": self.edge.stats() if self.edge is not None else None,
             "cache": service_stats["cache"],
+            "mv": service_stats["mv"],
             "datasets": service_stats["datasets"],
         }
 

@@ -423,8 +423,14 @@ class TestDeprecation:
     @pytest.fixture(autouse=True)
     def reset_warning_flag(self):
         request_module._v1_warned = False
+        # The flat legacy-stats mirror has its own one-shot warning
+        # (tested in test_result_cache); keep it quiet here so these
+        # tests isolate the versionless-payload warning.
+        legacy = request_module._legacy_stats_warned
+        request_module._legacy_stats_warned = True
         yield
         request_module._v1_warned = False
+        request_module._legacy_stats_warned = legacy
 
     def test_v1_run_dict_warns_once_and_answers_identically(self, small_block, quad_polygon):
         service = GeoService()

@@ -311,7 +311,13 @@ class TestTelemetry:
             }
         assert stats["cache"]["result"]["entries"] == 1
         assert stats["cache"]["result"]["bytes"] > 0
-        assert stats["datasets"]["taxi"] == {"version": 1, "result_cache": True}
+        assert stats["datasets"]["taxi"] == {
+            "version": 1,
+            "result_cache": True,
+            "materialized": 0,
+        }
+        assert stats["mv"]["views"] == 0
+        assert stats["mv"]["misses"] == 2
 
     def test_per_response_cache_block(self, quad_polygon):
         service = GeoService(cache=TieredCache())
@@ -319,7 +325,26 @@ class TestTelemetry:
         envelope = service.run_dict(wire_payload(quad_polygon))
         cache_block = envelope["stats"]["cache"]
         assert set(cache_block) == {"covering_cached", "result_cached", "trie_hits"}
-        # The flat legacy keys mirror the block.
+        assert envelope["stats"]["mv"] == {"cached": 0}
+        # v2 responses dropped the flat legacy mirror keys in favour of
+        # the structured blocks; only v1 up-converts still emit them.
+        assert "covering_cached" not in envelope["stats"]
+        assert "cache_hits" not in envelope["stats"]
+
+    def test_v1_response_keeps_flat_legacy_stats(self, quad_polygon, monkeypatch):
+        from repro.api import request as request_module
+
+        # Both mirrors warn once per process; reset so this test owns them.
+        monkeypatch.setattr(request_module, "_v1_warned", False)
+        monkeypatch.setattr(request_module, "_legacy_stats_warned", False)
+        service = GeoService(cache=TieredCache())
+        service.register("taxi", build_dataset(make_base(), "geoblock"))
+        payload = wire_payload(quad_polygon)
+        del payload["v"]
+        with pytest.warns(DeprecationWarning):
+            envelope = service.run_dict(payload)
+        assert envelope["ok"]
+        cache_block = envelope["stats"]["cache"]
         assert envelope["stats"]["covering_cached"] == cache_block["covering_cached"]
         assert envelope["stats"]["cache_hits"] == cache_block["trie_hits"]
 

@@ -62,6 +62,9 @@ def service(handle) -> GeoService:
 
 
 class TestSingleQueryParity:
+    # Deliberately exercises the versionless v1 path (flat legacy stats
+    # keys included), so both one-shot deprecation warnings fire here.
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_json_dict_select_matches_direct(self, service, handle, small_polygons):
         for polygon in small_polygons:
             want = handle.select(polygon, AGGS)
