@@ -1,0 +1,85 @@
+"""BB: the bench-baseline hygiene family.
+
+``repro.bench compare`` gates performance against the repo-root
+``BENCH_*.json`` baselines, matching files to scenarios by name.  The
+gate degrades silently in both directions: a scenario without a
+baseline is never compared, and a baseline whose scenario was renamed
+or removed is skipped forever.  This checker closes the loop against
+the live registry:
+
+* ``BB001`` -- a registered scenario has no checked-in baseline;
+* ``BB002`` -- a checked-in baseline names no registered scenario;
+* ``BB003`` -- a baseline fails the result schema, or its embedded
+  ``scenario`` field disagrees with its filename.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.core import Finding, sort_findings
+
+
+def check(root: Path) -> list[Finding]:
+    """Cross-check the scenario registry against ``<root>/BENCH_*.json``."""
+    from repro.bench.registry import all_scenarios
+    from repro.bench.results import FILE_GLOB, BenchError, result_filename, validate_result
+
+    findings: list[Finding] = []
+    scenarios = {scenario.name for scenario in all_scenarios()}
+    baselines = {path.name: path for path in sorted(root.glob(FILE_GLOB))}
+
+    for name in sorted(scenarios):
+        filename = result_filename(name)
+        if filename not in baselines:
+            findings.append(
+                Finding(
+                    "BB001",
+                    filename,
+                    1,
+                    1,
+                    f"scenario {name!r} is registered but has no checked-in "
+                    f"baseline; run `python -m repro.bench run --scenario {name}` "
+                    "and commit the result",
+                )
+            )
+
+    for filename, path in baselines.items():
+        expected = filename[len("BENCH_"):-len(".json")]
+        if expected not in scenarios:
+            findings.append(
+                Finding(
+                    "BB002",
+                    filename,
+                    1,
+                    1,
+                    f"baseline names scenario {expected!r}, which is not "
+                    "registered (renamed or removed scenario?)",
+                )
+            )
+            continue
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as error:
+            findings.append(
+                Finding("BB003", filename, 1, 1, f"baseline is not valid JSON: {error}")
+            )
+            continue
+        try:
+            validate_result(payload, what=filename)
+        except BenchError as error:
+            findings.append(Finding("BB003", filename, 1, 1, str(error)))
+            continue
+        if payload.get("scenario") != expected:
+            findings.append(
+                Finding(
+                    "BB003",
+                    filename,
+                    1,
+                    1,
+                    f"baseline's scenario field is {payload.get('scenario')!r} "
+                    f"but the filename says {expected!r}",
+                )
+            )
+    return sort_findings(findings)

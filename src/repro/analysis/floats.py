@@ -1,0 +1,230 @@
+"""FD: the float-determinism family.
+
+The stack's core guarantee is that every serving surface returns
+bit-identical floats: batched == sequential == cached == HTTP-served ==
+materialized.  That holds only while every float fold is one of the two
+sanctioned shapes -- numpy *pairwise* slice sums combined by an
+explicit sequential accumulator (the engine's contract, see
+``engine/kernels.py``), or ``math.fsum`` where *every* path folds
+through it (the group-by rollup).  This checker walks the fold-path
+packages (``engine/``, ``materialize/``, ``api/``) and flags the
+shapes that break the contract:
+
+* ``FD001`` -- builtin ``sum()`` over values that are not provably
+  integral (integer folds are exact below 2**53 under any order, so
+  counters are exempt);
+* ``FD002`` -- ``math.fsum`` outside the allowlisted rollup sites;
+* ``FD003`` -- accumulation inside a ``for`` over a set (hash order).
+
+"Provably integral" is a deliberately shallow syntactic judgement
+(``int(...)``/``len(...)`` calls, known counter attribute names,
+integer constants); anything the checker cannot prove is a finding,
+and genuinely-integer sites it cannot see through carry a reasoned
+``allow[FD001]`` pragma instead of weakening the heuristic.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.core import (
+    Finding,
+    SourceFile,
+    call_name,
+    dotted_name,
+    filter_allowed,
+    load_source,
+    python_files,
+)
+
+#: Packages whose modules hold fold paths (the serving answer's float
+#: pipeline); geometry/baselines/experiments fold floats too but are
+#: not on the bit-identity contract.
+FOLD_PACKAGES = ("engine", "materialize", "api")
+
+#: ``math.fsum`` call sites that are *the* sanctioned fold: every
+#: execution path to these answers goes through fsum, so exactness is
+#: part of the contract rather than a divergence from it.
+#: ``(path suffix, enclosing function)`` pairs.
+FSUM_ALLOWLIST = (
+    ("repro/engine/executor.py", "merge_results"),
+)
+
+#: Attribute / method names that are integer counters by schema
+#: (QueryResult and stats telemetry); folding them with builtin sum is
+#: exact under any order.
+_INT_ATTRS = frozenset(
+    {
+        "count",
+        "counts",
+        "cells_probed",
+        "cache_hits",
+        "num_cells",
+        "from_cache",
+        "covering_cached",
+        "hits",
+        "misses",
+        "evictions",
+        "entries",
+        "size",
+        "nbytes",
+        "version",
+        "appended",
+        "in_place",
+        "delta_rows",
+    }
+)
+
+#: Calls that produce integers (or bools, which fold exactly).
+_INT_CALLS = frozenset({"int", "len", "bool", "ord"})
+
+#: Bare names that read as integer collections; a shallow out for the
+#: common ``sum(counts)`` shape where the element type is one
+#: assignment away.
+_INT_NAME = re.compile(r"(^|_)(counts?|sizes?|lengths?|hits|misses|indices)$")
+
+
+def _is_integral(node: ast.AST) -> bool:
+    """Whether ``node`` is provably an integer-valued expression under
+    the shallow syntactic judgement documented in the module docstring."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, bool)) and not isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name is None:
+            return False
+        leaf = name.rsplit(".", 1)[-1]
+        return leaf in _INT_CALLS or leaf in _INT_ATTRS
+    if isinstance(node, ast.Attribute):
+        return node.attr in _INT_ATTRS
+    if isinstance(node, ast.Name):
+        return bool(_INT_NAME.search(node.id))
+    if isinstance(node, ast.IfExp):
+        return _is_integral(node.body) and _is_integral(node.orelse)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod)
+    ):
+        return _is_integral(node.left) and _is_integral(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_integral(node.operand)
+    return False
+
+
+def _sum_element(node: ast.Call) -> ast.AST:
+    """The per-element expression a ``sum(...)`` call folds."""
+    if not node.args:
+        return node
+    arg = node.args[0]
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        return arg.elt
+    return arg
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        return name in ("set", "frozenset")
+    return False
+
+
+class _FoldVisitor(ast.NodeVisitor):
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.findings: list[Finding] = []
+        self._function_stack: list[str] = []
+
+    # -- function context --------------------------------------------------
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._function_stack.append(node.name)  # type: ignore[attr-defined]
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    @property
+    def _function(self) -> str:
+        return self._function_stack[-1] if self._function_stack else "<module>"
+
+    # -- FD001 / FD002 -----------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_name(node)
+        if name == "sum":
+            element = _sum_element(node)
+            if not _is_integral(element):
+                self.findings.append(
+                    Finding(
+                        "FD001",
+                        self.source.relative,
+                        node.lineno,
+                        node.col_offset + 1,
+                        "builtin sum() folds in iteration order; float folds in "
+                        "this package must use math.fsum or numpy pairwise slice "
+                        "sums (allow[FD001] with a reason if the values are "
+                        "integers the checker cannot see)",
+                    )
+                )
+        elif name is not None and name.rsplit(".", 1)[-1] == "fsum":
+            allowed = any(
+                self.source.relative.endswith(suffix) and self._function == function
+                for suffix, function in FSUM_ALLOWLIST
+            )
+            if not allowed:
+                self.findings.append(
+                    Finding(
+                        "FD002",
+                        self.source.relative,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"math.fsum in {self._function}() is outside the "
+                        "allowlisted rollup sites; exact folds cannot be "
+                        "reproduced by the sequential/pairwise paths the engine "
+                        "gates bit-identical",
+                    )
+                )
+        self.generic_visit(node)
+
+    # -- FD003 -------------------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            for statement in ast.walk(node):
+                if isinstance(statement, ast.AugAssign) and isinstance(
+                    statement.op, ast.Add
+                ):
+                    if not _is_integral(statement.value):
+                        target = dotted_name(statement.target) or "<target>"
+                        self.findings.append(
+                            Finding(
+                                "FD003",
+                                self.source.relative,
+                                statement.lineno,
+                                statement.col_offset + 1,
+                                f"'{target} +=' accumulates over set iteration "
+                                "(hash order); fold over a sorted or "
+                                "insertion-ordered sequence",
+                            )
+                        )
+        self.generic_visit(node)
+
+
+def check_source(source: SourceFile) -> list[Finding]:
+    """All FD findings in one file (pragma-filtered)."""
+    visitor = _FoldVisitor(source)
+    visitor.visit(source.tree)
+    return filter_allowed(source, visitor.findings)
+
+
+def check(root: Path) -> list[Finding]:
+    """Run the FD family over the fold-path packages under ``root``."""
+    findings: list[Finding] = []
+    for package in FOLD_PACKAGES:
+        for path in python_files(root, package):
+            findings.extend(check_source(load_source(root, path)))
+    return findings

@@ -1,0 +1,222 @@
+"""LD: the lock-discipline family.
+
+The serving tier's concurrency model is a single flat readers-writer
+section per dataset (``util/sync.py``): the :class:`RWLock` has writer
+preference and is *not* re-entrant, so a reader re-acquiring while a
+writer waits deadlocks.  The convention that keeps that safe -- all
+acquisition at the outermost public ``Dataset`` entry points, the
+``_*_inner`` twins assume the lock and never re-acquire, nobody outside
+``dataset.py`` calls a twin directly -- was prose in docstrings; this
+checker makes it machine-checked:
+
+* ``LD001`` -- a public ``Dataset`` method calls an ``*_inner`` twin
+  lexically outside a ``with self._rwlock.read()/write()`` section;
+* ``LD002`` -- an underscore method acquires the RWLock (twins run
+  with it held), or any function nests two sections on the same lock;
+* ``LD003`` -- a module in ``api/`` or ``server/`` other than
+  ``dataset.py`` reaches an ``*_inner`` method or a ``_rwlock``
+  attribute directly.
+
+The checks are lexical (AST nesting), which is exactly the shape the
+convention demands: lock sections that are only *dynamically* flat are
+what the runtime detector (:mod:`repro.analysis.runtime`) exists for.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.core import (
+    Finding,
+    SourceFile,
+    call_name,
+    dotted_name,
+    filter_allowed,
+    load_source,
+    python_files,
+)
+
+#: The module that owns the lock discipline.
+DATASET_MODULE = "repro/api/dataset.py"
+
+#: Packages whose callers must stay outside the discipline.
+CALLER_PACKAGES = ("api", "server")
+
+
+def _rwlock_receiver(item: ast.withitem) -> str | None:
+    """The lock expression of ``with <recv>.read()/write():`` items
+    (None for anything that is not an RWLock section)."""
+    expr = item.context_expr
+    if not isinstance(expr, ast.Call):
+        return None
+    name = call_name(expr)
+    if name is None or "." not in name:
+        return None
+    receiver, method = name.rsplit(".", 1)
+    if method not in ("read", "write"):
+        return None
+    leaf = receiver.rsplit(".", 1)[-1]
+    if "lock" not in leaf.lower():
+        return None
+    return receiver
+
+
+def _is_inner_call(node: ast.Call) -> str | None:
+    """The dotted callee name when ``node`` invokes an ``*_inner``
+    method (``self._query_inner``, ``self._parent._view_inner``)."""
+    name = call_name(node)
+    if name is not None and name.rsplit(".", 1)[-1].endswith("_inner"):
+        return name
+    return None
+
+
+class _DatasetVisitor(ast.NodeVisitor):
+    """LD001/LD002 over the dataset module itself."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.findings: list[Finding] = []
+        self._method: str | None = None  # enclosing class-level function
+        self._in_class = False
+        self._lock_depth = 0
+        self._section_stack: list[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        was_in_class = self._in_class
+        self._in_class = True
+        self.generic_visit(node)
+        self._in_class = was_in_class
+
+    def _visit_function(self, node: ast.AST) -> None:
+        if self._in_class and self._method is None:
+            self._method = node.name  # type: ignore[attr-defined]
+            outer_depth = self._lock_depth
+            self._lock_depth = 0
+            self.generic_visit(node)
+            self._lock_depth = outer_depth
+            self._method = None
+        else:
+            self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_With(self, node: ast.With) -> None:
+        receivers = [r for item in node.items if (r := _rwlock_receiver(item)) is not None]
+        for receiver in receivers:
+            if receiver in self._section_stack:
+                self.findings.append(
+                    Finding(
+                        "LD002",
+                        self.source.relative,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"nested section on {receiver} inside an enclosing "
+                        "read()/write() section; RWLock is not re-entrant",
+                    )
+                )
+            if (
+                self._method is not None
+                and self._method.startswith("_")
+                and not self._method.startswith("__")
+            ):
+                self.findings.append(
+                    Finding(
+                        "LD002",
+                        self.source.relative,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"underscore method {self._method}() acquires {receiver}; "
+                        "_inner twins run with the lock already held -- "
+                        "acquisition belongs in the outermost public entry point",
+                    )
+                )
+        self._lock_depth += len(receivers)
+        self._section_stack.extend(receivers)
+        self.generic_visit(node)
+        del self._section_stack[len(self._section_stack) - len(receivers):]
+        self._lock_depth -= len(receivers)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_name(node)
+        if name is not None and name.rsplit(".", 1)[-1].startswith("acquire_"):
+            receiver = name.rsplit(".", 1)[0].rsplit(".", 1)[-1]
+            if "lock" in receiver.lower() and self._method is not None:
+                self.findings.append(
+                    Finding(
+                        "LD002",
+                        self.source.relative,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"bare {name}() call; use the read()/write() context "
+                        "managers so sections stay visibly flat",
+                    )
+                )
+        inner = _is_inner_call(node)
+        if (
+            inner is not None
+            and self._method is not None
+            and not self._method.startswith("_")
+            and self._lock_depth == 0
+        ):
+            self.findings.append(
+                Finding(
+                    "LD001",
+                    self.source.relative,
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"public method {self._method}() calls {inner}() outside a "
+                    "with self._rwlock.read()/write() section; _inner twins "
+                    "assume the lock is held",
+                )
+            )
+        self.generic_visit(node)
+
+
+class _CallerVisitor(ast.NodeVisitor):
+    """LD003 over api/server modules other than dataset.py."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.findings: list[Finding] = []
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr.endswith("_inner") or node.attr == "_rwlock":
+            name = dotted_name(node) or node.attr
+            self.findings.append(
+                Finding(
+                    "LD003",
+                    self.source.relative,
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"direct access to {name}; the lock discipline lives in "
+                    "dataset.py -- go through the public Dataset methods",
+                )
+            )
+        self.generic_visit(node)
+
+
+def check_dataset_source(source: SourceFile) -> list[Finding]:
+    visitor = _DatasetVisitor(source)
+    visitor.visit(source.tree)
+    return filter_allowed(source, visitor.findings)
+
+
+def check_caller_source(source: SourceFile) -> list[Finding]:
+    visitor = _CallerVisitor(source)
+    visitor.visit(source.tree)
+    return filter_allowed(source, visitor.findings)
+
+
+def check(root: Path) -> list[Finding]:
+    """Run the LD family over ``api/`` and ``server/`` under ``root``."""
+    findings: list[Finding] = []
+    for package in CALLER_PACKAGES:
+        for path in python_files(root, package):
+            source = load_source(root, path)
+            if source.relative.endswith(DATASET_MODULE):
+                findings.extend(check_dataset_source(source))
+            else:
+                findings.extend(check_caller_source(source))
+    return findings

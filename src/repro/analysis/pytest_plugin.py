@@ -1,0 +1,69 @@
+"""Pytest plugin: run the whole suite under the lock-order detector.
+
+Loaded from ``tests/conftest.py`` (``pytest_plugins``); activation is
+opt-in via ``REPRO_LOCK_DEBUG=1`` so local runs pay nothing unless
+asked.  CI's tier-1 job sets the variable, turning every test into a
+concurrency probe: any re-entrant RWLock acquisition or cross-lock
+order cycle the suite provokes -- including from background serving
+threads -- fails the test that triggered it with the detector's
+report instead of deadlocking the job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import runtime
+
+
+def pytest_configure(config) -> None:  # noqa: ANN001 - pytest hook
+    if runtime.enabled_by_env() and runtime.active_detector() is None:
+        config._repro_lock_detector = runtime.install()
+
+
+def pytest_unconfigure(config) -> None:  # noqa: ANN001 - pytest hook
+    if getattr(config, "_repro_lock_detector", None) is not None:
+        runtime.uninstall()
+        config._repro_lock_detector = None
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):  # noqa: ANN001 - pytest hook
+    detector = runtime.active_detector()
+    before = len(detector.hazards) if detector is not None else 0
+    try:
+        return (yield)
+    finally:
+        if detector is not None:
+            fresh = detector.hazards[before:]
+            if fresh:
+                # Surface hazards even when the test itself passed (a
+                # vetoed acquisition in a background thread does not
+                # propagate to the test body on its own).
+                item.add_report_section(
+                    "call", "lock-hazards", "\n".join(str(hazard) for hazard in fresh)
+                )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_makereport(item, call):  # noqa: ANN001 - pytest hook
+    report = yield
+    detector = runtime.active_detector()
+    if detector is not None and call.when == "call" and detector.hazards:
+        if report.passed:
+            # A hazard recorded during a passing test is still a bug: a
+            # vetoed acquisition in a background thread does not
+            # propagate to the test body on its own.
+            report.outcome = "failed"
+            report.longrepr = detector.report()
+        # Either way the hazards are now accounted for (a failing test
+        # already carries the LockHazardError); start the next test
+        # clean so one hazard fails exactly one test.
+        detector.reset()
+    return report
+
+
+def pytest_terminal_summary(terminalreporter) -> None:  # noqa: ANN001 - pytest hook
+    detector = runtime.active_detector()
+    if detector is not None:
+        terminalreporter.write_line(detector.report())

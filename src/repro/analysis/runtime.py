@@ -1,0 +1,241 @@
+"""The runtime lock-order detector: hazards the AST cannot see.
+
+The static LD rules check *lexical* lock discipline; a nested
+acquisition that only happens dynamically (a callback invoked under a
+read section that re-enters ``Dataset.query``, say) is invisible to
+them.  This module instruments :class:`repro.util.sync.RWLock` through
+the observer seam in that module:
+
+* **per-thread held-lock stacks** -- every acquire/release updates a
+  thread-local stack, so the detector always knows what the acquiring
+  thread already holds;
+* **re-entrant acquisition** (the nested-read deadlock documented in
+  ``util/sync.py``) is vetoed *before* the thread blocks: the
+  acquisition raises :class:`LockHazardError` instead of deadlocking
+  the suite, with the report saying whether a writer was actually
+  waiting (a live deadlock) or not (a latent one that deadlocks the
+  first time a write lands mid-read);
+* **cross-lock acquisition order** feeds a global edge graph (lock A
+  held while acquiring lock B adds ``A -> B``); a new edge that closes
+  a cycle is recorded as an ``order-cycle`` hazard -- two threads
+  taking the locks in opposite orders can deadlock even though each
+  thread's sections are flat.
+
+Switch it on for any process with ``REPRO_LOCK_DEBUG=1`` (the pytest
+plugin in :mod:`repro.analysis.pytest_plugin` does this for the whole
+test suite) or programmatically via :func:`install`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.util import sync
+
+#: Environment variable that switches the detector on.
+ENV_VAR = "REPRO_LOCK_DEBUG"
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+
+def enabled_by_env(environ: dict | None = None) -> bool:
+    """Whether :data:`ENV_VAR` asks for the detector."""
+    value = (environ if environ is not None else os.environ).get(ENV_VAR, "")
+    return value.strip().lower() in _TRUTHY
+
+
+class LockHazardError(ReproError):
+    """A lock acquisition that would (or could) deadlock, reported
+    instead of hanging the process."""
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One recorded concurrency hazard."""
+
+    kind: str  #: "reentrant-read" | "reentrant-write" | "order-cycle"
+    description: str
+    thread: str
+    held: tuple[str, ...]  #: (lock, mode) pairs rendered, outermost first
+
+    def __str__(self) -> str:
+        held = " -> ".join(self.held) if self.held else "(nothing)"
+        return f"[{self.kind}] {self.description} (thread {self.thread}, holding {held})"
+
+
+class LockOrderDetector:
+    """The observer :func:`repro.util.sync.set_observer` accepts.
+
+    ``raise_on_reentry=True`` (the default) turns a re-entrant
+    acquisition into an immediate :class:`LockHazardError` in the
+    offending thread -- the hazard is also recorded, so a harness can
+    assert on :attr:`hazards` either way.  Order-cycle hazards are
+    always record-only: by the time the cycle-closing edge appears the
+    acquisition itself is usually safe, and raising would fail
+    whichever thread happened to run second.
+    """
+
+    def __init__(self, raise_on_reentry: bool = True) -> None:
+        self.raise_on_reentry = raise_on_reentry
+        self.hazards: list[Hazard] = []
+        self._mutex = threading.Lock()
+        self._local = threading.local()
+        #: id(lock) -> stable display name; the strong reference in
+        #: ``_refs`` pins the id so reuse cannot alias two locks.
+        self._names: dict[int, str] = {}
+        self._refs: dict[int, object] = {}
+        #: "acquired-after" edges between lock names, with the first
+        #: (thread, held, acquiring) site that created each edge.
+        self._edges: dict[str, set[str]] = {}
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _name(self, lock: object) -> str:
+        key = id(lock)
+        with self._mutex:
+            name = self._names.get(key)
+            if name is None:
+                name = f"RWLock#{len(self._names) + 1}"
+                self._names[key] = name
+                self._refs[key] = lock
+            return name
+
+    def _held(self) -> list[tuple[str, str]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _held_render(self) -> tuple[str, ...]:
+        return tuple(f"{name}:{mode}" for name, mode in self._held())
+
+    def _record(self, hazard: Hazard) -> None:
+        with self._mutex:
+            self.hazards.append(hazard)
+
+    def _path(self, start: str, goal: str) -> list[str] | None:
+        """A directed path start -> ... -> goal in the edge graph
+        (callers hold ``_mutex``)."""
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for succ in self._edges.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, path + [succ]))
+        return None
+
+    # -- the observer protocol (called from util.sync) ---------------------
+
+    def before_acquire(self, lock: object, mode: str) -> None:
+        name = self._name(lock)
+        held = self._held()
+        for held_name, held_mode in held:
+            if held_name != name:
+                continue
+            writer_waiting = bool(getattr(lock, "_writers_waiting", 0))
+            if held_mode == "read" and mode == "read":
+                state = (
+                    "a writer is waiting: this is the nested-read deadlock"
+                    if writer_waiting
+                    else "latent deadlock: it hangs the first time a writer "
+                    "is waiting between the two acquisitions"
+                )
+                hazard = Hazard(
+                    "reentrant-read",
+                    f"nested read of {name} in one thread ({state})",
+                    threading.current_thread().name,
+                    self._held_render(),
+                )
+            else:
+                hazard = Hazard(
+                    "reentrant-write",
+                    f"{mode} acquisition of {name} while already holding its "
+                    f"{held_mode} section (RWLock is not re-entrant; this "
+                    "deadlocks unconditionally)",
+                    threading.current_thread().name,
+                    self._held_render(),
+                )
+            self._record(hazard)
+            if self.raise_on_reentry:
+                raise LockHazardError(str(hazard))
+            return
+        for held_name, _ in held:
+            if held_name == name:
+                continue
+            with self._mutex:
+                closes_cycle = self._path(name, held_name)
+                self._edges.setdefault(held_name, set()).add(name)
+            if closes_cycle is not None:
+                self._record(
+                    Hazard(
+                        "order-cycle",
+                        f"acquiring {name} while holding {held_name} closes the "
+                        f"cycle {' -> '.join(closes_cycle)} -> {name}: "
+                        "another thread takes these locks in the opposite order",
+                        threading.current_thread().name,
+                        self._held_render(),
+                    )
+                )
+
+    def acquired(self, lock: object, mode: str) -> None:
+        self._held().append((self._name(lock), mode))
+
+    def released(self, lock: object, mode: str) -> None:
+        held = self._held()
+        name = self._name(lock)
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == (name, mode):
+                del held[index]
+                return
+        # An unmatched release means the observer was installed while
+        # the section was already held; ignore rather than misreport.
+
+    # -- harness surface ---------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear recorded hazards and the order graph (lock names
+        persist, so reports stay stable across a session)."""
+        with self._mutex:
+            self.hazards.clear()
+            self._edges.clear()
+
+    def report(self) -> str:
+        with self._mutex:
+            hazards = list(self.hazards)
+        if not hazards:
+            return "lock detector: no hazards"
+        lines = [f"lock detector: {len(hazards)} hazard(s)"]
+        lines.extend(f"  {hazard}" for hazard in hazards)
+        return "\n".join(lines)
+
+
+_active: LockOrderDetector | None = None
+
+
+def install(detector: LockOrderDetector | None = None) -> LockOrderDetector:
+    """Install ``detector`` (or a fresh one) as the process-wide lock
+    observer and return it."""
+    global _active
+    _active = detector if detector is not None else LockOrderDetector()
+    sync.set_observer(_active)
+    return _active
+
+
+def uninstall() -> None:
+    """Remove the observer; RWLock goes back to zero-overhead."""
+    global _active
+    _active = None
+    sync.set_observer(None)
+
+
+def active_detector() -> LockOrderDetector | None:
+    """The currently installed detector, if any."""
+    return _active

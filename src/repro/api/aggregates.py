@@ -11,7 +11,7 @@ anything unparsable.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.api.errors import BAD_AGGREGATE, ApiError
 from repro.core.aggregates import AGG_FUNCTIONS, AggSpec

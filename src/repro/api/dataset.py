@@ -50,7 +50,8 @@ import pathlib
 import threading
 from collections import OrderedDict
 from time import perf_counter
-from typing import TYPE_CHECKING, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -1087,7 +1088,7 @@ class Dataset:
             fill_keys[index] = key
             cache_key = request.cache if cache_matters else True
             groups.setdefault((request.mode, cache_key), []).append(index)
-        for (mode, cache), indices in groups.items():
+        for (mode, _cache), indices in groups.items():
             handle = self._execution_handle(parsed[indices[0]])
             queries = [
                 Query(region=parsed[index].target, aggs=parsed[index].aggregates)

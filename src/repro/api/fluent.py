@@ -18,7 +18,8 @@ rollup (started via ``ds.group_by(...)`` or chained onto a filter), and
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.api.aggregates import parse_aggs
 from repro.api.request import (

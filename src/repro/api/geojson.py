@@ -24,7 +24,6 @@ Deviations from the RFC, both deliberate:
 
 from __future__ import annotations
 
-from typing import Union
 
 from repro.api.errors import BAD_REGION, ApiError
 from repro.errors import GeometryError
@@ -34,7 +33,7 @@ from repro.geometry.polygon import MultiPolygon, Polygon
 #: GeoJSON geometry types the API understands.
 SUPPORTED_TYPES = ("Polygon", "MultiPolygon")
 
-RegionOrBox = Union[Polygon, MultiPolygon, BoundingBox]
+RegionOrBox = Polygon | MultiPolygon | BoundingBox
 
 
 def _bad(message: str, **details) -> ApiError:  # noqa: ANN003 - JSON details

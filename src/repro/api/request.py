@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.api.aggregates import format_agg, parse_aggs
 from repro.api.errors import (

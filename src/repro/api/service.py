@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pathlib
 import threading
-from typing import Iterator, Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 from repro.api.dataset import Dataset, Handle
 from repro.cache.tiers import TieredCache, get_cache
@@ -215,6 +215,7 @@ class GeoService:
         this is the explicit memory-reclaim hook."""
         if name is not None:
             return self.dataset(name).invalidate_cache()
+        # repro-lint: allow[FD001] invalidate_cache returns an int entry count
         return sum(dataset.invalidate_cache() for dataset in self._snapshot().values())
 
     # -- query routing -----------------------------------------------------

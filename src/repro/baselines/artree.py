@@ -16,7 +16,7 @@ provided as an extension for examples that need a large tree quickly.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -234,7 +234,10 @@ class ARTree(SpatialAggregator):
         best_axis_candidates = None
         best_margin = np.inf
         for axis in ("x", "y"):
-            ordered = sorted(children, key=lambda c: (getattr(c, f"min_{axis}"), getattr(c, f"max_{axis}")))
+            ordered = sorted(
+                children,
+                key=lambda c, axis=axis: (getattr(c, f"min_{axis}"), getattr(c, f"max_{axis}")),
+            )
             margin = 0.0
             for k in range(MIN_FILL, len(ordered) - MIN_FILL + 1):
                 left, right = ordered[:k], ordered[k:]

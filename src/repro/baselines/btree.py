@@ -10,7 +10,7 @@ lower-bound search, and ordered range scans.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import BuildError
 

@@ -8,7 +8,7 @@ no further tuple qualifies.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

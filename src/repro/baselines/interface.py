@@ -16,7 +16,7 @@ every competitor answers through the unified engine.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.aggregates import AggSpec
 from repro.core.geoblock import QueryResult, QueryTarget

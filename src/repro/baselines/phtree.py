@@ -18,7 +18,7 @@ same quantisation-induced inexactness for rectangle corners.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -22,7 +22,7 @@ Verdicts per scenario:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 #: Strict-metric equality tolerance (metrics are exact counts, but they
 #: travel through JSON as floats).

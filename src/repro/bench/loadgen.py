@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.bench.scenario import BenchError
 from repro.server.client import GeoClient, WireReply

@@ -4,7 +4,7 @@ next to its JSON results."""
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.bench.scenario import GROUPS
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.bench.scenario import GROUPS, BenchError
 

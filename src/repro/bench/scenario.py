@@ -14,7 +14,7 @@ configuration the experiment suite reports with.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import ReproError
 from repro.experiments.common import ExperimentConfig

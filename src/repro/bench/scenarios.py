@@ -28,7 +28,7 @@ as cross-run result-integrity checks (``strict_metrics``).
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.bench.registry import register
 from repro.bench.scenario import Prepared, Scale, Scenario

@@ -8,7 +8,8 @@ import os
 import platform
 import statistics
 import time
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 

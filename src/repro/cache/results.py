@@ -37,7 +37,8 @@ recomputes them.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.cache.tiers import TieredCache, get_cache
 from repro.cells.fingerprint import region_fingerprint

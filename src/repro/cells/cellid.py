@@ -19,7 +19,7 @@ an ergonomic object API on top.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.cells.curves import MAX_LEVEL
 from repro.errors import CellError

@@ -8,7 +8,7 @@ operations Listing 1 and Listing 2 rely on.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 

@@ -19,7 +19,7 @@ rebuilds.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.cells import cellid
 from repro.cells.union import CellUnion

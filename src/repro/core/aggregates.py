@@ -219,7 +219,7 @@ class CellAggregates:
         record = np.empty(self.record_width(), dtype=np.float64)
         if hi <= lo:
             record[0] = 0.0
-            for position, spec in enumerate(self.schema):
+            for position in range(len(self.schema)):
                 record[1 + 3 * position] = 0.0
                 record[2 + 3 * position] = np.inf
                 record[3 + 3 * position] = -np.inf

@@ -24,7 +24,7 @@ this class, when adding query capabilities.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.cells import cellid
 from repro.cells.space import CellSpace

@@ -53,7 +53,7 @@ cached trie records) and calls down here.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

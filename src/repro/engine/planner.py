@@ -26,7 +26,6 @@ the other noticing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
 
 import numpy as np
 
@@ -44,7 +43,7 @@ from repro.geometry.relate import Region
 
 #: Anything a query can be issued against: a polygonal region or a
 #: pre-computed covering.
-QueryTarget = Union[Region, CellUnion]
+QueryTarget = Region | CellUnion
 
 #: Tag distinguishing interior-rectangle entries from coverings in the
 #: shared covering tier (levels are non-negative, so -1 cannot collide).

@@ -66,7 +66,9 @@ def run(config: ExperimentConfig | None = None, repeats: int = 3) -> ExperimentR
     rows: list[list[object]] = []
     for fraction, polygon in zip(SELECTIVITIES, polygons):
         for name, aggregator in competitors:
-            seconds, _ = time_call(lambda a=aggregator: a.select(polygon, aggs), repeats=repeats)
+            seconds, _ = time_call(
+                lambda a=aggregator, p=polygon: a.select(p, aggs), repeats=repeats
+            )
             rows.append([int(fraction * 100), name, seconds * 1e6])
     return ExperimentResult(
         experiment="fig12",

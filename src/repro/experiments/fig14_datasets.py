@@ -66,7 +66,7 @@ def run(config: ExperimentConfig | None = None, repeats: int = 3) -> ExperimentR
         for name, aggregator in competitors:
             aggregator.warm(region)  # type: ignore[attr-defined]
             seconds, result = time_call(
-                lambda a=aggregator: a.select(region, aggs), repeats=repeats
+                lambda a=aggregator, r=region, g=aggs: a.select(r, g), repeats=repeats
             )
             error = abs(result.count - exact) / exact if exact else 0.0
             rows.append([dataset_name, name, seconds, 100.0 * error])

@@ -10,7 +10,7 @@ test used for exact ground-truth counts in the experiments.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

@@ -10,12 +10,11 @@ axis-aligned rectangles (the shape of every cell).
 from __future__ import annotations
 
 import enum
-from typing import Union
 
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.polygon import MultiPolygon, Polygon
 
-Region = Union[Polygon, MultiPolygon]
+Region = Polygon | MultiPolygon
 
 
 class Relation(enum.Enum):

@@ -38,7 +38,7 @@ fold, so a re-fold could drift from a scalar cold rebuild by rounding.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import http.client
 import json
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 _JSON_HEADERS = {"Content-Type": "application/json"}
 

@@ -34,7 +34,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 #: Default freshness window (seconds) -- dashboards tolerate a few
 #: seconds of reuse, exactly the snippet-1 memcached TTL ballpark.

@@ -44,7 +44,7 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Mapping
+from collections.abc import Mapping
 from urllib.parse import parse_qs
 
 from repro.api.errors import (

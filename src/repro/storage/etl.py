@@ -15,7 +15,7 @@ compares the two.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

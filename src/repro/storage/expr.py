@@ -27,7 +27,7 @@ operators plug in without touching the parser.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 
 import numpy as np
 

@@ -9,7 +9,7 @@ mutable state with their source.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

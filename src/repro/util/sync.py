@@ -18,8 +18,29 @@ at its outermost public entry points to honour that.
 from __future__ import annotations
 
 import threading
+from collections.abc import Iterator
 from contextlib import contextmanager
-from typing import Iterator
+
+#: The installed lock observer (``repro.analysis.runtime``), or None.
+#: Every acquire/release funnels through it when set, so the runtime
+#: lock-order detector sees per-thread held-lock stacks without the
+#: production class carrying any instrumentation state.  The module
+#: global keeps the disabled-path cost to one load-and-compare.
+_observer = None
+
+
+def set_observer(observer) -> None:  # noqa: ANN001 - duck-typed hook
+    """Install (or clear, with ``None``) the process-wide lock observer.
+
+    The observer receives ``before_acquire(lock, mode)`` -- which may
+    raise to veto an acquisition that would deadlock -- plus
+    ``acquired(lock, mode)`` and ``released(lock, mode)``, with ``mode``
+    one of ``"read"``/``"write"``.  Used by
+    :func:`repro.analysis.runtime.install`; production code never calls
+    this.
+    """
+    global _observer
+    _observer = observer
 
 
 class RWLock:
@@ -40,18 +61,29 @@ class RWLock:
         self._writers_waiting = 0
 
     def acquire_read(self) -> None:
+        observer = _observer
+        if observer is not None:
+            observer.before_acquire(self, "read")
         with self._cond:
             while self._writer or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        if observer is not None:
+            observer.acquired(self, "read")
 
     def release_read(self) -> None:
         with self._cond:
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
+        observer = _observer
+        if observer is not None:
+            observer.released(self, "read")
 
     def acquire_write(self) -> None:
+        observer = _observer
+        if observer is not None:
+            observer.before_acquire(self, "write")
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -60,11 +92,16 @@ class RWLock:
             finally:
                 self._writers_waiting -= 1
             self._writer = True
+        if observer is not None:
+            observer.acquired(self, "write")
 
     def release_write(self) -> None:
         with self._cond:
             self._writer = False
             self._cond.notify_all()
+        observer = _observer
+        if observer is not None:
+            observer.released(self, "write")
 
     @contextmanager
     def read(self) -> Iterator[None]:

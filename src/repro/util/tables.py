@@ -6,7 +6,8 @@ helpers keep that output aligned and diff-friendly.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 
 def _render(value: Any) -> str:

@@ -17,7 +17,7 @@ seven aggregates touching every column at least once, like the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.core.aggregates import AGG_FUNCTIONS, AggSpec
 from repro.errors import QueryError

@@ -1,0 +1,32 @@
+"""Helpers for the static-analysis tests: build SourceFile objects
+from inline snippets and locate the live repository root."""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis.core import SourceFile
+
+#: The repository root the live-tree checks run against (tests execute
+#: from anywhere; the package layout pins the root).
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> pathlib.Path:
+    assert (REPO_ROOT / "src" / "repro").is_dir()
+    return REPO_ROOT
+
+
+def source(text: str, relative: str = "src/repro/engine/sample.py") -> SourceFile:
+    """An in-memory SourceFile for checker fixtures."""
+    body = textwrap.dedent(text)
+    return SourceFile(
+        path=pathlib.Path("/" + relative),
+        relative=relative,
+        text=body,
+        lines=body.splitlines(),
+    )

@@ -1,0 +1,84 @@
+"""BB family: baselines vs the live scenario registry."""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro.analysis import bench_check
+from repro.bench.registry import all_scenarios
+
+
+def rules(findings):
+    return sorted({finding.rule for finding in findings})
+
+
+@pytest.fixture()
+def baseline_root(repo_root, tmp_path):
+    """A root whose BENCH_*.json set mirrors the live repo's."""
+    for path in sorted(repo_root.glob("BENCH_*.json")):
+        shutil.copy(path, tmp_path / path.name)
+    return tmp_path
+
+
+def test_live_tree_is_clean(repo_root):
+    assert bench_check.check(repo_root) == []
+
+
+def test_mirrored_baselines_are_clean(baseline_root):
+    assert bench_check.check(baseline_root) == []
+
+
+def test_missing_baseline_raises_bb001(baseline_root):
+    victim = sorted(baseline_root.glob("BENCH_*.json"))[0]
+    victim.unlink()
+    findings = bench_check.check(baseline_root)
+    assert rules(findings) == ["BB001"]
+    assert findings[0].path == victim.name
+    assert "repro.bench run" in findings[0].message
+
+
+def test_every_scenario_missing_is_one_bb001_each(tmp_path):
+    findings = bench_check.check(tmp_path)
+    assert rules(findings) == ["BB001"]
+    assert len(findings) == len(list(all_scenarios()))
+
+
+def test_orphan_baseline_raises_bb002(baseline_root):
+    donor = sorted(baseline_root.glob("BENCH_*.json"))[0]
+    (baseline_root / "BENCH_ghost_scenario.json").write_text(
+        donor.read_text(encoding="utf-8"), encoding="utf-8"
+    )
+    findings = bench_check.check(baseline_root)
+    assert rules(findings) == ["BB002"]
+    assert "ghost_scenario" in findings[0].message
+
+
+def test_corrupt_json_raises_bb003(baseline_root):
+    victim = sorted(baseline_root.glob("BENCH_*.json"))[0]
+    victim.write_text("{not json", encoding="utf-8")
+    findings = bench_check.check(baseline_root)
+    assert rules(findings) == ["BB003"]
+    assert "not valid JSON" in findings[0].message
+
+
+def test_schema_invalid_baseline_raises_bb003(baseline_root):
+    victim = sorted(baseline_root.glob("BENCH_*.json"))[0]
+    payload = json.loads(victim.read_text(encoding="utf-8"))
+    del payload["stats"]
+    victim.write_text(json.dumps(payload), encoding="utf-8")
+    findings = bench_check.check(baseline_root)
+    assert rules(findings) == ["BB003"]
+
+
+def test_mislabelled_scenario_field_raises_bb003(baseline_root):
+    paths = sorted(baseline_root.glob("BENCH_*.json"))
+    victim, donor = paths[0], paths[1]
+    payload = json.loads(victim.read_text(encoding="utf-8"))
+    payload["scenario"] = json.loads(donor.read_text(encoding="utf-8"))["scenario"]
+    victim.write_text(json.dumps(payload), encoding="utf-8")
+    findings = bench_check.check(baseline_root)
+    assert rules(findings) == ["BB003"]
+    assert "filename says" in findings[0].message

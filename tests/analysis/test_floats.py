@@ -1,0 +1,172 @@
+"""FD family: known-good and known-bad fold shapes, pragma handling."""
+
+from __future__ import annotations
+
+from repro.analysis import floats
+
+from tests.analysis.conftest import source
+
+
+def rules(findings):
+    return [finding.rule for finding in findings]
+
+
+# -- FD001: builtin sum in a fold path ----------------------------------------
+
+
+def test_float_sum_is_flagged():
+    src = source(
+        """
+        def fold(parts):
+            return sum(parts)
+        """
+    )
+    findings = floats.check_source(src)
+    assert rules(findings) == ["FD001"]
+    assert findings[0].line == 3
+
+
+def test_integer_sums_pass():
+    src = source(
+        """
+        def fold(results, plans, views):
+            a = sum(result.count for result in results)
+            b = sum(plan.num_cells for plan in plans)
+            c = sum(int(plan.from_cache) for plan in plans)
+            d = sum(1 for view in views if view.pinned)
+            e = sum(view.nbytes() for view in views)
+            f = sum(len(view.rows) for view in views)
+            counts = [1, 2, 3]
+            return a + b + c + d + e + f + sum(counts)
+        """
+    )
+    assert floats.check_source(src) == []
+
+
+def test_conditional_element_needs_both_branches_integral():
+    good = source("total = sum(x.count if x.ok else 0 for x in xs)\n")
+    bad = source("total = sum(x.count if x.ok else x.value for x in xs)\n")
+    assert floats.check_source(good) == []
+    assert rules(floats.check_source(bad)) == ["FD001"]
+
+
+def test_pragma_suppresses_with_reason():
+    src = source(
+        """
+        def fold(parts):
+            # repro-lint: allow[FD001] parts are ints, proven by the schema
+            return sum(parts)
+        """
+    )
+    assert floats.check_source(src) == []
+
+
+def test_pragma_on_same_line_suppresses():
+    src = source(
+        "total = sum(parts)  # repro-lint: allow[FD001] int partials\n"
+    )
+    assert floats.check_source(src) == []
+
+
+def test_pragma_for_other_rule_does_not_suppress():
+    src = source(
+        """
+        # repro-lint: allow[FD002] wrong rule
+        total = sum(parts)
+        """
+    )
+    assert rules(floats.check_source(src)) == ["FD001"]
+
+
+# -- FD002: fsum outside the allowlist ----------------------------------------
+
+
+def test_fsum_outside_allowlist_is_flagged():
+    src = source(
+        """
+        import math
+
+        def refold(parts):
+            return math.fsum(parts)
+        """
+    )
+    findings = floats.check_source(src)
+    assert rules(findings) == ["FD002"]
+    assert "refold" in findings[0].message
+
+
+def test_fsum_in_allowlisted_site_passes():
+    src = source(
+        """
+        import math
+
+        def merge_results(parts):
+            return math.fsum(parts)
+        """,
+        relative="src/repro/engine/executor.py",
+    )
+    assert floats.check_source(src) == []
+
+
+def test_fsum_allowlist_is_per_function():
+    src = source(
+        """
+        import math
+
+        def other(parts):
+            return math.fsum(parts)
+        """,
+        relative="src/repro/engine/executor.py",
+    )
+    assert rules(floats.check_source(src)) == ["FD002"]
+
+
+# -- FD003: set-iteration accumulation ----------------------------------------
+
+
+def test_set_iteration_float_fold_is_flagged():
+    src = source(
+        """
+        def fold(values):
+            total = 0.0
+            for value in set(values):
+                total += value
+            return total
+        """
+    )
+    findings = floats.check_source(src)
+    assert rules(findings) == ["FD003"]
+    assert "'total +='" in findings[0].message
+
+
+def test_set_iteration_integer_fold_passes():
+    src = source(
+        """
+        def fold(rows):
+            total = 0
+            for row in set(rows):
+                total += row.count
+            return total
+        """
+    )
+    assert floats.check_source(src) == []
+
+
+def test_list_iteration_passes():
+    src = source(
+        """
+        def fold(values):
+            total = 0.0
+            for value in sorted(values):
+                total += value
+            return total
+        """
+    )
+    assert floats.check_source(src) == []
+
+
+# -- the live tree ------------------------------------------------------------
+
+
+def test_live_tree_is_clean(repo_root):
+    assert floats.check(repo_root) == []

@@ -1,0 +1,204 @@
+"""LD family: lexical lock discipline over dataset.py and its callers."""
+
+from __future__ import annotations
+
+from repro.analysis import locks
+
+from tests.analysis.conftest import source
+
+
+def rules(findings):
+    return [finding.rule for finding in findings]
+
+
+DATASET_RELATIVE = "src/repro/api/dataset.py"
+
+
+def dataset_source(text: str):
+    return source(text, relative=DATASET_RELATIVE)
+
+
+# -- LD001: unlocked *_inner call ---------------------------------------------
+
+
+def test_unlocked_inner_call_is_flagged():
+    src = dataset_source(
+        """
+        class Dataset:
+            def query(self, request):
+                return self._query_inner(request)
+        """
+    )
+    findings = locks.check_dataset_source(src)
+    assert rules(findings) == ["LD001"]
+    assert "query()" in findings[0].message
+
+
+def test_locked_inner_call_passes():
+    src = dataset_source(
+        """
+        class Dataset:
+            def query(self, request):
+                with self._rwlock.read():
+                    return self._query_inner(request)
+
+            def append(self, batch):
+                with self._rwlock.write():
+                    return self._append_inner(batch)
+        """
+    )
+    assert locks.check_dataset_source(src) == []
+
+
+def test_inner_calling_inner_passes():
+    src = dataset_source(
+        """
+        class Dataset:
+            def _query_inner(self, request):
+                return self._plan_inner(request)
+        """
+    )
+    assert locks.check_dataset_source(src) == []
+
+
+def test_module_level_helper_is_exempt():
+    src = dataset_source(
+        """
+        def helper(dataset, request):
+            return dataset._query_inner(request)
+        """
+    )
+    assert locks.check_dataset_source(src) == []
+
+
+# -- LD002: re-acquisition ----------------------------------------------------
+
+
+def test_nested_section_on_same_lock_is_flagged():
+    src = dataset_source(
+        """
+        class Dataset:
+            def query(self, request):
+                with self._rwlock.read():
+                    with self._rwlock.read():
+                        return self._query_inner(request)
+        """
+    )
+    findings = locks.check_dataset_source(src)
+    assert rules(findings) == ["LD002"]
+    assert "not re-entrant" in findings[0].message
+
+
+def test_sections_on_distinct_locks_pass():
+    src = dataset_source(
+        """
+        class Dataset:
+            def transfer(self, other):
+                with self._rwlock.read():
+                    with other._rwlock.read():
+                        return self._copy_inner(other)
+        """
+    )
+    assert locks.check_dataset_source(src) == []
+
+
+def test_underscore_method_acquiring_is_flagged():
+    src = dataset_source(
+        """
+        class Dataset:
+            def _query_inner(self, request):
+                with self._rwlock.read():
+                    return request
+        """
+    )
+    findings = locks.check_dataset_source(src)
+    assert rules(findings) == ["LD002"]
+    assert "_query_inner()" in findings[0].message
+
+
+def test_dunder_method_acquiring_passes():
+    src = dataset_source(
+        """
+        class Dataset:
+            def __len__(self):
+                with self._rwlock.read():
+                    return self._len_inner()
+        """
+    )
+    assert locks.check_dataset_source(src) == []
+
+
+def test_bare_acquire_call_is_flagged():
+    src = dataset_source(
+        """
+        class Dataset:
+            def query(self, request):
+                self._rwlock.acquire_read()
+                try:
+                    return self._query_inner(request)
+                finally:
+                    self._rwlock.release_read()
+        """
+    )
+    findings = locks.check_dataset_source(src)
+    assert "LD002" in rules(findings)
+    assert any("context manager" in f.message for f in findings)
+
+
+def test_pragma_suppresses_ld001():
+    src = dataset_source(
+        """
+        class Dataset:
+            def snapshot(self):
+                # repro-lint: allow[LD001] called only from __init__ before publication
+                return self._stats_inner()
+        """
+    )
+    assert locks.check_dataset_source(src) == []
+
+
+# -- LD003: callers outside dataset.py ----------------------------------------
+
+
+def test_caller_reaching_inner_is_flagged():
+    src = source(
+        """
+        def handle(dataset, request):
+            return dataset._query_inner(request)
+        """,
+        relative="src/repro/server/http.py",
+    )
+    findings = locks.check_caller_source(src)
+    assert rules(findings) == ["LD003"]
+    assert "dataset._query_inner" in findings[0].message
+
+
+def test_caller_touching_rwlock_is_flagged():
+    src = source(
+        """
+        def handle(dataset):
+            with dataset._rwlock.write():
+                pass
+        """,
+        relative="src/repro/api/service.py",
+    )
+    findings = locks.check_caller_source(src)
+    assert rules(findings) == ["LD003"]
+
+
+def test_caller_using_public_surface_passes():
+    src = source(
+        """
+        def handle(dataset, request):
+            return dataset.query(request)
+        """,
+        relative="src/repro/server/http.py",
+    )
+    assert locks.check_caller_source(src) == []
+
+
+# -- the live tree ------------------------------------------------------------
+
+
+def test_live_tree_is_clean(repo_root):
+    assert locks.check(repo_root) == []

@@ -1,0 +1,218 @@
+"""The runtime lock-order detector.
+
+The centrepiece provokes the real nested-read-under-waiting-writer
+deadlock (documented in util/sync.py) and asserts the detector reports
+it instead of hanging the suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis import runtime
+from repro.analysis.runtime import LockHazardError, LockOrderDetector
+from repro.util import sync
+from repro.util.sync import RWLock
+
+
+@pytest.fixture()
+def detector():
+    """Wire a private detector straight into the observer seam.
+
+    Deliberately NOT runtime.install(): these tests provoke hazards on
+    purpose, and the pytest plugin fails any test whose hazards land in
+    the *active* detector.  Going through sync.set_observer keeps the
+    deliberate hazards out of the plugin's view and restores whatever
+    observer the suite had (the plugin's detector under
+    REPRO_LOCK_DEBUG=1)."""
+    previous = runtime.active_detector()
+    private = LockOrderDetector()
+    sync.set_observer(private)
+    yield private
+    sync.set_observer(previous)
+
+
+def wait_for(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.001)
+
+
+# -- re-entrant acquisition ---------------------------------------------------
+
+
+def test_nested_read_under_waiting_writer_is_reported_not_deadlocked(detector):
+    """The live deadlock: reader holds the lock, a writer queues up
+    (writer preference), the same reader tries to read again.  Without
+    the detector this blocks forever; with it the second acquisition
+    raises before blocking."""
+    lock = RWLock()
+    lock.acquire_read()
+    writer_done = threading.Event()
+
+    def writer() -> None:
+        lock.acquire_write()
+        lock.release_write()
+        writer_done.set()
+
+    thread = threading.Thread(target=writer, name="waiting-writer")
+    thread.start()
+    try:
+        wait_for(lambda: lock._writers_waiting == 1)
+        with pytest.raises(LockHazardError) as excinfo:
+            lock.acquire_read()
+        assert "a writer is waiting" in str(excinfo.value)
+        assert "nested-read deadlock" in str(excinfo.value)
+    finally:
+        lock.release_read()
+        thread.join(timeout=5)
+    assert not thread.is_alive()
+    assert writer_done.is_set()
+    assert [hazard.kind for hazard in detector.hazards] == ["reentrant-read"]
+
+
+def test_latent_nested_read_is_reported(detector):
+    """No writer waiting: the nested read would actually succeed today,
+    but deadlocks the first time a write lands between the two
+    acquisitions -- so it is vetoed anyway, as latent."""
+    lock = RWLock()
+    lock.acquire_read()
+    try:
+        with pytest.raises(LockHazardError) as excinfo:
+            lock.acquire_read()
+        assert "latent deadlock" in str(excinfo.value)
+    finally:
+        lock.release_read()
+    assert [hazard.kind for hazard in detector.hazards] == ["reentrant-read"]
+
+
+def test_read_under_own_write_is_reported(detector):
+    lock = RWLock()
+    lock.acquire_write()
+    try:
+        with pytest.raises(LockHazardError) as excinfo:
+            lock.acquire_read()
+        assert "not re-entrant" in str(excinfo.value)
+    finally:
+        lock.release_write()
+    assert [hazard.kind for hazard in detector.hazards] == ["reentrant-write"]
+
+
+def test_record_only_mode_does_not_raise():
+    previous = runtime.active_detector()
+    recording = LockOrderDetector(raise_on_reentry=False)
+    sync.set_observer(recording)
+    try:
+        lock = RWLock()
+        lock.acquire_read()
+        lock.acquire_read()  # latent hazard; recorded, not raised
+        lock.release_read()
+        lock.release_read()
+        assert [hazard.kind for hazard in recording.hazards] == ["reentrant-read"]
+    finally:
+        sync.set_observer(previous)
+
+
+def test_sequential_sections_are_clean(detector):
+    lock = RWLock()
+    with lock.read():
+        pass
+    with lock.write():
+        pass
+    with lock.read():
+        pass
+    assert detector.hazards == []
+
+
+# -- cross-lock acquisition order ---------------------------------------------
+
+
+def test_opposite_order_acquisition_closes_a_cycle(detector):
+    lock_a, lock_b = RWLock(), RWLock()
+    with lock_a.read():
+        with lock_b.read():  # edge a -> b
+            pass
+    with lock_b.read():
+        with lock_a.read():  # edge b -> a closes the cycle
+            pass
+    kinds = [hazard.kind for hazard in detector.hazards]
+    assert kinds == ["order-cycle"]
+    assert "opposite order" in detector.hazards[0].description
+    # The rendered cycle closes back on the lock being acquired.
+    assert "RWLock#1 -> RWLock#2 -> RWLock#1" in detector.hazards[0].description
+
+
+def test_consistent_order_stays_clean(detector):
+    lock_a, lock_b = RWLock(), RWLock()
+    for _ in range(3):
+        with lock_a.read():
+            with lock_b.write():
+                pass
+    assert detector.hazards == []
+
+
+def test_distinct_threads_have_distinct_held_stacks(detector):
+    lock_a, lock_b = RWLock(), RWLock()
+    lock_a.acquire_read()
+    errors: list[Exception] = []
+
+    def other_thread() -> None:
+        try:
+            # This thread holds nothing: acquiring b then a must not
+            # inherit the main thread's held stack.
+            with lock_b.read():
+                pass
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    thread = threading.Thread(target=other_thread)
+    thread.start()
+    thread.join(timeout=5)
+    lock_a.release_read()
+    assert errors == []
+    assert detector.hazards == []
+
+
+# -- harness surface ----------------------------------------------------------
+
+
+def test_report_and_reset(detector):
+    assert detector.report() == "lock detector: no hazards"
+    lock = RWLock()
+    lock.acquire_read()
+    with pytest.raises(LockHazardError):
+        lock.acquire_read()
+    lock.release_read()
+    report = detector.report()
+    assert "1 hazard(s)" in report
+    assert "reentrant-read" in report
+    detector.reset()
+    assert detector.hazards == []
+    assert detector.report() == "lock detector: no hazards"
+
+
+def test_install_and_uninstall_round_trip():
+    previous = runtime.active_detector()
+    try:
+        installed = runtime.install()
+        assert runtime.active_detector() is installed
+        runtime.uninstall()
+        assert runtime.active_detector() is None
+    finally:
+        if previous is not None:
+            runtime.install(previous)
+        else:
+            runtime.uninstall()
+
+
+def test_enabled_by_env():
+    assert runtime.enabled_by_env({"REPRO_LOCK_DEBUG": "1"})
+    assert runtime.enabled_by_env({"REPRO_LOCK_DEBUG": "true"})
+    assert runtime.enabled_by_env({"REPRO_LOCK_DEBUG": "ON"})
+    assert not runtime.enabled_by_env({"REPRO_LOCK_DEBUG": "0"})
+    assert not runtime.enabled_by_env({"REPRO_LOCK_DEBUG": ""})
+    assert not runtime.enabled_by_env({})

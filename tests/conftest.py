@@ -5,6 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+# The runtime lock-order detector rides along with every test run; it
+# is inert unless REPRO_LOCK_DEBUG=1 (CI's tier-1 job sets it), in
+# which case any re-entrant RWLock acquisition or cross-lock order
+# cycle the suite provokes fails the triggering test instead of
+# deadlocking the job.
+pytest_plugins = ("repro.analysis.pytest_plugin",)
+
 from repro.cache import reset_cache
 from repro.cells import EARTH
 from repro.core import GeoBlock
