@@ -74,6 +74,8 @@ _INT_ATTRS = frozenset(
         "appended",
         "in_place",
         "delta_rows",
+        "shards_total",
+        "shards_pruned",
     }
 )
 

@@ -156,6 +156,16 @@ class Dataset:
         # (move_to_end / insert / evict), which must stay safe under a
         # threaded serving adapter.
         self._views_lock = threading.Lock()
+        # Partition-routing telemetry: engine executions that carried a
+        # routing decision (sharded handles only) accumulate on the
+        # *root* dataset -- filtered views fold into it, like the
+        # rwlock -- and surface through routing_stats() / GET /stats.
+        self._routing_lock = (
+            parent._routing_lock if parent is not None else threading.Lock()
+        )
+        self._routing_queries = 0
+        self._routing_shards_total = 0
+        self._routing_shards_pruned = 0
         # The dataset-wide readers-writer lock: queries run concurrently
         # with each other but never with an append, which mutates
         # aggregate arrays in place (the paper's single-writer,
@@ -191,6 +201,7 @@ class Dataset:
         predicate: Predicate = ALWAYS_TRUE,
         policy: CachePolicy | None = None,
         shard_level: int | None = None,
+        shard_count: int | None = None,
         cache: TieredCache | None = None,
         result_cache: bool = True,
     ) -> "Dataset":
@@ -200,14 +211,19 @@ class Dataset:
         (:meth:`view`) rebuild per-predicate blocks from it on demand.
         ``cache`` binds the dataset to a private tiered cache (default:
         the process-wide shared one); ``result_cache=False`` turns off
-        whole-answer caching while keeping covering reuse.
+        whole-answer caching while keeping covering reuse.  For sharded
+        datasets the default is the curve layout with cost-model splits;
+        ``shard_count`` pins the partition width (reproducible layouts),
+        while ``shard_level`` selects the legacy prefix layout.
         """
         if kind == "geoblock":
             handle: Handle = GeoBlock.build(base, level, predicate)
         elif kind == "sharded":
             from repro.engine.shards import ShardedGeoBlock
 
-            handle = ShardedGeoBlock.build(base, level, predicate, shard_level=shard_level)
+            handle = ShardedGeoBlock.build(
+                base, level, predicate, shard_level=shard_level, shard_count=shard_count
+            )
         elif kind == "adaptive":
             handle = AdaptiveGeoBlock(GeoBlock.build(base, level, predicate), policy)
         else:
@@ -414,12 +430,30 @@ class Dataset:
         elif self._handle.kind == "sharded":
             from repro.engine.shards import ShardedGeoBlock
 
-            handle = ShardedGeoBlock.build(
-                self._base,
-                self.level,
-                predicate,
-                shard_level=self._handle.shard_level,
-            )
+            # The view inherits the parent's layout: same prefix level,
+            # or -- under the curve layout -- the parent's split points,
+            # so parent and view route queries along identical shard
+            # boundaries.
+            if self._handle.layout == "prefix":
+                handle = ShardedGeoBlock.build(
+                    self._base,
+                    self.level,
+                    predicate,
+                    shard_level=self._handle.shard_level,
+                )
+            else:
+                handle = ShardedGeoBlock.build(
+                    self._base,
+                    self.level,
+                    predicate,
+                    layout="curve",
+                    splits=self._handle.splits,
+                    shard_count=(
+                        self._handle.shard_count_hint
+                        if self._handle.splits is None
+                        else None
+                    ),
+                )
         else:
             handle = GeoBlock.build(self._base, self.level, predicate)
         view = Dataset(handle, name=self.name, base=self._base, parent=self)
@@ -795,6 +829,44 @@ class Dataset:
             False,
         )
 
+    def _routing_root(self) -> "Dataset":
+        root = self
+        while root._parent is not None:
+            root = root._parent
+        return root
+
+    def _note_routing(self, result) -> None:  # noqa: ANN001 - QueryResult
+        """Fold one engine execution's routing decision into the root
+        dataset's counters (no-op for unsharded handles, whose results
+        carry ``shards_total == 0``)."""
+        if not result.shards_total:
+            return
+        root = self._routing_root()
+        with root._routing_lock:
+            root._routing_queries += 1
+            root._routing_shards_total += result.shards_total
+            root._routing_shards_pruned += result.shards_pruned
+
+    def routing_stats(self) -> dict:
+        """Cumulative partition-routing counters (root-wide: engine
+        executions against this dataset and its filtered views).
+
+        ``pruning_rate`` is the fraction of shard visits the router
+        avoided -- the dataset-level analogue of the per-response
+        ``stats.shards`` block.  All zeros for unsharded datasets.
+        """
+        root = self._routing_root()
+        with root._routing_lock:
+            queries = root._routing_queries
+            total = root._routing_shards_total
+            pruned = root._routing_shards_pruned
+        return {
+            "queries": queries,
+            "shards_total": total,
+            "shards_pruned": pruned,
+            "pruning_rate": (pruned / total) if total else 0.0,
+        }
+
     def _cached_response(self, result, latency_ms: float) -> QueryResponse:  # noqa: ANN001
         """A response rebuilt from a result-tier hit: values and count
         are the exact cached objects; the probe/hit counters describe
@@ -809,6 +881,8 @@ class Dataset:
                 latency_ms=latency_ms,
                 covering_cached=int(result.covering_cached),
                 result_cached=int(result.result_cached),
+                shards_total=result.shards_total,
+                shards_pruned=result.shards_pruned,
             ),
             dataset=self.name,
             version=self._version,
@@ -847,6 +921,8 @@ class Dataset:
                 covering_cached=int(result.covering_cached),
                 result_cached=int(result_cached),
                 mv_cached=1,
+                shards_total=result.shards_total,
+                shards_pruned=result.shards_pruned,
             ),
             dataset=self.name,
             version=self._version,
@@ -950,6 +1026,7 @@ class Dataset:
         result = self._engine_result(request)
         self._scope.fill(key, result)
         self._maybe_admit(request, mv_key, result)
+        self._note_routing(result)
         latency_ms = (perf_counter() - start) * 1e3
         return QueryResponse(
             values=dict(result.values),
@@ -959,6 +1036,8 @@ class Dataset:
                 cache_hits=result.cache_hits,
                 latency_ms=latency_ms,
                 covering_cached=int(result.covering_cached),
+                shards_total=result.shards_total,
+                shards_pruned=result.shards_pruned,
             ),
             dataset=self.name,
             version=self._version,
@@ -985,6 +1064,7 @@ class Dataset:
             probed = sum(plan.num_cells for plan in plans)
             hits = 0
             covering_cached = sum(int(plan.from_cache) for plan in plans)
+            shards_total = shards_pruned = 0
         else:
             handle = self._execution_handle(request)
             results, rollup = handle.run_grouped(
@@ -999,6 +1079,9 @@ class Dataset:
             probed = rollup.cells_probed
             hits = rollup.cache_hits
             covering_cached = sum(int(result.covering_cached) for result in results)
+            shards_total = rollup.shards_total
+            shards_pruned = rollup.shards_pruned
+            self._note_routing(rollup)
         latency_ms = (perf_counter() - start) * 1e3
         return QueryResponse(
             values=values,
@@ -1008,6 +1091,8 @@ class Dataset:
                 cache_hits=hits,
                 latency_ms=latency_ms,
                 covering_cached=covering_cached,
+                shards_total=shards_total,
+                shards_pruned=shards_pruned,
             ),
             dataset=self.name,
             groups=groups,
@@ -1099,6 +1184,7 @@ class Dataset:
             latency_ms = (perf_counter() - start) * 1e3
             for index, result in zip(indices, results):
                 self._scope.fill(fill_keys[index], result)
+                self._note_routing(result)
                 responses[index] = QueryResponse(
                     values=dict(result.values),
                     count=result.count,
@@ -1107,6 +1193,8 @@ class Dataset:
                         cache_hits=result.cache_hits,
                         latency_ms=latency_ms,
                         covering_cached=int(result.covering_cached),
+                        shards_total=result.shards_total,
+                        shards_pruned=result.shards_pruned,
                     ),
                     dataset=self.name,
                     version=self._version,

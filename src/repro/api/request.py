@@ -475,15 +475,26 @@ class QueryStats:
     #: :mod:`repro.materialize` (0/1; a refreshed MV answering after an
     #: append sets this while ``result_cached`` stays 0).
     mv_cached: int = 0
+    #: Shards in the answering block's partition (0 when the dataset is
+    #: not sharded).  Like ``cells_probed``, cached answers keep the
+    #: routing counters of the execution that produced them.
+    shards_total: int = 0
+    #: Shards the partition router pruned before execution -- work for
+    #: them never entered the fan-out pool.  Summed across members for
+    #: grouped requests, like ``cells_probed``.
+    shards_pruned: int = 0
 
     def to_dict(self, legacy: bool = False) -> dict:
-        """The stats object: structured ``cache`` and ``mv`` blocks
-        plus the undisputed flat facts (cells probed, latency).
+        """The stats object: structured ``cache``, ``mv``, and
+        ``shards`` blocks plus the undisputed flat facts (cells probed,
+        latency).
 
         ``legacy=True`` -- the v1 up-convert path -- additionally emits
         the deprecated flat ``cache_hits`` / ``covering_cached`` mirror
         keys (once-per-process DeprecationWarning); v2 responses dropped
-        them in favour of the blocks.
+        them in favour of the blocks.  The ``shards`` block is v2-only
+        by the same principle: the v1 mirror is frozen and never grows
+        new keys.
         """
         payload: dict = {
             "cells_probed": self.cells_probed,
@@ -494,6 +505,7 @@ class QueryStats:
                 "trie_hits": self.cache_hits,
             },
             "mv": {"cached": self.mv_cached},
+            "shards": {"total": self.shards_total, "pruned": self.shards_pruned},
         }
         if legacy:
             warn_legacy_stats()
@@ -507,6 +519,8 @@ class QueryStats:
         cache = cache if isinstance(cache, Mapping) else {}
         mv = payload.get("mv")
         mv = mv if isinstance(mv, Mapping) else {}
+        shards = payload.get("shards")
+        shards = shards if isinstance(shards, Mapping) else {}
         return cls(
             cells_probed=int(payload.get("cells_probed", 0)),
             cache_hits=int(payload.get("cache_hits", cache.get("trie_hits", 0))),
@@ -514,6 +528,8 @@ class QueryStats:
             covering_cached=int(payload.get("covering_cached", cache.get("covering_cached", 0))),
             result_cached=int(cache.get("result_cached", 0)),
             mv_cached=int(mv.get("cached", 0)),
+            shards_total=int(shards.get("total", 0)),
+            shards_pruned=int(shards.get("pruned", 0)),
         )
 
 

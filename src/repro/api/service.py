@@ -154,8 +154,9 @@ class GeoService:
 
     def stats(self) -> dict:
         """Serving telemetry: per-tier cache counters (hits, misses,
-        evictions, entries, bytes) plus each dataset's version and
-        result-cache state -- the payload a metrics endpoint scrapes.
+        evictions, entries, bytes) plus each dataset's version,
+        result-cache state, and partition-routing counters -- the
+        payload a metrics endpoint scrapes.
 
         Counters aggregate over every *distinct* cache the registered
         datasets actually serve through (a dataset bound to a private
@@ -196,6 +197,7 @@ class GeoService:
                     "version": dataset.version,
                     "result_cache": dataset.cache_scope.enabled,
                     "materialized": per_dataset_mv[name]["views"],
+                    "routing": dataset.routing_stats(),
                 }
                 for name, dataset in sorted(datasets.items())
             },

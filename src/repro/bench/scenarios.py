@@ -905,6 +905,189 @@ register(
 )
 
 
+# -- curve-sharding scenarios -------------------------------------------------------
+
+
+def _skewed_only_workload(scale: Scale):
+    """The clustered slice of the workload: 10% of the neighbourhoods,
+    repeated -- the shape partition routing is built to exploit."""
+    key = ("skewed-workload", scale.config.nyc_size, scale.config.seed)
+    if key not in _CONTEXT_CACHE:
+        base = nyc_base(scale.config)
+        polygons = nyc_neighborhoods(seed=scale.config.seed)
+        aggs = default_aggregates(base.table.schema, 4)
+        _CONTEXT_CACHE[key] = skewed_workload(polygons, aggs, seed=17).repeated(4)
+    return _CONTEXT_CACHE[key]
+
+
+def _sharded_layout_block(scale: Scale, layout: str):
+    """A warmed 32-shard curve block or a default prefix block (the
+    pre-curve layout), over the same base data."""
+    key = ("layout-block", scale.config.nyc_size, scale.config.seed, layout)
+    if key not in _CONTEXT_CACHE:
+        from repro.engine.shards import ShardedGeoBlock
+
+        base = nyc_base(scale.config)
+        level = scale.config.nyc_level(scale.config.block_level)
+        if layout == "curve":
+            # Explicit shard count: the cost model sizes to the pool on
+            # this host, which would leave nothing to prune on small CI
+            # runners; routing quality is what this pair measures.
+            block = ShardedGeoBlock.build(base, level, shard_count=32)
+        else:
+            block = ShardedGeoBlock.build(base, level, layout="prefix")
+        warm_caches(block, _skewed_only_workload(scale))
+        _CONTEXT_CACHE[key] = block
+    return _CONTEXT_CACHE[key]
+
+
+def _bit_identical_results(wants, gots) -> bool:  # noqa: ANN001
+    if len(wants) != len(gots):
+        return False
+    for want, got in zip(wants, gots):
+        if got.count != want.count:
+            return False
+        for key, value in want.values.items():
+            if value == value and got.values[key] != value:
+                return False
+    return True
+
+
+def _hilbert_batch_build(scale: Scale) -> Prepared:
+    """Curve (Hilbert key-range) sharding vs the legacy prefix layout on
+    the skewed workload, both through ``run_batch``.  Answers are gated
+    bit-identical; the speedup is recorded (routing prunes whole shards
+    before they reach the pool, prefix fans out everywhere)."""
+    from time import perf_counter
+
+    curve = _sharded_layout_block(scale, "curve")
+    prefix = _sharded_layout_block(scale, "prefix")
+    workload = _skewed_only_workload(scale)
+
+    def timed(block, rounds: int = 3):  # noqa: ANN001, ANN202
+        times = []
+        results = None
+        for _ in range(rounds):
+            start = perf_counter()
+            results = run_workload_batched(block, workload)[1]
+            times.append(perf_counter() - start)
+        return sorted(times)[len(times) // 2], results
+
+    def thunk() -> dict:
+        curve_s, curve_results = timed(curve)
+        prefix_s, prefix_results = timed(prefix)
+        shards_total = sum(result.shards_total for result in curve_results)
+        shards_pruned = sum(result.shards_pruned for result in curve_results)
+        return {
+            "curve_s": curve_s,
+            "prefix_s": prefix_s,
+            "identical": _bit_identical_results(prefix_results, curve_results),
+            "pruning_rate": shards_pruned / max(shards_total, 1),
+            "total_count": float(sum(result.count for result in curve_results)),
+        }
+
+    def finalize(last: dict) -> dict:
+        return {
+            "metrics": {
+                "queries": float(len(workload)),
+                "total_count": last["total_count"],
+                "curve_s": last["curve_s"],
+                "prefix_s": last["prefix_s"],
+                "speedup_vs_prefix": last["prefix_s"] / max(last["curve_s"], 1e-12),
+                "pruning_rate": last["pruning_rate"],
+                "identical": 1.0 if last["identical"] else 0.0,
+            }
+        }
+
+    return Prepared(thunk, finalize)
+
+
+def _sharded_pruning_build(scale: Scale) -> Prepared:
+    """The skewed workload served from a shard_count=32 curve dataset
+    (equi-depth split dedup may yield fewer shards on clustered data)
+    through the API facade.  Ground truth is plain-block execution computed in
+    setup; the pruning rate comes from the per-response telemetry and is
+    gated -- on this clustered workload most shards must never be
+    submitted."""
+    from repro.api import Dataset, GeoService, requests_from_workload
+
+    block = _sharded_layout_block(scale, "curve")
+    workload = _skewed_only_workload(scale)
+    plain = _block(scale, "plain")
+    want_results = run_workload(plain, workload)[1]
+    service = GeoService()
+    # Result caching off: every request must route and execute, or the
+    # repeated skew would serve from the result tier and report the
+    # first pass's telemetry forever.
+    service.register("bench", Dataset(block, name="bench", result_cache=False))
+    requests = requests_from_workload(workload, dataset="bench")
+
+    def thunk() -> dict:
+        responses = [service.run(request) for request in requests]
+        shards_total = sum(response.stats.shards_total for response in responses)
+        shards_pruned = sum(response.stats.shards_pruned for response in responses)
+        return {
+            "identical": _bit_identical_results(want_results, responses),
+            "shards_total": float(shards_total),
+            "pruning_rate": shards_pruned / max(shards_total, 1),
+            "total_count": float(sum(response.count for response in responses)),
+        }
+
+    def finalize(last: dict) -> dict:
+        return {
+            "metrics": {
+                "queries": float(len(workload)),
+                "total_count": last["total_count"],
+                "shards_total": last["shards_total"],
+                "pruning_rate": last["pruning_rate"],
+                "identical": 1.0 if last["identical"] else 0.0,
+            }
+        }
+
+    return Prepared(thunk, finalize)
+
+
+register(
+    Scenario(
+        name="engine_batch_hilbert",
+        group="engine",
+        description=(
+            "curve (Hilbert) sharding vs the legacy prefix layout on the "
+            "skewed workload; asserts bit-identical answers and records the "
+            "batch speedup and pruning rate"
+        ),
+        build=_hilbert_batch_build,
+        repeats=1,
+        warmup=1,
+        warn_ratio=2.5,
+        fail_ratio=5.0,
+        strict_metrics=("queries", "total_count", "identical", "pruning_rate"),
+        metric_bounds={"identical": (1.0, 1.0)},
+    )
+)
+
+
+register(
+    Scenario(
+        name="api_sharded_pruning",
+        group="serving",
+        description=(
+            "the skewed workload served from a shard_count=32 curve dataset; "
+            "gates pruning rate > 0.8 and parity with plain execution"
+        ),
+        build=_sharded_pruning_build,
+        strict_metrics=(
+            "queries",
+            "total_count",
+            "identical",
+            "shards_total",
+            "pruning_rate",
+        ),
+        metric_bounds={"identical": (1.0, 1.0), "pruning_rate": (0.8, None)},
+    )
+)
+
+
 register(
     Scenario(
         name="engine_batch_parity",

@@ -1,0 +1,166 @@
+"""Space-filling-curve keying over the cell grid.
+
+The curves themselves (the four-state Hilbert automaton and Morton bit
+interleaving) live in :mod:`repro.cells.curves`; this module provides
+the *grid-level* keying layer the sharding subsystem builds on: bulk
+conversions between cell ids and (i, j) grid coordinates, leaf-key
+spans of arbitrary-level cells, exact cross-curve re-keying, and the
+locality metrics that justify Hilbert as the default shard key.
+
+Everything here is vectorised numpy -- no per-row Python -- because
+these transforms sit on build and routing paths that touch every cell
+of a block.
+
+Key space
+---------
+
+A *curve key* is a cell's position along the space-filling curve at
+:data:`~repro.cells.curves.MAX_LEVEL` (the leaf grid).  Every cell at
+any level owns a contiguous half-open span ``[key_lo, key_hi)`` of that
+space (:func:`cell_key_spans`), and because aggregate arrays are sorted
+by cell id -- which orders cells by curve key -- *any* key interval maps
+to one contiguous row range.  That is the property equi-depth curve
+sharding (:mod:`repro.engine.shards`) and partition routing
+(:mod:`repro.engine.router`) rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cells import cellops
+from repro.cells.curves import MAX_LEVEL, Curve
+from repro.errors import CellError
+
+#: Size of the leaf curve-key space: one key per level-30 grid cell.
+KEY_SPACE = 1 << (2 * MAX_LEVEL)
+
+
+def _check_level(level: int) -> None:
+    if not 0 <= level <= MAX_LEVEL:
+        raise CellError(f"level must be in [0, {MAX_LEVEL}], got {level}")
+
+
+def leaf_keys(ids: np.ndarray) -> np.ndarray:
+    """Curve key (leaf position) of every *leaf* id."""
+    return cellops.pos_from_leaf_ids(ids)
+
+
+def cell_key_spans(ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Half-open leaf-key span ``[lo, hi)`` of every cell.
+
+    A level-``l`` cell owns exactly ``4**(MAX_LEVEL - l)`` leaf keys;
+    the span bounds come straight from the id's descendant range
+    (``range_min`` / ``range_max``), so mixed-level inputs -- a query
+    covering -- are fine.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    lo = cellops.range_min_array(ids) >> 1
+    hi = (cellops.range_max_array(ids) >> 1) + 1
+    return lo, hi
+
+
+def grid_coords(
+    ids: np.ndarray, level: int, space  # noqa: ANN001 - CellSpace (circular)
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised (i, j) grid coordinates of same-level cell ids.
+
+    The level is explicit (and checked) rather than derived per id so
+    the position extraction stays one shift over the whole array.
+    """
+    _check_level(level)
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.size and not bool((cellops.level_array(ids) == level).all()):
+        raise CellError(f"grid_coords needs all ids at level {level}")
+    pos = ids >> np.int64(2 * (MAX_LEVEL - level) + 1)
+    return space.curve.decode_array(pos, level)
+
+
+def cells_from_grid(
+    i: np.ndarray, j: np.ndarray, level: int, space  # noqa: ANN001 - CellSpace
+) -> np.ndarray:
+    """Vectorised inverse of :func:`grid_coords`: encode (i, j) grid
+    coordinates at ``level`` into cell ids under ``space``'s curve."""
+    _check_level(level)
+    pos = space.curve.encode_array(np.asarray(i, dtype=np.int64), np.asarray(j, dtype=np.int64), level)
+    shift = np.int64(2 * (MAX_LEVEL - level))
+    return (pos << (shift + np.int64(1))) | (np.int64(1) << shift)
+
+
+def rekey(
+    ids: np.ndarray, level: int, source, target  # noqa: ANN001 - CellSpace
+) -> np.ndarray:
+    """Re-key same-level cell ids from ``source``'s curve to ``target``'s.
+
+    Decode-then-encode through the shared (i, j) grid, so the transform
+    is exactly invertible: ``rekey(rekey(ids, l, a, b), l, b, a) == ids``
+    bit for bit.  This is how a Hilbert-keyed block's cells map onto a
+    Morton-keyed comparison layout (and back) without touching raw
+    coordinates.
+    """
+    i, j = grid_coords(ids, level, source)
+    return cells_from_grid(i, j, level, target)
+
+
+# -- locality metrics -------------------------------------------------------
+
+
+def _walk_coords(curve: Curve, level: int) -> tuple[np.ndarray, np.ndarray]:
+    """(i, j) of every position of the full level-``level`` curve walk."""
+    _check_level(level)
+    if level > 12:  # 4**13 positions would allocate > 0.5 GiB of walk state
+        raise CellError(f"locality metrics are exhaustive; level {level} is too deep")
+    positions = np.arange(1 << (2 * level), dtype=np.int64)
+    return curve.decode_array(positions, level)
+
+
+def step_lengths(curve: Curve, level: int) -> np.ndarray:
+    """Manhattan distance between consecutive curve positions at
+    ``level`` -- the raw material of the locality property suite."""
+    i, j = _walk_coords(curve, level)
+    if i.size < 2:
+        return np.empty(0, dtype=np.int64)
+    return np.abs(np.diff(i)) + np.abs(np.diff(j))
+
+
+def adjacency_fraction(curve: Curve, level: int) -> float:
+    """Fraction of consecutive curve positions that are grid-adjacent.
+
+    Hilbert walks the grid edge by edge (fraction 1.0 at every level);
+    Morton takes diagonal and long jumps between quadrant blocks, which
+    is exactly the clustering loss the sharding bench measures.
+    """
+    steps = step_lengths(curve, level)
+    if steps.size == 0:
+        return 1.0
+    return float((steps == 1).mean())
+
+
+def max_step(curve: Curve, level: int) -> int:
+    """Largest Manhattan jump between consecutive curve positions
+    (1 for Hilbert at any level; grows with level for Morton)."""
+    steps = step_lengths(curve, level)
+    if steps.size == 0:
+        return 0
+    return int(steps.max())
+
+
+def key_density(keys: np.ndarray, counts: np.ndarray, bins: int = 64) -> np.ndarray:
+    """Tuple-weighted histogram of cell keys over the leaf key space.
+
+    The cost model's view of data skew: each cell contributes its tuple
+    count to the bin its key span starts in.  Returned as raw per-bin
+    tuple counts (length ``bins``).
+    """
+    if bins <= 0:
+        raise CellError(f"bins must be positive, got {bins}")
+    keys = np.asarray(keys, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    lo, _ = cell_key_spans(keys) if keys.size else (np.empty(0, dtype=np.int64), None)
+    # Bin width as a float would lose precision at 2**60; integer-divide
+    # by the ceil'd width so every key lands in [0, bins).
+    width = -(-KEY_SPACE // bins)
+    histogram = np.zeros(bins, dtype=np.int64)
+    if keys.size:
+        np.add.at(histogram, lo // width, counts)
+    return histogram

@@ -12,8 +12,11 @@ meta field on disk):
 
 * ``geoblock`` -- a plain block (version-1 files load as this kind);
 * ``sharded``  -- a :class:`~repro.engine.shards.ShardedGeoBlock`; the
-  shard level rides along, the partition itself is re-derived from the
-  sorted keys on load (it is pure bookkeeping);
+  layout rides along -- curve-key split points for the default
+  ``"curve"`` layout, the shard level for the legacy ``"prefix"``
+  layout -- and the partition itself is re-derived from the sorted keys
+  on load (it is pure bookkeeping).  Version-2 sharded files carry only
+  a shard level and load as the prefix layout they were built with;
 * ``adaptive`` -- an :class:`~repro.core.adaptive.AdaptiveGeoBlock`
   including its AggregateTrie (node + record regions, Figure 7), the
   accumulated query statistics, and the cache policy.
@@ -44,11 +47,12 @@ from repro.errors import BuildError
 from repro.geometry.bbox import BoundingBox
 from repro.storage.schema import ColumnKind, ColumnSpec, Schema
 
-#: Bumped whenever the on-disk layout changes.
-FORMAT_VERSION = 2
+#: Bumped whenever the on-disk layout changes.  Version 3 added the
+#: sharded-block layout metadata (curve splits vs. legacy prefix).
+FORMAT_VERSION = 3
 
 #: Versions this module can still read.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _block_meta(block: GeoBlock, kind: str) -> dict:
@@ -68,7 +72,15 @@ def _block_meta(block: GeoBlock, kind: str) -> dict:
         "predicate": repr(block.predicate),
     }
     if block.kind == "sharded":
-        meta["shard_level"] = block.shard_level  # type: ignore[attr-defined]
+        meta["layout"] = block.layout  # type: ignore[attr-defined]
+        if block.layout == "prefix":  # type: ignore[attr-defined]
+            meta["shard_level"] = block.shard_level  # type: ignore[attr-defined]
+        else:
+            # Full split-bounds array (JSON ints are exact well past
+            # 2**60), so the loaded partition is byte-for-byte the one
+            # that was saved, whatever machine opens the file.
+            splits = block.splits  # type: ignore[attr-defined]
+            meta["shard_splits"] = None if splits is None else [int(b) for b in splits]
     return meta
 
 
@@ -170,8 +182,20 @@ def _read_block(archive, meta: dict, kind: str) -> GeoBlock:  # noqa: ANN001
     if kind == "sharded":
         from repro.engine.shards import ShardedGeoBlock
 
+        # Pre-v3 sharded files carry only a shard level: they were
+        # built with the prefix layout and load back as exactly that.
+        layout = meta.get("layout", "prefix")
+        if layout == "prefix":
+            return ShardedGeoBlock(
+                space, int(meta["level"]), aggregates, shard_level=int(meta["shard_level"])
+            )
+        splits = meta.get("shard_splits")
         return ShardedGeoBlock(
-            space, int(meta["level"]), aggregates, shard_level=int(meta["shard_level"])
+            space,
+            int(meta["level"]),
+            aggregates,
+            layout="curve",
+            splits=None if splits is None else [int(b) for b in splits],
         )
     return GeoBlock(space, int(meta["level"]), aggregates)
 

@@ -18,10 +18,15 @@ runners -- flows through this package's two-stage pipeline:
    (``run_batch``), and defines the probe / cache-hit counters once
    for every path.
 
-:mod:`repro.engine.shards` adds prefix-sharded blocks whose batch
-execution fans out across a thread pool and whose updates touch only
-dirty shards.  The engine is the seam later scaling work (async
-serving, multi-backend storage, distributed sharding) plugs into.
+:mod:`repro.engine.shards` adds sharded blocks whose batch execution
+fans out across a thread pool and whose updates touch only dirty
+shards; by default shards are equi-depth ranges of the space-filling
+curve key (:mod:`repro.cells.sfc`), with split points picked by the
+cost model (:mod:`repro.engine.cost`) and per-query shard pruning done
+by the :class:`~repro.engine.router.PartitionRouter`
+(:mod:`repro.engine.router`).  The engine is the seam later scaling
+work (async serving, multi-backend storage, distributed sharding)
+plugs into.
 
 ``ShardedGeoBlock`` and friends are re-exported lazily: the shards
 module subclasses ``GeoBlock``, which itself imports the planner and
@@ -51,6 +56,11 @@ __all__ = [
     "QueryPlan",
     "QueryResult",
     "QueryTarget",
+    "CostConfig",
+    "CostModel",
+    "PartitionPlan",
+    "PartitionRouter",
+    "RoutingDecision",
     "Shard",
     "ShardedExecutor",
     "ShardedGeoBlock",
@@ -61,12 +71,22 @@ __all__ = [
     "union_ranges",
 ]
 
-_LAZY = {"Shard", "ShardedExecutor", "ShardedGeoBlock"}
+_LAZY = {
+    "Shard": "repro.engine.shards",
+    "ShardedExecutor": "repro.engine.shards",
+    "ShardedGeoBlock": "repro.engine.shards",
+    "CostConfig": "repro.engine.cost",
+    "CostModel": "repro.engine.cost",
+    "PartitionPlan": "repro.engine.cost",
+    "PartitionRouter": "repro.engine.router",
+    "RoutingDecision": "repro.engine.router",
+}
 
 
 def __getattr__(name: str):  # noqa: ANN201 - PEP 562 lazy re-export
-    if name in _LAZY:
-        from repro.engine import shards
+    module = _LAZY.get(name)
+    if module is not None:
+        import importlib
 
-        return getattr(shards, name)
+        return getattr(importlib.import_module(module), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -93,6 +93,12 @@ class QueryResult:
     #: Values and count of a cached result are the exact objects the
     #: original execution produced (the tier stores outcomes).
     result_cached: bool = False
+    #: Shards in the executing block's partition (0 for unsharded
+    #: blocks); set by the sharded executor's routing pass.
+    shards_total: int = 0
+    #: Shards the partition router proved disjoint from the covering --
+    #: work for them was never submitted to the fan-out pool.
+    shards_pruned: int = 0
 
     def __getitem__(self, key: str) -> float:
         return self.values[key]
@@ -823,6 +829,8 @@ def merge_results(results: Sequence[QueryResult], aggs: Sequence[AggSpec]) -> Qu
         cells_probed=sum(result.cells_probed for result in results),
         cache_hits=sum(result.cache_hits for result in results),
         covering_cached=any(result.covering_cached for result in results),
+        shards_total=sum(result.shards_total for result in results),
+        shards_pruned=sum(result.shards_pruned for result in results),
     )
 
 

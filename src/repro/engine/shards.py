@@ -1,13 +1,31 @@
-"""Sharded GeoBlocks: cell-ID-prefix partitioning of the aggregate array.
+"""Sharded GeoBlocks: curve-key partitioning of the aggregate array.
 
 A :class:`ShardedGeoBlock` behaves exactly like a plain
 :class:`~repro.core.geoblock.GeoBlock` -- same construction, query, and
 serialisation API -- but partitions its sorted aggregate array into
-independent shards keyed by the cell-ID prefix at ``shard_level``.
-Because aggregates are sorted by spatial key and every cell at the
-block level has exactly one ancestor at the shard level, each shard is
-a contiguous row range ``[lo, hi)`` of the shared arrays: the partition
-is zero-copy.
+independent shards.  Two layouts exist:
+
+* ``"curve"`` (the default): shards are **equi-depth ranges of the
+  space-filling-curve key space**.  The aggregate array is sorted by
+  cell id, and cell-id order *is* curve order (:mod:`repro.cells.sfc`),
+  so any key interval is a contiguous row range -- the partition stays
+  zero-copy -- while the split points adapt to the data: the cost model
+  (:mod:`repro.engine.cost`) places them at tuple-weighted quantiles of
+  the key distribution, so skewed data still yields balanced shards.
+  Explicit ``shard_count=`` / ``splits=`` overrides keep layouts
+  reproducible.
+* ``"prefix"`` (legacy, still fully supported and what v2 archives load
+  as): shards keyed by the cell-ID prefix at ``shard_level``.  Balances
+  poorly on skew and leaves no key-range gaps a router can exploit
+  beyond the prefixes present.
+
+Every shard carries both its row range ``[lo, hi)`` and its curve-key
+range ``[key_lo, key_hi)``; the latter is what the
+:class:`~repro.engine.router.PartitionRouter` intersects a query's
+covering cells against, so shards no covering cell touches are pruned
+*before* any work is scheduled -- they never enter the thread pool.
+Routing decisions surface as ``shards_total`` / ``shards_pruned`` on
+every :class:`~repro.engine.executor.QueryResult`.
 
 What sharding buys:
 
@@ -16,13 +34,18 @@ What sharding buys:
   materialisation under the vector model -- is split at shard
   boundaries and dispatched to a thread pool, one numpy segment
   per shard (threads release the GIL inside numpy reductions);
+* **partition pruning**: clustered workloads touch a handful of curve
+  ranges, and the router proves the remaining shards disjoint from
+  int64 interval arithmetic alone;
 * **incremental updates touch only dirty shards**: an update through
   ``core/updates.py`` adjusts the affected shard's bounds (and shifts
   its successors) in O(num_shards) instead of re-deriving the whole
   partition, and records the shard as dirty for downstream consumers
   (e.g. per-shard persistence);
-* it is the seam later scaling work (per-shard storage backends,
-  distributed placement) plugs into, without touching the query path.
+* it is the seam later scaling work (adaptive repartitioning --
+  :meth:`ShardedGeoBlock.maybe_repartition` -- per-shard storage
+  backends, distributed placement) plugs into, without touching the
+  query path.
 
 Caching: a sharded block plans through the same tiered cache handle as
 every other block (:mod:`repro.cache`).  The covering and result tiers
@@ -34,15 +57,19 @@ the source block's cache binding, so a service-configured private
 cache survives re-wrapping.
 
 Note on float determinism: results are bit-identical to the unsharded
-block, including sums.  Ranges contained in one shard (every covering
-cell at or below ``shard_level``, the common case) fan out per shard;
-ranges *spanning* a shard boundary (coarse interior covering cells) are
-materialised over the full row range of the shared arrays -- the
-partition is zero-copy, so the full range is directly addressable --
-which reproduces the plain block's fold order exactly.  Merging rounded
-per-shard float partials (even with ``math.fsum``) cannot do that: the
-unsharded ``np.sum`` fold has its own rounding sequence, and no
-combination of the partials recovers its bits.
+block, including sums, under either layout.  Ranges contained in one
+shard (the common case) fan out per shard; ranges *spanning* a shard
+boundary are materialised over the full row range of the shared arrays
+-- the partition is zero-copy, so the full range is directly
+addressable -- which reproduces the plain block's fold order exactly.
+Merging rounded per-shard float partials (even with ``math.fsum``)
+cannot do that: the unsharded ``np.sum`` fold has its own rounding
+sequence, and no combination of the partials recovers its bits.
+Pruning cannot perturb results either: the router's candidate set is
+conservative (it only drops shards whose key range no covering cell
+intersects), and the executor's owner bucketing never scheduled empty
+buckets in the first place -- routing changes what is *submitted*,
+never what is *summed*.
 """
 
 from __future__ import annotations
@@ -50,24 +77,32 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 from collections.abc import Sequence
+from dataclasses import replace
 
 import numpy as np
 
 from repro.cells import cellid, cellops
-from repro.core.aggregates import CellAggregates
+from repro.core.aggregates import AggSpec, CellAggregates
 from repro.core.geoblock import GeoBlock
 from repro.engine import kernels
-from repro.engine.executor import Executor
+from repro.engine.cost import CostModel
+from repro.engine.executor import Executor, QueryResult
 from repro.engine.kernels import SegmentPartials
+from repro.engine.router import PartitionRouter
 from repro.errors import BuildError
 from repro.storage.etl import PHASE_BUILDING, BaseData
 from repro.storage.expr import ALWAYS_TRUE, Predicate
 from repro.util.timing import Stopwatch
 
-#: Default shard-prefix depth below the block's root cell.  Data spans
-#: vary wildly (a city block vs. a continent), so the default derives
-#: the prefix level from the data extent: three levels below the root
-#: cell yields up to 64 shards that actually partition the data.
+#: The shard layouts: equi-depth curve-key ranges (default) and the
+#: legacy fixed cell-ID prefix partition.
+LAYOUTS = ("curve", "prefix")
+
+#: Prefix-layout default shard depth below the block's root cell.  Data
+#: spans vary wildly (a city block vs. a continent), so the default
+#: derives the prefix level from the data extent: three levels below
+#: the root cell yields up to 64 shards that actually partition the
+#: data.
 SHARD_LEVEL_OFFSET = 3
 
 #: Below this many distinct ranges a thread pool costs more than it
@@ -76,14 +111,19 @@ MIN_RANGES_FOR_FANOUT = 32
 
 
 class Shard:
-    """One contiguous row range of the block's aggregate arrays."""
+    """One contiguous row range of the block's aggregate arrays, owning
+    one half-open curve-key range."""
 
-    __slots__ = ("prefix", "lo", "hi", "dirty")
+    __slots__ = ("lo", "hi", "key_lo", "key_hi", "prefix", "dirty")
 
-    def __init__(self, prefix: int, lo: int, hi: int) -> None:
-        self.prefix = prefix  #: cell id of the shard's prefix cell
+    def __init__(
+        self, lo: int, hi: int, key_lo: int, key_hi: int, prefix: int | None = None
+    ) -> None:
         self.lo = lo
         self.hi = hi
+        self.key_lo = key_lo  #: first leaf curve key owned (inclusive)
+        self.key_hi = key_hi  #: one past the last leaf curve key owned
+        self.prefix = prefix  #: prefix cell id (prefix layout only)
         self.dirty = False  #: touched by an update since the last sweep
 
     def __len__(self) -> int:
@@ -91,40 +131,70 @@ class Shard:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         flag = ", dirty" if self.dirty else ""
-        return f"Shard(prefix={self.prefix:#x}, rows=[{self.lo}, {self.hi}){flag})"
+        head = f"prefix={self.prefix:#x}" if self.prefix is not None else (
+            f"keys=[{self.key_lo}, {self.key_hi})"
+        )
+        return f"Shard({head}, rows=[{self.lo}, {self.hi}){flag})"
 
 
 class ShardedExecutor(Executor):
     """Executor whose batch folds fan out per shard: record
     materialisation for the vector model, segment partials for the
-    kernel model."""
+    kernel model.  Routing telemetry is attached to every result."""
+
+    def select(
+        self,
+        plan,  # noqa: ANN001 - QueryPlan
+        aggs: Sequence[AggSpec] | None = None,
+        mode: str | None = None,
+    ) -> QueryResult:
+        return self._with_routing(plan, super().select(plan, aggs, mode))
+
+    def run_batch(
+        self,
+        items,  # noqa: ANN001 - Sequence[tuple[QueryPlan, aggs]]
+        mode: str | None = None,
+    ) -> list[QueryResult]:
+        results = super().run_batch(items, mode)
+        return [
+            self._with_routing(plan, result)
+            for (plan, _), result in zip(items, results)
+        ]
+
+    def _with_routing(self, plan, result: QueryResult) -> QueryResult:  # noqa: ANN001
+        """Attach the router's pruning decision to a result.
+
+        The decision is pure int64 interval arithmetic over the shard
+        table (no aggregate data is touched) and describes exactly what
+        execution submitted: the owner bucketing below only ever
+        schedules segments inside candidate shards.
+        """
+        decision = self._block.router.route(plan.union)
+        return replace(
+            result, shards_total=decision.total, shards_pruned=decision.pruned
+        )
 
     def segment_partials(
         self, lo: np.ndarray, hi: np.ndarray, columns: Sequence[str]
     ) -> SegmentPartials:
         """Kernel-model stage 1, fanned out per shard.
 
-        Segments are bucketed by owning shard with one vectorised
-        two-sided search and each bucket reduces on a pool worker over
-        the *shared* zero-copy arrays.  Per-segment partials are
-        independent of the partition (each worker gathers the same rows
-        the plain executor would), so the merge is a pure scatter and
-        the PR-4 determinism note holds trivially: boundary-spanning
-        segments (coarse interior covering cells) reduce over the full
-        row range on whichever worker draws them, reproducing the
-        unsharded fold order bit for bit.
+        Segments are bucketed by owning shard through the router's
+        vectorised interval search and each bucket reduces on a pool
+        worker over the *shared* zero-copy arrays.  Per-segment partials
+        are independent of the partition (each worker gathers the same
+        rows the plain executor would), so the merge is a pure scatter
+        and the PR-4 determinism note holds trivially: boundary-spanning
+        segments reduce over the full row range on whichever worker
+        draws them, reproducing the unsharded fold order bit for bit.
         """
         block: "ShardedGeoBlock" = self._block  # type: ignore[assignment]
-        shards = block.shards
-        if len(shards) <= 1 or lo.size < MIN_RANGES_FOR_FANOUT:
+        if block.num_shards <= 1 or lo.size < MIN_RANGES_FOR_FANOUT:
             return super().segment_partials(lo, hi, columns)
-        starts = np.asarray([shard.lo for shard in shards], dtype=np.int64)
-        first = np.maximum(np.searchsorted(starts, lo, side="right") - 1, 0)
-        last = np.searchsorted(starts, np.maximum(hi, lo + 1) - 1, side="right") - 1
         # -1 buckets boundary-spanning and empty segments together;
         # both are safe on any worker (full arrays are addressable,
         # empties reduce to the identity).
-        owner = np.where((first == last) & (hi > lo), first, -1)
+        owner = block.router.segment_owners(lo, hi)
         out = SegmentPartials.identity(int(lo.size), columns)
         aggregates = self.aggregates
 
@@ -148,24 +218,24 @@ class ShardedExecutor(Executor):
         shards = block.shards
         if len(shards) <= 1 or len(pairs) < MIN_RANGES_FOR_FANOUT:
             return super().materialise_slices(pairs)
-        # Bucket each range by its owning shard.  Boundary-spanning
-        # ranges (coarse interior covering cells) form their own bucket
-        # and are materialised over the *full* row range: the shards are
-        # contiguous views of one shared array, so the full range is
-        # directly addressable, and computing it whole keeps the fold
-        # order -- and therefore every float sum bit -- identical to
-        # the unsharded block (see the module note on determinism).
-        starts = np.asarray([shard.lo for shard in shards], dtype=np.int64)
+        # Bucket each range by its owning shard (one vectorised interval
+        # search via the router).  Boundary-spanning ranges form their
+        # own buckets and are materialised over the *full* row range:
+        # the shards are contiguous views of one shared array, so the
+        # full range is directly addressable, and computing it whole
+        # keeps the fold order -- and therefore every float sum bit --
+        # identical to the unsharded block (see the module note).
+        pair_lo = np.fromiter((pair[0] for pair in pairs), dtype=np.int64, count=len(pairs))
+        pair_hi = np.fromiter((pair[1] for pair in pairs), dtype=np.int64, count=len(pairs))
+        owner = block.router.segment_owners(pair_lo, pair_hi)
         per_shard: list[list[tuple[int, int, int]]] = [[] for _ in shards]
         spanning: list[tuple[int, int, int]] = []
         for pair_index, (lo, hi) in enumerate(pairs):
             if hi <= lo:
                 continue
-            first = int(np.searchsorted(starts, lo, side="right")) - 1
-            last = int(np.searchsorted(starts, hi - 1, side="right")) - 1
-            first = max(first, 0)
-            if first == last:
-                per_shard[first].append((pair_index, lo, hi))
+            shard_index = int(owner[pair_index])
+            if shard_index >= 0:
+                per_shard[shard_index].append((pair_index, lo, hi))
             else:
                 spanning.append((pair_index, lo, hi))
         aggregates = self.aggregates
@@ -201,11 +271,12 @@ class ShardedExecutor(Executor):
 
 
 class ShardedGeoBlock(GeoBlock):
-    """A GeoBlock partitioned by cell-ID prefix into contiguous shards.
+    """A GeoBlock partitioned into contiguous shards by curve key
+    (default) or cell-ID prefix (legacy).
 
     Drop-in replacement: every inherited query path works unchanged
     (shards are ranges over the same sorted arrays); only batch
-    execution and update bookkeeping differ.
+    execution, routing telemetry, and update bookkeeping differ.
     """
 
     def __init__(
@@ -216,18 +287,43 @@ class ShardedGeoBlock(GeoBlock):
         predicate: Predicate = ALWAYS_TRUE,
         shard_level: int | None = None,
         max_workers: int | None = None,
+        layout: str | None = None,
+        shard_count: int | None = None,
+        splits: Sequence[int] | np.ndarray | None = None,
+        cost: CostModel | None = None,
     ) -> None:
         if shard_level is not None and shard_level < 0:
             raise BuildError("shard level must be non-negative")
+        if layout is None:
+            # Passing shard_level selects the legacy prefix layout --
+            # this is what every pre-v3 call site means by it.
+            layout = "prefix" if shard_level is not None else "curve"
+        if layout not in LAYOUTS:
+            raise BuildError(f"unknown shard layout {layout!r}; use one of {LAYOUTS}")
+        if layout == "prefix" and (shard_count is not None or splits is not None):
+            raise BuildError("shard_count/splits apply to the curve layout only")
+        if layout == "curve" and shard_level is not None:
+            raise BuildError("shard_level applies to the prefix layout only")
+        if shard_count is not None and splits is not None:
+            raise BuildError("pass shard_count or explicit splits, not both")
+        if shard_count is not None and shard_count <= 0:
+            raise BuildError(f"shard_count must be positive, got {shard_count}")
         self._max_workers = max_workers
         self._pool: ThreadPoolExecutor | None = None
         self._shards: list[Shard] = []
-        self._shard_level = 0  # resolved below, once the header exists
+        self._layout = layout
+        self._shard_level: int | None = None  # resolved below (prefix layout)
+        self._shard_count_hint = shard_count
+        self._splits = None if splits is None else np.asarray(splits, dtype=np.int64)
+        self._cost = cost or CostModel()
+        self._partition_epoch = 0
+        self._router: PartitionRouter | None = None
         super().__init__(space, level, aggregates, predicate)
-        if shard_level is None:
-            root_level = 0 if self._header.is_empty else cellid.level_of(self.root_cell())
-            shard_level = root_level + SHARD_LEVEL_OFFSET
-        self._shard_level = min(shard_level, level)
+        if layout == "prefix":
+            if shard_level is None:
+                root_level = 0 if self._header.is_empty else cellid.level_of(self.root_cell())
+                shard_level = root_level + SHARD_LEVEL_OFFSET
+            self._shard_level = min(shard_level, level)
         self._rebuild_shards()
 
     # -- construction ----------------------------------------------------
@@ -241,8 +337,13 @@ class ShardedGeoBlock(GeoBlock):
         stopwatch: Stopwatch | None = None,
         shard_level: int | None = None,
         max_workers: int | None = None,
+        layout: str | None = None,
+        shard_count: int | None = None,
+        splits: Sequence[int] | np.ndarray | None = None,
+        cost: CostModel | None = None,
     ) -> "ShardedGeoBlock":
-        """Build from sorted base data, then partition by prefix."""
+        """Build from sorted base data, then partition by curve key
+        (or by prefix when ``shard_level``/``layout="prefix"`` asks)."""
         watch = stopwatch or Stopwatch()
         with watch.phase(PHASE_BUILDING):
             filtered = base if isinstance(predicate, type(ALWAYS_TRUE)) else base.filtered(predicate)
@@ -254,6 +355,10 @@ class ShardedGeoBlock(GeoBlock):
             predicate,
             shard_level=shard_level,
             max_workers=max_workers,
+            layout=layout,
+            shard_count=shard_count,
+            splits=splits,
+            cost=cost,
         )
 
     @classmethod
@@ -262,6 +367,10 @@ class ShardedGeoBlock(GeoBlock):
         block: GeoBlock,
         shard_level: int | None = None,
         max_workers: int | None = None,
+        layout: str | None = None,
+        shard_count: int | None = None,
+        splits: Sequence[int] | np.ndarray | None = None,
+        cost: CostModel | None = None,
     ) -> "ShardedGeoBlock":
         """Re-wrap an existing block's aggregates (zero-copy)."""
         wrapped = cls(
@@ -271,36 +380,93 @@ class ShardedGeoBlock(GeoBlock):
             block.predicate,
             shard_level=shard_level,
             max_workers=max_workers,
+            layout=layout,
+            shard_count=shard_count,
+            splits=splits,
+            cost=cost,
         )
         wrapped.planner.use_cache(block.planner.cache)
         return wrapped
 
     def coarsened(self, level: int) -> "ShardedGeoBlock":
         """A coarser *sharded* block (drop-in contract: coarsening must
-        not silently lose the shard fan-out and update bookkeeping)."""
+        not silently lose the shard fan-out and update bookkeeping).
+
+        Curve splits are ranges of the level-independent leaf key
+        space, so the coarse block reuses the parent's split points --
+        same routing boundaries, recomputed row bounds.
+        """
         coarse = super().coarsened(level)
+        if self._layout == "prefix":
+            assert self._shard_level is not None
+            return ShardedGeoBlock.from_block(
+                coarse,
+                shard_level=min(self._shard_level, level),
+                max_workers=self._max_workers,
+            )
         return ShardedGeoBlock.from_block(
             coarse,
-            shard_level=min(self._shard_level, level),
+            layout="curve",
+            splits=self._splits,
+            shard_count=self._shard_count_hint if self._splits is None else None,
             max_workers=self._max_workers,
+            cost=self._cost,
         )
 
     def _make_executor(self) -> Executor:
         return ShardedExecutor(self)
 
     def _rebuild_shards(self) -> None:
-        """Derive the prefix partition from the sorted key array."""
+        """Derive the partition from the sorted key array.
+
+        Curve layout: split points come from the cost model's equi-depth
+        plan on first derivation and are *kept* across rebuilds, so a
+        re-partition after appends preserves the routing boundaries (and
+        therefore every serialized layout) -- only the row bounds move.
+        """
+        self._partition_epoch += 1
         keys = self._aggregates.keys
         if keys.size == 0:
             self._shards = []
             return
-        prefixes = cellops.ancestors_at_level(keys, self._shard_level)
-        boundaries = np.flatnonzero(prefixes[1:] != prefixes[:-1]) + 1
-        bounds = [0, *boundaries.tolist(), int(keys.size)]
+        if self._layout == "prefix":
+            prefixes = cellops.ancestors_at_level(keys, self._shard_level)
+            boundaries = np.flatnonzero(prefixes[1:] != prefixes[:-1]) + 1
+            bounds = [0, *boundaries.tolist(), int(keys.size)]
+            self._shards = [
+                self._prefix_shard(int(prefixes[bounds[i]]), bounds[i], bounds[i + 1])
+                for i in range(len(bounds) - 1)
+            ]
+            return
+        bounds = self._splits
+        if bounds is None:
+            workers = self._max_workers or os.cpu_count() or 1
+            plan = self._cost.plan(
+                keys,
+                self._aggregates.counts,
+                shard_count=self._shard_count_hint,
+                workers=workers,
+            )
+            bounds = plan.bounds
+            self._splits = bounds
+        rows = np.searchsorted(keys, cellops.leaf_ids_from_pos(bounds[1:-1]), side="left")
+        row_bounds = [0, *rows.tolist(), int(keys.size)]
         self._shards = [
-            Shard(int(prefixes[bounds[i]]), bounds[i], bounds[i + 1])
-            for i in range(len(bounds) - 1)
+            Shard(row_bounds[i], row_bounds[i + 1], int(bounds[i]), int(bounds[i + 1]))
+            for i in range(len(row_bounds) - 1)
         ]
+
+    @staticmethod
+    def _prefix_shard(prefix: int, lo: int, hi: int) -> Shard:
+        """A prefix-layout shard: its key range is the prefix cell's
+        leaf span, so the router sees the gaps between present prefixes."""
+        return Shard(
+            lo,
+            hi,
+            cellid.range_min(prefix) >> 1,
+            ((cellid.range_max(prefix) >> 1) + 1),
+            prefix=prefix,
+        )
 
     # -- accessors -------------------------------------------------------
 
@@ -310,8 +476,39 @@ class ShardedGeoBlock(GeoBlock):
         return "sharded"
 
     @property
-    def shard_level(self) -> int:
+    def layout(self) -> str:
+        return self._layout
+
+    @property
+    def shard_level(self) -> int | None:
+        """Prefix depth of the legacy layout (``None`` under curve)."""
         return self._shard_level
+
+    @property
+    def splits(self) -> np.ndarray | None:
+        """Curve-layout split bounds (full ``[0, ..., KEY_SPACE]``
+        array; ``None`` under the prefix layout or before any keys
+        exist)."""
+        return self._splits
+
+    @property
+    def shard_count_hint(self) -> int | None:
+        """The explicit shard count this block was built with, if any."""
+        return self._shard_count_hint
+
+    @property
+    def partition_epoch(self) -> int:
+        """Monotonic shard-table version; bumped whenever shard bounds
+        change (rebuild, splice).  The router keys its layout cache on
+        it."""
+        return self._partition_epoch
+
+    @property
+    def router(self) -> PartitionRouter:
+        """The block's partition router (created lazily, epoch-cached)."""
+        if self._router is None:
+            self._router = PartitionRouter(self)
+        return self._router
 
     @property
     def shards(self) -> list[Shard]:
@@ -368,21 +565,59 @@ class ShardedGeoBlock(GeoBlock):
 
     # -- update bookkeeping ----------------------------------------------
 
+    def maybe_repartition(self) -> bool:
+        """Adaptive-repartition seam (currently a no-op).
+
+        Called after every splice so future work can rebalance once
+        appends skew the equi-depth property past a threshold (e.g.
+        largest shard > k x median).  A real implementation would clear
+        ``_splits`` and call ``_rebuild_shards()``; answers are
+        partition-independent, so rebalancing here can never change
+        results.  Returns True when a repartition happened.
+        """
+        return False
+
     def _note_update(self, cell: int, row: int, in_place: bool) -> None:
         """Adjust shard bounds after ``core/updates.py`` touched ``row``.
 
         In-place folds leave the partition intact (only the owning shard
-        turns dirty); a spliced row grows the owning shard and shifts
-        every later shard by one -- O(num_shards), never a re-partition.
+        turns dirty, and the router cache stays valid); a spliced row
+        grows the owning shard and shifts every later shard by one --
+        O(num_shards), never a re-partition -- and bumps the partition
+        epoch, because row bounds moved under the router.  Appends route
+        by curve key: the owner is the shard whose key range holds the
+        new cell's leaf key (the curve layout's full-key-space bounds
+        guarantee one exists).
         """
-        prefix = cellid.parent(cell, self._shard_level)
         if in_place:
             for shard in self._shards:
                 if shard.lo <= row < shard.hi:
                     shard.dirty = True
                     return
             return
-        # Splice: find the insertion position among the existing shards.
+        self._partition_epoch += 1
+        if self._layout == "curve":
+            self._splice_curve(cell, row)
+        else:
+            self._splice_prefix(cell, row)
+        self.maybe_repartition()
+
+    def _splice_curve(self, cell: int, row: int) -> None:
+        pos = cellid.range_min(cell) >> 1
+        for index, shard in enumerate(self._shards):
+            if shard.key_lo <= pos < shard.key_hi:
+                if row < shard.lo or row > shard.hi:
+                    break  # inconsistent hint; fall back to a re-partition
+                shard.hi += 1
+                shard.dirty = True
+                for later in self._shards[index + 1 :]:
+                    later.lo += 1
+                    later.hi += 1
+                return
+        self._rebuild_and_mark(row)
+
+    def _splice_prefix(self, cell: int, row: int) -> None:
+        prefix = cellid.parent(cell, self._shard_level)
         for index, shard in enumerate(self._shards):
             if shard.prefix == prefix:
                 if row < shard.lo or row > shard.hi:
@@ -394,7 +629,7 @@ class ShardedGeoBlock(GeoBlock):
                     later.hi += 1
                 return
             if shard.prefix > prefix:
-                new = Shard(prefix, row, row + 1)
+                new = self._prefix_shard(prefix, row, row + 1)
                 new.dirty = True
                 self._shards.insert(index, new)
                 for later in self._shards[index + 1 :]:
@@ -403,17 +638,25 @@ class ShardedGeoBlock(GeoBlock):
                 return
         else:
             if self._shards and row == self._shards[-1].hi:
-                new = Shard(prefix, row, row + 1)
+                new = self._prefix_shard(prefix, row, row + 1)
                 new.dirty = True
                 self._shards.append(new)
                 return
+        self._rebuild_and_mark(row)
+
+    def _rebuild_and_mark(self, row: int) -> None:
         self._rebuild_shards()
         for shard in self._shards:
             if shard.lo <= row < shard.hi:
                 shard.dirty = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        detail = (
+            f"shard_level={self._shard_level}"
+            if self._layout == "prefix"
+            else "layout=curve"
+        )
         return (
-            f"ShardedGeoBlock(level={self._level}, shard_level={self._shard_level}, "
+            f"ShardedGeoBlock(level={self._level}, {detail}, "
             f"shards={self.num_shards}, cells={self.num_cells})"
         )

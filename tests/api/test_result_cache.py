@@ -315,9 +315,37 @@ class TestTelemetry:
             "version": 1,
             "result_cache": True,
             "materialized": 0,
+            "routing": {
+                "queries": 0,  # plain (unsharded) block: nothing routed
+                "shards_total": 0,
+                "shards_pruned": 0,
+                "pruning_rate": 0.0,
+            },
         }
         assert stats["mv"]["views"] == 0
         assert stats["mv"]["misses"] == 2
+
+    def test_routing_counters_on_sharded_dataset(self, quad_polygon):
+        service = GeoService(cache=TieredCache())
+        service.register(
+            "taxi", Dataset.build(make_base(), LEVEL, "sharded", name="taxi", shard_count=8)
+        )
+        first = service.run_dict(wire_payload(quad_polygon))
+        assert first["ok"]
+        shards = first["stats"]["shards"]
+        assert shards["total"] == 8
+        assert 0 <= shards["pruned"] < shards["total"]
+        routing = service.stats()["datasets"]["taxi"]["routing"]
+        assert routing["queries"] == 1
+        assert routing["shards_total"] == 8
+        assert routing["shards_pruned"] == shards["pruned"]
+        assert routing["pruning_rate"] == pytest.approx(shards["pruned"] / 8)
+        # A result-tier hit replays the original execution's counters but
+        # does not inflate the dataset's routing totals.
+        second = service.run_dict(wire_payload(quad_polygon))
+        assert second["stats"]["cache"]["result_cached"] == 1
+        assert second["stats"]["shards"] == shards
+        assert service.stats()["datasets"]["taxi"]["routing"]["queries"] == 1
 
     def test_per_response_cache_block(self, quad_polygon):
         service = GeoService(cache=TieredCache())

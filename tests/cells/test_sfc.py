@@ -1,0 +1,163 @@
+"""Space-filling-curve keying: round-trips, spans, locality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import EARTH, HILBERT, MAX_LEVEL, MORTON, CellSpace, cellid, cellops
+from repro.cells import sfc
+from repro.errors import CellError
+
+MORTON_EARTH = CellSpace(EARTH.domain, curve=MORTON)
+
+
+def random_cells(level: int, count: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    side = 1 << level
+    i = rng.integers(0, side, count, dtype=np.int64)
+    j = rng.integers(0, side, count, dtype=np.int64)
+    return sfc.cells_from_grid(i, j, level, EARTH)
+
+
+class TestGridRoundTrip:
+    @pytest.mark.parametrize("level", [0, 1, 2, 5, 11, 18, 25, MAX_LEVEL])
+    def test_encode_decode_round_trip(self, level):
+        ids = random_cells(level, 500, seed=level + 1)
+        i, j = sfc.grid_coords(ids, level, EARTH)
+        back = sfc.cells_from_grid(i, j, level, EARTH)
+        assert np.array_equal(back, ids)
+        assert bool((cellops.level_array(back) == level).all())
+
+    @pytest.mark.parametrize("space", [EARTH, MORTON_EARTH])
+    def test_exhaustive_small_level(self, space):
+        level = 4
+        side = 1 << level
+        i, j = np.meshgrid(
+            np.arange(side, dtype=np.int64), np.arange(side, dtype=np.int64)
+        )
+        ids = sfc.cells_from_grid(i.ravel(), j.ravel(), level, space)
+        assert np.unique(ids).size == side * side  # bijection over the grid
+        ri, rj = sfc.grid_coords(ids, level, space)
+        assert np.array_equal(ri, i.ravel())
+        assert np.array_equal(rj, j.ravel())
+
+    def test_level_mismatch_raises(self):
+        ids = random_cells(10, 8, seed=3)
+        with pytest.raises(CellError):
+            sfc.grid_coords(ids, 11, EARTH)
+
+    def test_level_out_of_range_raises(self):
+        with pytest.raises(CellError):
+            sfc.grid_coords(np.empty(0, dtype=np.int64), MAX_LEVEL + 1, EARTH)
+
+    def test_empty_input(self):
+        i, j = sfc.grid_coords(np.empty(0, dtype=np.int64), 7, EARTH)
+        assert i.size == 0 and j.size == 0
+
+
+class TestRekey:
+    @pytest.mark.parametrize("level", [1, 6, 13, 20, MAX_LEVEL])
+    def test_rekey_is_exact_inverse(self, level):
+        ids = random_cells(level, 400, seed=level)
+        there = sfc.rekey(ids, level, EARTH, MORTON_EARTH)
+        back = sfc.rekey(there, level, MORTON_EARTH, EARTH)
+        assert np.array_equal(back, ids)
+
+    def test_rekey_same_curve_is_identity(self):
+        ids = random_cells(9, 100, seed=42)
+        assert np.array_equal(sfc.rekey(ids, 9, EARTH, EARTH), ids)
+
+    def test_rekey_changes_keys_across_curves(self):
+        ids = random_cells(9, 100, seed=43)
+        assert not np.array_equal(sfc.rekey(ids, 9, EARTH, MORTON_EARTH), ids)
+
+
+class TestKeySpans:
+    def test_leaf_span_width_one(self):
+        ids = random_cells(MAX_LEVEL, 64, seed=5)
+        lo, hi = sfc.cell_key_spans(ids)
+        assert np.array_equal(hi - lo, np.ones(64, dtype=np.int64))
+        assert np.array_equal(lo, sfc.leaf_keys(ids))
+
+    @pytest.mark.parametrize("level", [0, 3, 12, 29])
+    def test_span_width_matches_level(self, level):
+        ids = random_cells(level, 32, seed=level + 7)
+        lo, hi = sfc.cell_key_spans(ids)
+        assert bool((hi - lo == 4 ** (MAX_LEVEL - level)).all())
+        assert bool((lo >= 0).all()) and bool((hi <= sfc.KEY_SPACE).all())
+
+    def test_parent_span_contains_child_span(self):
+        child = random_cells(15, 50, seed=8)
+        parent = np.array(
+            [cellid.parent(int(c), 9) for c in child], dtype=np.int64
+        )
+        clo, chi = sfc.cell_key_spans(child)
+        plo, phi = sfc.cell_key_spans(parent)
+        assert bool((plo <= clo).all()) and bool((chi <= phi).all())
+
+    def test_root_cells_tile_key_space(self):
+        ids = np.unique(
+            sfc.cells_from_grid(
+                np.array([0, 0, 1, 1]), np.array([0, 1, 0, 1]), 1, EARTH
+            )
+        )
+        lo, hi = sfc.cell_key_spans(np.sort(ids))
+        assert lo[0] == 0
+        assert hi[-1] == sfc.KEY_SPACE
+        assert np.array_equal(lo[1:], hi[:-1])
+
+
+class TestLocality:
+    @pytest.mark.parametrize("level", [1, 4, 8])
+    def test_hilbert_walk_is_fully_adjacent(self, level):
+        assert sfc.adjacency_fraction(HILBERT, level) == 1.0
+        assert sfc.max_step(HILBERT, level) == 1
+
+    @pytest.mark.parametrize("level", [2, 4, 8])
+    def test_morton_walk_jumps(self, level):
+        assert sfc.adjacency_fraction(MORTON, level) < 1.0
+        assert sfc.max_step(MORTON, level) > 1
+
+    def test_morton_max_step_grows_with_level(self):
+        assert sfc.max_step(MORTON, 6) > sfc.max_step(MORTON, 3)
+
+    def test_degenerate_level_zero(self):
+        # One cell: no steps, vacuously perfect locality.
+        assert sfc.step_lengths(HILBERT, 0).size == 0
+        assert sfc.adjacency_fraction(MORTON, 0) == 1.0
+        assert sfc.max_step(MORTON, 0) == 0
+
+    def test_deep_exhaustive_walk_refused(self):
+        with pytest.raises(CellError):
+            sfc.step_lengths(HILBERT, 13)
+
+
+class TestKeyDensity:
+    def test_total_mass_preserved(self):
+        keys = np.sort(random_cells(12, 200, seed=11))
+        counts = np.arange(1, 201, dtype=np.int64)
+        hist = sfc.key_density(keys, counts, bins=32)
+        assert hist.size == 32
+        assert hist.sum() == counts.sum()
+
+    def test_empty_input(self):
+        hist = sfc.key_density(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), bins=16
+        )
+        assert hist.sum() == 0
+
+    def test_skew_shows_up(self):
+        # All cells inside one root quadrant -> mass concentrated in a
+        # narrow bin range.
+        side = 1 << 10
+        rng = np.random.default_rng(13)
+        i = rng.integers(0, side // 8, 100, dtype=np.int64)
+        j = rng.integers(0, side // 8, 100, dtype=np.int64)
+        keys = np.unique(sfc.cells_from_grid(i, j, 10, EARTH))
+        hist = sfc.key_density(keys, np.ones(keys.size, dtype=np.int64), bins=64)
+        assert (hist > 0).sum() <= 8
+
+    def test_bad_bins_raises(self):
+        with pytest.raises(CellError):
+            sfc.key_density(np.empty(0, dtype=np.int64), np.empty(0), bins=0)

@@ -67,6 +67,47 @@ class TestShardedRoundTrip:
         ):
             assert got.count == want.count
 
+    def test_curve_layout_round_trips_splits(self, small_base, small_polygons, tmp_path):
+        block = ShardedGeoBlock.build(small_base, LEVEL, shard_count=8)
+        path = tmp_path / "curve.npz"
+        save_block(block, path)
+        loaded = load_block(path)
+        assert isinstance(loaded, ShardedGeoBlock)
+        assert loaded.layout == "curve"
+        assert loaded.shard_level is None
+        assert np.array_equal(np.array(loaded.splits), np.array(block.splits))
+        assert [(s.lo, s.hi, s.key_lo, s.key_hi) for s in loaded.shards] == [
+            (s.lo, s.hi, s.key_lo, s.key_hi) for s in block.shards
+        ]
+        assert_same_answers(block, loaded, small_polygons)
+
+    def test_v2_sharded_file_loads_as_prefix(self, small_base, small_polygons, tmp_path):
+        """Pre-v3 sharded files carry only a shard level and no layout
+        field; they must load back as the prefix layout they were built
+        with."""
+        from repro.core import serialize
+
+        block = ShardedGeoBlock.build(small_base, LEVEL, shard_level=11)
+        path = tmp_path / "v3.npz"
+        save_block(block, path)
+        with np.load(path) as archive:
+            meta = serialize.read_archive_meta(archive)
+            arrays = {name: archive[name] for name in archive.files if name != "meta"}
+        # Rewrite the metadata exactly as version 2 wrote it.
+        meta["version"] = 2
+        del meta["layout"]
+        assert "shard_level" in meta
+        old_path = tmp_path / "v2.npz"
+        serialize.write_archive(old_path, meta, arrays)
+        loaded = load_block(old_path)
+        assert isinstance(loaded, ShardedGeoBlock)
+        assert loaded.layout == "prefix"
+        assert loaded.shard_level == 11
+        assert [(s.prefix, s.lo, s.hi) for s in loaded.shards] == [
+            (s.prefix, s.lo, s.hi) for s in block.shards
+        ]
+        assert_same_answers(block, loaded, small_polygons)
+
 
 class TestAdaptiveRoundTrip:
     @pytest.fixture()

@@ -27,6 +27,11 @@ def sharded(small_base) -> ShardedGeoBlock:
 
 
 @pytest.fixture(scope="module")
+def prefix_sharded(small_base) -> ShardedGeoBlock:
+    return ShardedGeoBlock.build(small_base, LEVEL, shard_level=11)
+
+
+@pytest.fixture(scope="module")
 def plain(small_base) -> GeoBlock:
     return GeoBlock.build(small_base, LEVEL)
 
@@ -49,19 +54,79 @@ class TestPartition:
         for (_, prev_hi), (next_lo, _) in zip(bounds, bounds[1:]):
             assert next_lo == prev_hi
 
-    def test_prefixes_match_rows(self, sharded):
-        keys = sharded.aggregates.keys
-        for shard in sharded.shards:
+    def test_prefixes_match_rows(self, prefix_sharded):
+        keys = prefix_sharded.aggregates.keys
+        for shard in prefix_sharded.shards:
             for row in (shard.lo, shard.hi - 1):
-                assert cellid.parent(int(keys[row]), sharded.shard_level) == shard.prefix
+                assert (
+                    cellid.parent(int(keys[row]), prefix_sharded.shard_level)
+                    == shard.prefix
+                )
 
     def test_multiple_shards_by_default(self, sharded):
         assert sharded.num_shards > 1
 
+    def test_default_layout_is_curve(self, sharded):
+        assert sharded.layout == "curve"
+        assert sharded.shard_level is None
+        assert sharded.splits is not None
+
+    def test_shard_level_selects_prefix_layout(self, prefix_sharded):
+        assert prefix_sharded.layout == "prefix"
+        assert prefix_sharded.shard_level == 11
+        assert prefix_sharded.splits is None
+
     def test_explicit_shard_level(self, small_base):
         fine = ShardedGeoBlock.build(small_base, LEVEL, shard_level=12)
         assert fine.shard_level == 12
-        assert fine.num_shards >= ShardedGeoBlock.build(small_base, LEVEL).num_shards
+        assert fine.num_shards >= 1
+
+    def test_keys_respect_shard_key_ranges(self, sharded):
+        """Every shard's rows carry leaf keys inside its key range, and
+        the ranges tile the full curve-key space."""
+        from repro.cells import sfc
+
+        keys = sharded.aggregates.keys
+        assert sharded.shards[0].key_lo == 0
+        assert sharded.shards[-1].key_hi == sfc.KEY_SPACE
+        for prev, nxt in zip(sharded.shards, sharded.shards[1:]):
+            assert nxt.key_lo == prev.key_hi
+        lo_pos = (keys >> 1).astype(np.int64)  # leaf start position per cell
+        for shard in sharded.shards:
+            segment = lo_pos[shard.lo : shard.hi]
+            if segment.size:
+                assert segment[0] >= shard.key_lo
+                assert segment[-1] < shard.key_hi
+
+    def test_explicit_shard_count_is_reproducible(self, small_base):
+        one = ShardedGeoBlock.build(small_base, LEVEL, shard_count=8)
+        two = ShardedGeoBlock.build(small_base, LEVEL, shard_count=8)
+        assert one.num_shards == 8
+        assert np.array_equal(one.splits, two.splits)
+        rebuilt = ShardedGeoBlock.build(small_base, LEVEL, splits=one.splits)
+        assert [(s.lo, s.hi) for s in rebuilt.shards] == [(s.lo, s.hi) for s in one.shards]
+
+    def test_equi_depth_splits_balance_tuples(self, small_base):
+        block = ShardedGeoBlock.build(small_base, LEVEL, shard_count=8)
+        counts = block.aggregates.counts
+        per_shard = [int(counts[s.lo : s.hi].sum()) for s in block.shards]
+        total = sum(per_shard)
+        # Equi-depth on clustered data: no shard hoards the tuples the
+        # way a fixed prefix does (splits land on cell boundaries, so
+        # perfect equality is not attainable).
+        assert max(per_shard) < 0.5 * total
+
+    def test_layout_argument_validation(self, small_base):
+        from repro.errors import BuildError
+
+        with pytest.raises(BuildError):
+            ShardedGeoBlock.build(small_base, LEVEL, layout="nope")
+        with pytest.raises(BuildError):
+            ShardedGeoBlock.build(small_base, LEVEL, layout="prefix", shard_count=4)
+        with pytest.raises(BuildError):
+            ShardedGeoBlock.build(small_base, LEVEL, layout="curve", shard_level=11)
+        with pytest.raises(BuildError):
+            ShardedGeoBlock.build(small_base, LEVEL, shard_count=4, splits=[0, 1])
 
     def test_from_block_is_zero_copy(self, plain):
         sharded = ShardedGeoBlock.from_block(plain)
@@ -71,6 +136,16 @@ class TestPartition:
     def test_coarsened_stays_sharded(self, sharded, plain, quad_polygon):
         coarse = sharded.coarsened(11)
         assert isinstance(coarse, ShardedGeoBlock)
+        assert coarse.layout == "curve"
+        # Curve splits are level-independent; the coarse block routes
+        # along the same boundaries as its parent.
+        assert np.array_equal(coarse.splits, sharded.splits)
+        assert coarse.count(quad_polygon) == plain.coarsened(11).count(quad_polygon)
+
+    def test_coarsened_prefix_stays_prefix(self, prefix_sharded, plain, quad_polygon):
+        coarse = prefix_sharded.coarsened(11)
+        assert isinstance(coarse, ShardedGeoBlock)
+        assert coarse.layout == "prefix"
         assert coarse.shard_level <= 11
         assert coarse.count(quad_polygon) == plain.coarsened(11).count(quad_polygon)
 
@@ -220,3 +295,57 @@ class TestUpdates:
         assert got.count == want.count
         for key, value in want.values.items():
             assert got.values[key] == pytest.approx(value)
+
+    def test_skewed_appends_match_cold_rebuild_exactly(self):
+        """Appends piled into one hot corner of the domain route by curve
+        key into the existing partition, and every answer stays
+        bit-identical to a block built cold from the combined data."""
+        from repro.cells import EARTH
+        from repro.storage import PointTable, Schema, extract
+
+        block = self._fresh()
+        splits_before = None if block.splits is None else np.array(block.splits)
+        rng = np.random.default_rng(17)
+        burst = 60
+        # Heavy skew: everything lands in a ~200m patch.
+        new_xs = rng.normal(-73.952, 0.001, burst)
+        new_ys = rng.normal(40.751, 0.001, burst)
+        fares = rng.gamma(3.0, 4.0, burst)
+        distances = rng.gamma(2.0, 2.0, burst)
+        for i in range(burst):
+            apply_update(
+                block,
+                float(new_xs[i]),
+                float(new_ys[i]),
+                {"fare": float(fares[i]), "distance": float(distances[i])},
+            )
+        # The adaptive-repartition seam is a no-op: split points survive
+        # the skewed burst untouched.
+        assert block.maybe_repartition() is False
+        if splits_before is not None:
+            assert np.array_equal(np.array(block.splits), splits_before)
+        rng2 = np.random.default_rng(55)
+        count = 8000
+        table = PointTable(
+            Schema(["fare", "distance"]),
+            np.concatenate([rng2.normal(-73.95, 0.04, count), new_xs]),
+            np.concatenate([rng2.normal(40.75, 0.03, count), new_ys]),
+            {
+                "fare": np.concatenate([rng2.gamma(3.0, 4.0, count), fares]),
+                "distance": np.concatenate([rng2.gamma(2.0, 2.0, count), distances]),
+            },
+        )
+        rebuilt = ShardedGeoBlock.build(extract(table, EARTH), 13)
+        probes = [
+            Polygon.regular(-73.952, 40.751, 0.004, 8),  # the hot patch
+            Polygon.regular(-73.95, 40.75, 0.05, 6),  # wide
+            Polygon.regular(-73.9, 40.7, 0.02, 4),  # mostly empty
+        ]
+        for probe in probes:
+            want = rebuilt.select(probe, AGGS)
+            got = block.select(probe, AGGS)
+            assert got.count == want.count
+            # Counts are exact; sums tolerate float addition-order noise
+            # between incremental accumulation and a cold extract.
+            for key, value in want.values.items():
+                assert got.values[key] == pytest.approx(value)
